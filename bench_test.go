@@ -1,0 +1,324 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md experiment index), plus the cost comparisons
+// that motivate the technique: analytical SART resolution vs RTL-level
+// statistical fault injection.
+//
+//	go test -bench=. -benchmem
+package seqavf_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"seqavf/internal/core"
+	"seqavf/internal/experiments"
+	"seqavf/internal/graph"
+	"seqavf/internal/netlist"
+	"seqavf/internal/pavf"
+	"seqavf/internal/ser"
+	"seqavf/internal/sfi"
+	"seqavf/internal/tinycore"
+	"seqavf/internal/uarch"
+	"seqavf/internal/workload"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+	benchErr  error
+)
+
+func env(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := experiments.DefaultSetup()
+		cfg.SuiteSize = 4
+		benchEnv, benchErr = experiments.Setup(cfg)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchEnv
+}
+
+// BenchmarkTable1Fig7 resolves the paper's worked example (Table 1 /
+// Figure 7) from scratch: netlist, graph extraction, walks, resolution.
+func BenchmarkTable1Fig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8LoopSweep regenerates the Figure 8 loop-boundary sweep
+// (nine full solves of the XeonLike design).
+func BenchmarkFig8LoopSweep(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure8(e, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9FullDesign regenerates Figure 9: the FUB-partitioned
+// relaxation over the whole design with FUBIO merging per iteration.
+func BenchmarkFig9FullDesign(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure9(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConvergenceTrace regenerates the §6.1 convergence study.
+func BenchmarkConvergenceTrace(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Convergence(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10Correlation regenerates Figure 10: two workload ACE
+// bindings, SART solves, FIT models and simulated beam measurements.
+func BenchmarkFig10Correlation(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure10(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMonolithicSolve times one full SART fixpoint on the XeonLike
+// design (the per-workload cost without closed forms).
+func BenchmarkMonolithicSolve(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Analyzer.Solve(e.AvgInputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSymbolicReeval times the §5.1 payoff: plugging fresh pAVFs
+// into the closed-form equations instead of re-walking.
+func BenchmarkSymbolicReeval(b *testing.B) {
+	e := env(b)
+	res, err := e.Analyzer.Solve(e.AvgInputs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := res.Reevaluate(e.AvgInputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSARTTinycore times the complete analytical pipeline on the
+// netlist CPU: flatten, graph extraction, analysis, resolution. This is
+// the numerator of the paper's speed claim.
+func BenchmarkSARTTinycore(b *testing.B) {
+	p := workload.MD5Like(60)
+	perf, err := uarch.Run(p, uarch.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs, err := tinycore.BindInputs(perf.Report)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fd, err := tinycore.FlatDesign(len(p.Code))
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := graph.Build(fd)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, err := core.NewAnalyzer(g, core.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := a.Solve(inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSFIInjection times brute-force fault injection per injected
+// fault — the denominator of the paper's speed claim (§3.1). Each
+// injection costs a golden fast-forward plus a propagation window of
+// full-netlist simulation.
+func BenchmarkSFIInjection(b *testing.B) {
+	p := workload.MD5Like(20)
+	m, err := tinycore.New(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sfi.DefaultConfig()
+	cfg.InjectionsPerBit = 1
+	cfg.Window = 300
+	obs := sfi.Observation{Fub: tinycore.FubName, Valid: "out_valid", Data: "out_data", Halted: "halted_o"}
+	b.ResetTimer()
+	totalInjections := 0
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		res, err := sfi.Run(m.Sim, obs, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalInjections += res.Injections
+	}
+	b.StopTimer()
+	if totalInjections > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(totalInjections), "ns/injection")
+	}
+}
+
+// BenchmarkPerfModelACE times one ACE-instrumented performance-model run
+// (the fast side of the paper's hybrid).
+func BenchmarkPerfModelACE(b *testing.B) {
+	p := workload.Lattice(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := uarch.Run(p, uarch.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRTLSimCycle times raw netlist simulation (the slow side).
+func BenchmarkRTLSimCycle(b *testing.B) {
+	m, err := tinycore.New(workload.MD5Like(50))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step()
+	}
+}
+
+// BenchmarkGraphBuild times bit-level graph extraction for the XeonLike
+// design.
+func BenchmarkGraphBuild(b *testing.B) {
+	e := env(b)
+	fd, err := netlist.Flatten(e.Gen.Design)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.Build(fd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUnion measures the core set-algebra operation.
+func BenchmarkUnion(b *testing.B) {
+	u := pavf.NewUniverse()
+	ids := make([]pavf.TermID, 32)
+	for i := range ids {
+		ids[i] = u.Intern(pavf.Term{Kind: pavf.KindReadPort, Name: string(rune('A' + i))})
+	}
+	x := pavf.NewSet(ids[:16]...)
+	y := pavf.NewSet(ids[8:24]...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.Union(y)
+	}
+}
+
+// BenchmarkAblationBitFieldAnalysis contrasts whole-entry vs per-field
+// ACE tracking (the §5.1 Bit Field Analysis design choice): the accuracy
+// gain is measured by TestBitFieldAblation; this measures the cost.
+func BenchmarkAblationBitFieldAnalysis(b *testing.B) {
+	p := workload.Lattice(8)
+	for _, mode := range []struct {
+		name  string
+		whole bool
+	}{{"fields", false}, {"whole-entry", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := uarch.DefaultConfig()
+			cfg.WholeEntryIQ = mode.whole
+			for i := 0; i < b.N; i++ {
+				if _, err := uarch.Run(p, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHardeningPlan times the mitigation planning pass (§1's
+// deployment decision) on the XeonLike design.
+func BenchmarkHardeningPlan(b *testing.B) {
+	e := env(b)
+	res, err := e.Analyzer.Solve(e.AvgInputs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fit := ser.DefaultFITParams()
+	hp := ser.DefaultHardeningParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ser.PlanHardening(res, fit, hp, 0.3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProtectionSweep regenerates the §1 protection projection.
+func BenchmarkProtectionSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Protection(7, []float64{0, 0.5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConvergenceScaling regenerates the §5.2 iteration-law study.
+func BenchmarkConvergenceScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ConvergenceScaling([]int{4, 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelPartitioned contrasts serial and parallel relaxation.
+func BenchmarkParallelPartitioned(b *testing.B) {
+	e := env(b)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			opts := e.Analyzer.Opts
+			opts.Workers = workers
+			a, err := core.NewAnalyzer(e.Analyzer.G, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.SolvePartitioned(e.AvgInputs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,139 @@
+// Command acerun executes a workload on the ACE-instrumented performance
+// model and prints the measured structure AVFs and port pAVFs — step 2 of
+// the paper's tool flow ("Collect pAVF data from ACE model") as a
+// standalone tool. The text output doubles as a sartool pAVF table when
+// filtered; -json emits the full report.
+//
+// Usage:
+//
+//	acerun -workload lattice
+//	acerun -workload md5 -json
+//	acerun -workload suite -n 8 -seed 42        # suite average
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"seqavf/internal/ace"
+	"seqavf/internal/isa"
+	"seqavf/internal/uarch"
+	"seqavf/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "lattice", "lattice, md5, pchase, txn, virus, synth, or suite")
+	file := flag.String("file", "", "assemble and run a program file instead of a named workload")
+	n := flag.Int("n", 8, "suite size (workload=suite)")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	flag.Parse()
+
+	if *file != "" {
+		*wl = "file:" + *file
+	}
+	if err := run(*wl, *n, *seed, *jsonOut); err != nil {
+		fmt.Fprintf(os.Stderr, "acerun: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(wl string, n int, seed uint64, jsonOut bool) error {
+	var rep *ace.Report
+	var label string
+	cfg := uarch.DefaultConfig()
+	single := func(p *isa.Program) error {
+		res, err := uarch.Run(p, cfg)
+		if err != nil {
+			return err
+		}
+		rep = res.Report
+		label = fmt.Sprintf("%s: %d instrs, %d cycles, IPC %.3f, ACE fraction %.3f",
+			p.Name, res.Instrs, res.Cycles, res.IPC, res.ACEInstrFraction)
+		return nil
+	}
+	if path, ok := strings.CutPrefix(wl, "file:"); ok {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		p, err := isa.ParseAsm(path, f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if err := single(p); err != nil {
+			return err
+		}
+		wl = "" // handled; skip the named-workload switch
+	}
+	switch wl {
+	case "":
+		// Program file already executed above.
+	case "lattice":
+		if err := single(workload.Lattice(12)); err != nil {
+			return err
+		}
+	case "md5":
+		if err := single(workload.MD5Like(200)); err != nil {
+			return err
+		}
+	case "pchase":
+		if err := single(workload.PointerChase(32, 8)); err != nil {
+			return err
+		}
+	case "txn":
+		if err := single(workload.TransactionMix(16, 96)); err != nil {
+			return err
+		}
+	case "virus":
+		if err := single(workload.SDCVirus(128)); err != nil {
+			return err
+		}
+	case "synth":
+		if err := single(workload.Synthetic(workload.DefaultSynth("synth", seed))); err != nil {
+			return err
+		}
+	case "suite":
+		_, avg, err := uarch.RunSuite(workload.Suite(n, seed), cfg)
+		if err != nil {
+			return err
+		}
+		rep = avg
+		label = fmt.Sprintf("average of %d synthetic workloads (seed %d)", n, seed)
+	default:
+		return fmt.Errorf("unknown workload %q", wl)
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Printf("# %s\n", label)
+	fmt.Printf("# structure AVFs (Equation 3) and Little's-Law estimates\n")
+	for _, name := range rep.StructNames() {
+		fmt.Printf("S %-10s %.6f", name, rep.StructAVF[name])
+		if little, ok := rep.LittleAVF[name]; ok {
+			fmt.Printf("   # little=%.6f bits=%d", little, rep.StructBits[name])
+		}
+		fmt.Println()
+	}
+	var lines []string
+	for k, v := range rep.ReadPorts {
+		lines = append(lines, fmt.Sprintf("R %-14s %.6f", k, v))
+	}
+	for k, v := range rep.WritePorts {
+		lines = append(lines, fmt.Sprintf("W %-14s %.6f", k, v))
+	}
+	sort.Strings(lines)
+	fmt.Println("# port pAVFs")
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+// Command designgen generates a XeonLike synthetic design and writes its
+// netlist (and optionally its port-AVF binding table) in the textual
+// formats consumed by sartool.
+//
+// Usage:
+//
+//	designgen -seed 2015 -o design.nl -pavf pavf.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"seqavf/internal/design"
+	"seqavf/internal/graph"
+	"seqavf/internal/netlist"
+	"seqavf/internal/uarch"
+	"seqavf/internal/workload"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 2027, "generator seed")
+	fubs := flag.Int("fubs", 32, "number of FUBs")
+	out := flag.String("o", "", "netlist output file (default stdout)")
+	pavf := flag.String("pavf", "", "also write a pAVF table measured on the Lattice workload")
+	stats := flag.Bool("stats", false, "print bit-graph statistics to stderr")
+	flag.Parse()
+
+	if err := run(*seed, *fubs, *out, *pavf, *stats); err != nil {
+		fmt.Fprintf(os.Stderr, "designgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed uint64, fubs int, out, pavfPath string, stats bool) error {
+	cfg := design.DefaultConfig(seed)
+	cfg.NumFubs = fubs
+	gen, err := design.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := netlist.Write(w, gen.Design); err != nil {
+		return err
+	}
+	fd, err := netlist.Flatten(gen.Design)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "designgen: %d FUBs, %d structures, %d flat nodes\n",
+		len(gen.Design.Fubs), len(gen.Design.Structures), fd.NumNodes())
+	if stats {
+		g, err := graph.Build(fd)
+		if err != nil {
+			return err
+		}
+		graph.Measure(g).WriteText(os.Stderr)
+	}
+
+	if pavfPath == "" {
+		return nil
+	}
+	perf, err := uarch.Run(workload.Lattice(12), uarch.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	in, err := gen.Inputs(perf.Report)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(pavfPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	// Stable output order.
+	var lines []string
+	for sp, v := range in.ReadPorts {
+		lines = append(lines, fmt.Sprintf("R %s %.6f", sp, v))
+	}
+	for sp, v := range in.WritePorts {
+		lines = append(lines, fmt.Sprintf("W %s %.6f", sp, v))
+	}
+	for s, v := range in.StructAVF {
+		lines = append(lines, fmt.Sprintf("S %s %.6f", s, v))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Fprintln(f, l)
+	}
+	fmt.Fprintf(os.Stderr, "designgen: wrote %d pAVF entries to %s\n", len(lines), pavfPath)
+	return nil
+}

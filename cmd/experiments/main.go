@@ -1,0 +1,159 @@
+// Command experiments regenerates the paper's tables and figures
+// (see DESIGN.md's experiment index and EXPERIMENTS.md for the results).
+//
+// Usage:
+//
+//	experiments -exp all
+//	experiments -exp fig8|fig9|fig10|convergence|table1|validate|symbolic
+//	experiments -exp fig9 -seed 7 -suite 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"seqavf/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, fig8, fig9, fig10, convergence, validate, symbolic, protection, loopchar, scaling, hardening, variation, exhaustive, all")
+	seed := flag.Uint64("seed", 2027, "design/workload seed")
+	suite := flag.Int("suite", 12, "synthetic workloads beyond the named kernels")
+	inject := flag.Int("inject", 4, "SFI injections per bit (validate)")
+	valprog := flag.String("workload", "md5", "validation workload: md5 or lattice")
+	flag.Parse()
+
+	if err := run(*exp, *seed, *suite, *inject, *valprog); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, seed uint64, suite, inject int, valprog string) error {
+	w := os.Stdout
+	needEnv := map[string]bool{
+		"fig8": true, "fig9": true, "fig10": true,
+		"convergence": true, "symbolic": true, "hardening": true, "variation": true, "all": true,
+	}
+	var env *experiments.Env
+	if needEnv[exp] {
+		fmt.Fprintf(w, "setting up: XeonLike design (seed %d), %d+2 workloads on the ACE model...\n", seed, suite)
+		cfg := experiments.SetupConfig{Seed: seed, SuiteSize: suite}
+		var err error
+		env, err = experiments.Setup(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "ready: %d FUBs, %d structures, %d graph bits\n\n",
+			len(env.Gen.Design.Fubs), len(env.Gen.Design.Structures), env.Analyzer.G.NumVerts())
+	}
+
+	do := func(name string) bool { return exp == name || exp == "all" }
+
+	if do("table1") {
+		r, err := experiments.Table1()
+		if err != nil {
+			return err
+		}
+		r.WriteText(w)
+		fmt.Fprintln(w)
+	}
+	if do("fig8") {
+		r, err := experiments.Figure8(env, nil)
+		if err != nil {
+			return err
+		}
+		r.WriteText(w)
+		fmt.Fprintln(w)
+	}
+	if do("fig9") {
+		r, err := experiments.Figure9(env)
+		if err != nil {
+			return err
+		}
+		r.WriteText(w)
+		fmt.Fprintln(w)
+	}
+	if do("convergence") {
+		r, err := experiments.Convergence(env)
+		if err != nil {
+			return err
+		}
+		r.WriteText(w)
+		fmt.Fprintln(w)
+	}
+	if do("fig10") {
+		r, err := experiments.Figure10(env)
+		if err != nil {
+			return err
+		}
+		r.WriteText(w)
+		fmt.Fprintln(w)
+	}
+	if do("validate") {
+		r, err := experiments.Validate(valprog, inject)
+		if err != nil {
+			return err
+		}
+		r.WriteText(w)
+		fmt.Fprintln(w)
+	}
+	if do("scaling") {
+		r, err := experiments.ConvergenceScaling(nil)
+		if err != nil {
+			return err
+		}
+		r.WriteText(w)
+		fmt.Fprintln(w)
+	}
+	if do("loopchar") {
+		r, err := experiments.LoopChar(valprog, 2, inject)
+		if err != nil {
+			return err
+		}
+		r.WriteText(w)
+		fmt.Fprintln(w)
+	}
+	if do("protection") {
+		r, err := experiments.Protection(seed, nil)
+		if err != nil {
+			return err
+		}
+		r.WriteText(w)
+		fmt.Fprintln(w)
+	}
+	if do("hardening") {
+		r, err := experiments.Hardening(env, nil)
+		if err != nil {
+			return err
+		}
+		r.WriteText(w)
+		fmt.Fprintln(w)
+	}
+	if do("exhaustive") {
+		r, err := experiments.Exhaustive(nil)
+		if err != nil {
+			return err
+		}
+		r.WriteText(w)
+		fmt.Fprintln(w)
+	}
+	if do("variation") {
+		r, err := experiments.Variation(env, 10)
+		if err != nil {
+			return err
+		}
+		r.WriteText(w)
+		fmt.Fprintln(w)
+	}
+	if do("symbolic") {
+		r, err := experiments.Symbolic(env)
+		if err != nil {
+			return err
+		}
+		r.WriteText(w)
+		fmt.Fprintln(w)
+	}
+	return nil
+}

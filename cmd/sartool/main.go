@@ -1,0 +1,244 @@
+// Command sartool runs the Sequential AVF Resolution Tool on a textual
+// netlist plus a pAVF table, printing per-node AVFs, per-FUB summaries,
+// or closed-form equations.
+//
+// The pAVF table is line oriented:
+//
+//	R <Struct>.<port> <pAVF_R>
+//	W <Struct>.<port> <pAVF_W>
+//	S <Struct> <structure AVF>
+//
+// Usage:
+//
+//	sartool -netlist design.nl -pavf pavf.txt -summary
+//	sartool -netlist design.nl -pavf pavf.txt -nodes -equations
+//	sartool -netlist design.nl -pavf pavf.txt -partitioned -loop 0.3
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"seqavf/internal/core"
+	"seqavf/internal/graph"
+	"seqavf/internal/netlist"
+)
+
+func main() {
+	nl := flag.String("netlist", "", "netlist file (required)")
+	pavfPath := flag.String("pavf", "", "pAVF table file (required)")
+	loop := flag.Float64("loop", 0.3, "loop-boundary pAVF")
+	pseudo := flag.Float64("pseudo", 0.2, "boundary pseudo-structure pAVF")
+	partitioned := flag.Bool("partitioned", false, "use the FUB-partitioned relaxation")
+	iterations := flag.Int("iterations", 20, "relaxation iteration bound")
+	summary := flag.Bool("summary", true, "print the design summary")
+	nodes := flag.Bool("nodes", false, "print per-sequential-node AVFs")
+	equations := flag.Bool("equations", false, "print closed-form equations with -nodes")
+	jsonOut := flag.Bool("json", false, "emit the full result as JSON instead of text")
+	top := flag.Int("top", 0, "print the N most vulnerable sequential nodes with their pAVF contributors")
+	flag.Parse()
+
+	if *nl == "" || *pavfPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*nl, *pavfPath, *loop, *pseudo, *partitioned, *iterations, *summary, *nodes, *equations, *jsonOut, *top); err != nil {
+		fmt.Fprintf(os.Stderr, "sartool: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(nlPath, pavfPath string, loop, pseudo float64, partitioned bool, iterations int, summary, nodes, equations, jsonOut bool, top int) error {
+	f, err := os.Open(nlPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	d, err := netlist.Parse(f)
+	if err != nil {
+		return err
+	}
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	fd, err := netlist.Flatten(d)
+	if err != nil {
+		return err
+	}
+	g, err := graph.Build(fd)
+	if err != nil {
+		return err
+	}
+	opts := core.DefaultOptions()
+	opts.LoopPAVF = loop
+	opts.PseudoPAVF = pseudo
+	opts.Iterations = iterations
+	a, err := core.NewAnalyzer(g, opts)
+	if err != nil {
+		return err
+	}
+	in, err := readPAVF(pavfPath)
+	if err != nil {
+		return err
+	}
+	var res *core.Result
+	if partitioned {
+		res, err = a.SolvePartitioned(in)
+	} else {
+		res, err = a.Solve(in)
+	}
+	if err != nil {
+		return err
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	if jsonOut {
+		return res.WriteJSON(w, equations)
+	}
+	if summary {
+		s := res.Summarize()
+		fmt.Fprintf(w, "design %s: %d FUBs, %d graph bits\n", d.Name, len(fd.Fubs), g.NumVerts())
+		fmt.Fprintf(w, "sequential bits        : %d (loops %d, control regs %d)\n", s.SeqBits, s.LoopSeqBits, s.CtrlBits)
+		fmt.Fprintf(w, "weighted avg seq AVF   : %.4f\n", s.WeightedSeqAVF)
+		fmt.Fprintf(w, "weighted avg node AVF  : %.4f\n", s.WeightedNodeAVF)
+		fmt.Fprintf(w, "visited by walks       : %.2f%%\n", 100*s.VisitedFraction)
+		fmt.Fprintf(w, "iterations             : %d (converged=%v)\n", s.Iterations, s.Converged)
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "%-10s %-10s %-12s %-12s\n", "FUB", "seq bits", "avg seqAVF", "avg nodeAVF")
+		for _, fs := range res.FubStats() {
+			fmt.Fprintf(w, "%-10s %-10d %-12.4f %-12.4f\n", fs.Fub, fs.SeqBits, fs.AvgSeqAVF, fs.AvgNodeAVF)
+		}
+	}
+	if top > 0 {
+		writeTop(w, g, res, top)
+	}
+	if nodes {
+		byNode := res.SeqAVFByNode()
+		keys := make([]string, 0, len(byNode))
+		for k := range byNode {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintln(w)
+		for _, k := range keys {
+			fmt.Fprintf(w, "%-40s %.4f", k, byNode[k])
+			if equations {
+				fub, node, _ := strings.Cut(k, "/")
+				if v, _, ok := g.VertexBase(fub, node); ok {
+					fmt.Fprintf(w, "  %s", res.Equation(v))
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}
+
+// writeTop prints the most vulnerable sequential nodes with their
+// SDC/DUE/DCE decomposition and the measured ports driving them — the
+// mitigation-planning view of §1.
+func writeTop(w io.Writer, g *graph.Graph, res *core.Result, top int) {
+	type entry struct {
+		name string
+		base graph.VertexID
+		avf  float64
+	}
+	byNode := res.SeqAVFByNode()
+	entries := make([]entry, 0, len(byNode))
+	for name, avf := range byNode {
+		fub, node, _ := strings.Cut(name, "/")
+		v, _, ok := g.VertexBase(fub, node)
+		if !ok {
+			continue
+		}
+		entries = append(entries, entry{name: name, base: v, avf: avf})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].avf != entries[j].avf {
+			return entries[i].avf > entries[j].avf
+		}
+		return entries[i].name < entries[j].name
+	})
+	if len(entries) > top {
+		entries = entries[:top]
+	}
+	fmt.Fprintf(w, "\ntop %d vulnerable sequential nodes:\n", len(entries))
+	for _, e := range entries {
+		d := res.Decompose(e.base)
+		fmt.Fprintf(w, "%-36s AVF %.4f (SDC %.4f, DUE %.4f, DCE %.4f)\n",
+			e.name, e.avf, d.SDC, d.DUE, d.DCE)
+		fwd, bwd := res.Contributors(e.base)
+		if len(fwd) > 0 {
+			fmt.Fprintf(w, "    sources:")
+			for i, c := range fwd {
+				if i == 3 {
+					fmt.Fprintf(w, " ...")
+					break
+				}
+				fmt.Fprintf(w, " %s=%.3f", c.Term, c.Value)
+			}
+			fmt.Fprintln(w)
+		}
+		if len(bwd) > 0 {
+			fmt.Fprintf(w, "    sinks:  ")
+			for i, c := range bwd {
+				if i == 3 {
+					fmt.Fprintf(w, " ...")
+					break
+				}
+				fmt.Fprintf(w, " %s=%.3f", c.Term, c.Value)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+func readPAVF(path string) (*core.Inputs, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	in := core.NewInputs()
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s:%d: want '<R|W|S> <name> <value>'", path, lineNo)
+		}
+		v, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad value %q", path, lineNo, fields[2])
+		}
+		switch fields[0] {
+		case "R", "W":
+			st, port, ok := strings.Cut(fields[1], ".")
+			if !ok {
+				return nil, fmt.Errorf("%s:%d: port %q not Struct.port", path, lineNo, fields[1])
+			}
+			sp := core.StructPort{Struct: st, Port: port}
+			if fields[0] == "R" {
+				in.ReadPorts[sp] = v
+			} else {
+				in.WritePorts[sp] = v
+			}
+		case "S":
+			in.StructAVF[fields[1]] = v
+		default:
+			return nil, fmt.Errorf("%s:%d: unknown record %q", path, lineNo, fields[0])
+		}
+	}
+	return in, sc.Err()
+}

@@ -1,0 +1,49 @@
+// Loopsweep reproduces the paper's Figure 8 study on a generated
+// XeonLike design: sweep the static pAVF injected at loop-boundary nodes
+// and plot (as text) the design-wide average sequential AVF.
+//
+// The paper's finding — reproduced here — is that even a fully
+// conservative 100% loop pAVF does not saturate the sequential AVFs,
+// because the MIN against measured port values absorbs the injected
+// conservatism; the curve's heel guided their choice of 0.3.
+//
+//	go run ./examples/loopsweep [-seed 2015]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"seqavf/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 2027, "design seed")
+	flag.Parse()
+
+	cfg := experiments.DefaultSetup()
+	cfg.Seed = *seed
+	cfg.SuiteSize = 4
+	env, err := experiments.Setup(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := experiments.Figure8(env, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("loop-boundary pAVF sweep (loop bits: %.1f%% of sequentials)\n\n",
+		100*r.LoopSeqFraction)
+	lo, hi := r.Points[0].WeightedSeqAVF, r.Points[len(r.Points)-1].WeightedSeqAVF
+	for _, p := range r.Points {
+		frac := (p.WeightedSeqAVF - lo) / (hi - lo)
+		bar := strings.Repeat("#", 8+int(40*frac))
+		fmt.Printf("%4.2f | %-48s %.4f\n", p.LoopPAVF, bar, p.WeightedSeqAVF)
+	}
+	fmt.Printf("\nfull sweep moves the average by only %.1f%% relative — the\n",
+		100*(hi-lo)/lo)
+	fmt.Println("MIN rules keep injected loop conservatism from saturating the design.")
+}

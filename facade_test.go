@@ -1,0 +1,125 @@
+package seqavf_test
+
+import (
+	"strings"
+	"testing"
+
+	"seqavf"
+	"seqavf/internal/netlist"
+	"seqavf/internal/rtlsim"
+	"seqavf/internal/tinycore"
+)
+
+// TestFacadeEndToEnd drives the whole public pipeline the way a
+// downstream user would: netlist -> graph -> ACE measurement -> SART ->
+// closed forms, plus the textual round trip.
+func TestFacadeEndToEnd(t *testing.T) {
+	d := seqavf.NewDesign("facade")
+	d.AddStructure("IQ", 8, 16)
+	d.AddStructure("ROB", 8, 16)
+	m := d.AddModule("pipe")
+	b := seqavf.Build(m)
+	out := b.Pipe("stage", 16, 3, b.SRead("iq_rd", 16, "IQ", "issue"))
+	b.SWrite("rob_wr", "ROB", "alloc", out)
+	d.AddFub("PIPE", "pipe")
+
+	// Text round trip through the public API.
+	var sb strings.Builder
+	if err := seqavf.WriteNetlist(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := seqavf.ParseNetlist(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := seqavf.Flatten(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := seqavf.BuildGraph(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := seqavf.NewAnalyzer(g, seqavf.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Port AVFs measured by the bundled performance model.
+	perf, err := seqavf.RunPerfModel(seqavf.LatticeWorkload(6), seqavf.DefaultPerfConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := seqavf.NewInputs()
+	in.ReadPorts[seqavf.StructPort{Struct: "IQ", Port: "issue"}] = perf.Report.ReadPorts["IQ.issue"]
+	in.WritePorts[seqavf.StructPort{Struct: "ROB", Port: "alloc"}] = perf.Report.WritePorts["IQ.alloc"]
+
+	res, err := a.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byNode := res.SeqAVFByNode()
+	if len(byNode) != 3 {
+		t.Fatalf("nodes = %v", byNode)
+	}
+	for n, avf := range byNode {
+		if avf <= 0 || avf > 1 {
+			t.Fatalf("%s AVF = %v", n, avf)
+		}
+	}
+	sum := res.Summarize()
+	if sum.SeqBits != 48 || sum.VisitedFraction != 1 {
+		t.Fatalf("summary: %+v", sum)
+	}
+}
+
+// TestFacadeSFI runs the public fault-injection path on the netlist CPU.
+func TestFacadeSFI(t *testing.T) {
+	p := seqavf.MD5Workload(8)
+	mach, err := tinycore.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := seqavf.DefaultSFIConfig()
+	cfg.InjectionsPerBit = 1
+	cfg.Window = 100
+	res, err := seqavf.RunSFI(mach.Sim, seqavf.SFIObservation{
+		Fub: tinycore.FubName, Valid: "out_valid", Data: "out_data", Halted: "halted_o",
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Injections == 0 {
+		t.Fatal("no injections")
+	}
+}
+
+// TestFacadeSim exercises NewSim with behavioral structures.
+func TestFacadeSim(t *testing.T) {
+	d := seqavf.NewDesign("sim")
+	d.AddStructure("RF", 4, 8)
+	m := d.AddModule("m")
+	b := seqavf.Build(m)
+	b.Out("q", 8, b.SRead("rd", 8, "RF", "r0"))
+	d.AddFub("F", "m")
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fd, err := seqavf.Flatten(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf := rtlsim.NewRegArray(4, 8, false)
+	rf.Set(0, 42)
+	sim, err := seqavf.NewSim(fd, map[string]rtlsim.StructSim{"RF": rf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Settle()
+	v, err := sim.Value("F", "q")
+	if err != nil || v != 42 {
+		t.Fatalf("q = %d, err %v", v, err)
+	}
+	// Type aliases interoperate with internal packages.
+	var _ *netlist.Design = d
+}

@@ -1,0 +1,3 @@
+module seqavf
+
+go 1.22

@@ -1,0 +1,345 @@
+// Package ace implements ACE lifetime analysis — the analytical AVF
+// technique of Mukherjee et al. (MICRO 2003) that the paper's performance
+// model uses to measure structure AVFs and the port AVFs SART consumes.
+//
+// A Structure tracks read/write events against its entries. Residency
+// intervals that end in an ACE consumption count as ACE bit-cycles; data
+// still resident when simulation ends counts as unknown (conservatively
+// ACE, per Equation 3: "residence time of all ACE+unknown bits"). Port
+// counters record the fraction of cycles each port moves ACE data —
+// exactly the paper's pAVF_R and pAVF_W definitions:
+//
+//	pAVF_R = ACE reads from the structure / total simulated cycles
+//	pAVF_W = ACE writes to the structure / total simulated cycles
+//
+// Structures may declare bit fields ("Bit Field Analysis", §5.1): each
+// field is tracked separately so control entries whose fields are ACE
+// under different conditions do not over-count.
+//
+// The companion HD1Tracker implements a simplified Hamming-distance-1
+// analysis for address-based structures (Biswas et al., ISCA 2005).
+package ace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Dir is a port direction.
+type Dir uint8
+
+const (
+	// DirRead ports drain data out of a structure.
+	DirRead Dir = iota
+	// DirWrite ports fill data into a structure.
+	DirWrite
+)
+
+func (d Dir) String() string {
+	if d == DirRead {
+		return "read"
+	}
+	return "write"
+}
+
+// Field is one bit field of a structure entry.
+type Field struct {
+	Name  string
+	Width int
+}
+
+// Port accumulates event counts for one structure port.
+type Port struct {
+	Name   string
+	Dir    Dir
+	Events uint64
+	ACE    uint64
+}
+
+// PAVF returns the port AVF over the given cycle count.
+func (p *Port) PAVF(cycles uint64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	v := float64(p.ACE) / float64(cycles)
+	if v > 1 {
+		v = 1
+	}
+	return v
+}
+
+// fieldState tracks the in-flight lifetime of one field of one entry.
+type fieldState struct {
+	valid       bool
+	writeCycle  uint64
+	lastACERead uint64
+	hadACERead  bool
+}
+
+// Structure is one ACE-tracked storage structure.
+type Structure struct {
+	Name    string
+	Entries int
+	Fields  []Field
+
+	ports map[string]*Port
+	state [][]fieldState // [entry][field]
+
+	aceBitCycles     float64
+	unknownBitCycles float64
+	finished         bool
+	cycles           uint64
+
+	// Little's-Law bookkeeping (§4 of the paper: "AVF can be computed as
+	// the product of the average ACE latency and the average ACE
+	// throughput"): completed ACE residencies and their total latency.
+	aceResidencies  uint64
+	aceLatencySum   float64
+	aceWriteArrival uint64 // ACE writes observed (throughput numerator)
+
+	// qavf optionally mirrors closed ACE residencies into time windows
+	// (Quantized AVF; see Quantize).
+	qavf *QAVF
+}
+
+// NewStructure creates a tracker. With no fields, a single "data" field of
+// the given width is assumed.
+func NewStructure(name string, entries, width int, fields ...Field) *Structure {
+	if len(fields) == 0 {
+		fields = []Field{{Name: "data", Width: width}}
+	}
+	s := &Structure{
+		Name:    name,
+		Entries: entries,
+		Fields:  fields,
+		ports:   make(map[string]*Port),
+		state:   make([][]fieldState, entries),
+	}
+	for i := range s.state {
+		s.state[i] = make([]fieldState, len(fields))
+	}
+	return s
+}
+
+// Width returns the total entry width (sum of field widths).
+func (s *Structure) Width() int {
+	w := 0
+	for _, f := range s.Fields {
+		w += f.Width
+	}
+	return w
+}
+
+// Bits returns total storage bits.
+func (s *Structure) Bits() int { return s.Entries * s.Width() }
+
+// DeclarePort registers a port ahead of use so it appears in reports even
+// if no event ever hits it.
+func (s *Structure) DeclarePort(name string, dir Dir) *Port {
+	if p, ok := s.ports[name]; ok {
+		return p
+	}
+	p := &Port{Name: name, Dir: dir}
+	s.ports[name] = p
+	return p
+}
+
+func (s *Structure) port(name string, dir Dir) *Port {
+	p, ok := s.ports[name]
+	if !ok {
+		p = s.DeclarePort(name, dir)
+	}
+	return p
+}
+
+// Write records a whole-entry write through port at cycle; ace flags
+// whether the written value is (potentially) required for architecturally
+// correct execution.
+func (s *Structure) Write(portName string, entry int, cycle uint64, ace bool) {
+	aces := make([]bool, len(s.Fields))
+	for i := range aces {
+		aces[i] = ace
+	}
+	s.WriteFields(portName, entry, cycle, aces)
+}
+
+// WriteFields records a write with per-field ACEness (bit-field analysis).
+func (s *Structure) WriteFields(portName string, entry int, cycle uint64, aceByField []bool) {
+	if entry < 0 || entry >= s.Entries {
+		panic(fmt.Sprintf("ace: %s entry %d out of range", s.Name, entry))
+	}
+	p := s.port(portName, DirWrite)
+	p.Events++
+	anyACE := false
+	for fi := range s.Fields {
+		ace := fi < len(aceByField) && aceByField[fi]
+		anyACE = anyACE || ace
+		st := &s.state[entry][fi]
+		if st.valid {
+			s.closeLifetime(st, fi)
+		}
+		*st = fieldState{valid: true, writeCycle: cycle}
+		// A write of known-dead data starts an un-ACE lifetime; reads of
+		// it will carry ace=false and contribute nothing.
+		_ = ace
+	}
+	if anyACE {
+		p.ACE++
+		s.aceWriteArrival++
+	}
+}
+
+// Read records a read of the whole entry through port at cycle; ace flags
+// whether the consumer needs the value for correct execution.
+func (s *Structure) Read(portName string, entry int, cycle uint64, ace bool) {
+	fields := make([]bool, len(s.Fields))
+	for i := range fields {
+		fields[i] = ace
+	}
+	s.ReadFields(portName, entry, cycle, fields)
+}
+
+// ReadFields records a read with per-field ACE consumption.
+func (s *Structure) ReadFields(portName string, entry int, cycle uint64, aceByField []bool) {
+	if entry < 0 || entry >= s.Entries {
+		panic(fmt.Sprintf("ace: %s entry %d out of range", s.Name, entry))
+	}
+	p := s.port(portName, DirRead)
+	p.Events++
+	anyACE := false
+	for fi := range s.Fields {
+		ace := fi < len(aceByField) && aceByField[fi]
+		if !ace {
+			continue
+		}
+		anyACE = true
+		st := &s.state[entry][fi]
+		if !st.valid {
+			continue // read of never-written state: ignore
+		}
+		if cycle > st.lastACERead {
+			st.lastACERead = cycle
+		}
+		st.hadACERead = true
+	}
+	if anyACE {
+		p.ACE++
+	}
+}
+
+// Invalidate ends all lifetimes of an entry (e.g. eviction, flush).
+func (s *Structure) Invalidate(entry int, cycle uint64) {
+	for fi := range s.Fields {
+		st := &s.state[entry][fi]
+		if st.valid {
+			s.closeLifetime(st, fi)
+			st.valid = false
+		}
+	}
+	_ = cycle
+}
+
+// closeLifetime retires a completed residency: write→lastACERead is ACE
+// when consumed; the tail (and unconsumed residencies) is un-ACE.
+func (s *Structure) closeLifetime(st *fieldState, fi int) {
+	if st.hadACERead && st.lastACERead > st.writeCycle {
+		lat := float64(st.lastACERead - st.writeCycle)
+		s.aceBitCycles += float64(s.Fields[fi].Width) * lat
+		s.aceResidencies++
+		s.aceLatencySum += lat
+		if s.qavf != nil {
+			s.qavf.AddInterval(st.writeCycle, st.lastACERead, s.Fields[fi].Width)
+		}
+	}
+}
+
+// LittleAVF estimates the structure AVF via Little's Law: the product of
+// average ACE latency and ACE arrival rate, normalized by entry count.
+// Array structures are latency-dominated (long residencies); ports are
+// throughput-dominated — the asymmetry §4 builds on. The estimate covers
+// the known-ACE component only (no unknown tail), so it lower-bounds
+// AVF() and converges to it for fully drained steady-state runs.
+func (s *Structure) LittleAVF() float64 {
+	if !s.finished {
+		panic("ace: LittleAVF before Finish")
+	}
+	if s.cycles == 0 || s.aceResidencies == 0 {
+		return 0
+	}
+	avgLatency := s.aceLatencySum / float64(s.aceResidencies)
+	throughput := float64(s.aceWriteArrival) / float64(s.cycles) // entries/cycle
+	v := avgLatency * throughput / float64(s.Entries)
+	if v > 1 {
+		v = 1
+	}
+	return v
+}
+
+// Finish closes the analysis at endCycle: still-resident data becomes the
+// unknown component (conservatively ACE).
+func (s *Structure) Finish(endCycle uint64) {
+	if s.finished {
+		return
+	}
+	s.finished = true
+	s.cycles = endCycle
+	for e := range s.state {
+		for fi := range s.state[e] {
+			st := &s.state[e][fi]
+			if !st.valid {
+				continue
+			}
+			w := float64(s.Fields[fi].Width)
+			if st.hadACERead {
+				lat := float64(st.lastACERead - st.writeCycle)
+				s.aceBitCycles += w * lat
+				if lat > 0 {
+					s.aceResidencies++
+					s.aceLatencySum += lat
+					if s.qavf != nil {
+						s.qavf.AddInterval(st.writeCycle, st.lastACERead, s.Fields[fi].Width)
+					}
+				}
+				if endCycle > st.lastACERead {
+					s.unknownBitCycles += w * float64(endCycle-st.lastACERead)
+				}
+			} else if endCycle > st.writeCycle {
+				s.unknownBitCycles += w * float64(endCycle-st.writeCycle)
+			}
+			st.valid = false
+		}
+	}
+}
+
+// AVF returns the structure AVF per Equation 3. Finish must have been
+// called.
+func (s *Structure) AVF() float64 {
+	if !s.finished {
+		panic("ace: AVF before Finish")
+	}
+	denom := float64(s.Bits()) * float64(s.cycles)
+	if denom == 0 {
+		return 0
+	}
+	v := (s.aceBitCycles + s.unknownBitCycles) / denom
+	if v > 1 {
+		v = 1
+	}
+	return v
+}
+
+// ACEBitCycles exposes the accumulated known-ACE residency.
+func (s *Structure) ACEBitCycles() float64 { return s.aceBitCycles }
+
+// UnknownBitCycles exposes the accumulated unknown residency.
+func (s *Structure) UnknownBitCycles() float64 { return s.unknownBitCycles }
+
+// Ports returns the structure's ports sorted by name.
+func (s *Structure) Ports() []*Port {
+	out := make([]*Port, 0, len(s.ports))
+	for _, p := range s.ports {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,282 @@
+package ace
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, got, want float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("%s = %v, want %v", what, got, want)
+	}
+}
+
+func TestLifetimeACEWhenConsumed(t *testing.T) {
+	s := NewStructure("Q", 2, 8)
+	// Entry 0: written at cycle 10, ACE-read at cycle 30, overwritten 50.
+	s.Write("wr", 0, 10, true)
+	s.Read("rd", 0, 30, true)
+	s.Write("wr", 0, 50, true)
+	s.Finish(100)
+	// ACE residency: 8 bits x (30-10) = 160. The second write's residency
+	// (50..100, never read) is unknown: 8 x 50 = 400.
+	approx(t, s.ACEBitCycles(), 160, "ace bit-cycles")
+	approx(t, s.UnknownBitCycles(), 400, "unknown bit-cycles")
+	// AVF = (160+400) / (2*8*100) = 0.35
+	approx(t, s.AVF(), 0.35, "AVF")
+}
+
+func TestLifetimeUnACEWhenNeverRead(t *testing.T) {
+	s := NewStructure("Q", 1, 4)
+	s.Write("wr", 0, 0, true)
+	s.Write("wr", 0, 10, true) // overwrites unread data: un-ACE
+	s.Invalidate(0, 20)
+	s.Finish(100)
+	approx(t, s.ACEBitCycles(), 0, "ace")
+	// Invalidate closes the lifetime before Finish, so nothing is unknown.
+	approx(t, s.UnknownBitCycles(), 0, "unknown")
+	approx(t, s.AVF(), 0, "AVF")
+}
+
+func TestUnACEReadDoesNotExtendLifetime(t *testing.T) {
+	s := NewStructure("Q", 1, 8)
+	s.Write("wr", 0, 0, true)
+	s.Read("rd", 0, 40, false) // dynamically dead consumer
+	s.Invalidate(0, 60)
+	s.Finish(100)
+	approx(t, s.AVF(), 0, "AVF with only un-ACE reads")
+}
+
+func TestPortPAVFCounts(t *testing.T) {
+	s := NewStructure("RF", 4, 32)
+	for c := uint64(0); c < 100; c++ {
+		if c%2 == 0 {
+			s.Read("rd0", int(c%4), c, c%4 == 0) // 50 reads, 25 ACE
+		}
+		if c%5 == 0 {
+			s.Write("wr0", int(c%4), c, true) // 20 ACE writes
+		}
+	}
+	s.Finish(100)
+	var rd, wr *Port
+	for _, p := range s.Ports() {
+		switch p.Name {
+		case "rd0":
+			rd = p
+		case "wr0":
+			wr = p
+		}
+	}
+	if rd.Events != 50 || wr.Events != 20 {
+		t.Fatalf("event counts: rd=%d wr=%d", rd.Events, wr.Events)
+	}
+	approx(t, rd.PAVF(100), 0.25, "pAVF_R")
+	approx(t, wr.PAVF(100), 0.20, "pAVF_W")
+}
+
+func TestBitFieldAnalysis(t *testing.T) {
+	// A control structure whose two fields are ACE under different
+	// conditions ("Bit Field Analysis", §5.1).
+	s := NewStructure("CTL", 1, 0,
+		Field{Name: "opinfo", Width: 6},
+		Field{Name: "pred", Width: 2},
+	)
+	if s.Width() != 8 {
+		t.Fatalf("Width = %d", s.Width())
+	}
+	s.WriteFields("wr", 0, 0, []bool{true, true})
+	// Only the opinfo field is consumed.
+	s.ReadFields("rd", 0, 50, []bool{true, false})
+	s.Invalidate(0, 50)
+	s.Finish(100)
+	// ACE: 6 bits x 50 cycles = 300; pred contributes nothing.
+	approx(t, s.ACEBitCycles(), 300, "field ace")
+	approx(t, s.AVF(), 300.0/(8*100), "field AVF")
+}
+
+func TestFinishUnknownAfterACERead(t *testing.T) {
+	s := NewStructure("Q", 1, 1)
+	s.Write("wr", 0, 0, true)
+	s.Read("rd", 0, 20, true)
+	s.Finish(100)
+	approx(t, s.ACEBitCycles(), 20, "ace")
+	approx(t, s.UnknownBitCycles(), 80, "unknown tail")
+}
+
+func TestAVFCapsAtOne(t *testing.T) {
+	s := NewStructure("Q", 1, 1)
+	s.Write("wr", 0, 0, true)
+	s.Read("rd", 0, 100, true)
+	s.Finish(100)
+	approx(t, s.AVF(), 1.0, "fully resident AVF")
+}
+
+func TestAVFPanicsBeforeFinish(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewStructure("Q", 1, 1).AVF()
+}
+
+func TestEntryRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewStructure("Q", 2, 1).Write("wr", 5, 0, true)
+}
+
+func TestHD1ExactMatchVulnerability(t *testing.T) {
+	h := NewHD1Tracker("TAGS", 4, 16)
+	h.Store(0, 0xABCD)
+	h.Lookup(0xABCD, true) // exact: all 16 bits vulnerable
+	approx(t, h.AVF(1), 16.0/(4*16), "exact match AVF")
+}
+
+func TestHD1DistanceOne(t *testing.T) {
+	h := NewHD1Tracker("TAGS", 2, 8)
+	h.Store(0, 0b00001111)
+	h.Lookup(0b00001110, true) // distance 1: one bit vulnerable
+	approx(t, h.AVF(1), 1.0/16.0, "distance-1 AVF")
+	// Distance 2: nothing vulnerable.
+	h2 := NewHD1Tracker("T2", 1, 8)
+	h2.Store(0, 0b00001111)
+	h2.Lookup(0b00001100, true)
+	approx(t, h2.AVF(1), 0, "distance-2 AVF")
+}
+
+func TestHD1IgnoresUnACEAndInvalid(t *testing.T) {
+	h := NewHD1Tracker("TAGS", 2, 8)
+	h.Store(0, 0x0F)
+	h.Lookup(0x0F, false) // un-ACE lookup
+	h.Invalidate(0)
+	h.Lookup(0x0F, true) // no valid entries
+	approx(t, h.AVF(10), 0, "AVF")
+	total, ace := h.Lookups()
+	if total != 2 || ace != 1 {
+		t.Fatalf("lookups = %d/%d", total, ace)
+	}
+}
+
+func TestModelReport(t *testing.T) {
+	m := NewModel()
+	q := m.AddStructure("Q", 2, 8)
+	m.AddHD1("TAGS", 2, 8).Store(0, 1)
+	q.Write("wr", 0, 0, true)
+	q.Read("rd", 0, 50, true)
+	r := m.Finish(100)
+
+	if r.Cycles != 100 {
+		t.Fatalf("cycles = %d", r.Cycles)
+	}
+	if _, ok := r.StructAVF["Q"]; !ok {
+		t.Fatal("Q missing from report")
+	}
+	if _, ok := r.StructAVF["TAGS"]; !ok {
+		t.Fatal("TAGS missing from report")
+	}
+	if r.StructBits["Q"] != 16 || r.StructBits["TAGS"] != 16 {
+		t.Fatalf("bits: %v", r.StructBits)
+	}
+	approx(t, r.ReadPorts["Q.rd"], 0.01, "Q.rd pAVF")
+	approx(t, r.WritePorts["Q.wr"], 0.01, "Q.wr pAVF")
+	names := r.StructNames()
+	if len(names) != 2 || names[0] != "Q" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestAverageReports(t *testing.T) {
+	mk := func(avf, rd float64) *Report {
+		return &Report{
+			Cycles:     100,
+			StructAVF:  map[string]float64{"Q": avf},
+			StructBits: map[string]int{"Q": 8},
+			ReadPorts:  map[string]float64{"Q.rd": rd},
+			WritePorts: map[string]float64{"Q.wr": 0.1},
+		}
+	}
+	avg, err := Average([]*Report{mk(0.2, 0.4), mk(0.4, 0.2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, avg.StructAVF["Q"], 0.3, "avg struct AVF")
+	approx(t, avg.ReadPorts["Q.rd"], 0.3, "avg read pAVF")
+	approx(t, avg.WritePorts["Q.wr"], 0.1, "avg write pAVF")
+	if avg.Cycles != 200 {
+		t.Fatalf("cycles = %d", avg.Cycles)
+	}
+	if _, err := Average(nil); err == nil {
+		t.Fatal("Average(nil) should fail")
+	}
+}
+
+func TestAvgStructAVFWeighted(t *testing.T) {
+	r := &Report{
+		StructAVF:  map[string]float64{"A": 1.0, "B": 0.0},
+		StructBits: map[string]int{"A": 10, "B": 30},
+	}
+	approx(t, r.AvgStructAVF(), 0.25, "bit-weighted average")
+}
+
+func TestLittleAVFSteadyState(t *testing.T) {
+	// Steady stream: one entry, write at t, read at t+10, rewrite at t+10.
+	// Latency 10, throughput 0.1 entries/cycle, 1 entry -> AVF = 1.0.
+	s := NewStructure("Q", 1, 8)
+	for c := uint64(0); c < 1000; c += 10 {
+		s.Write("wr", 0, c, true)
+		s.Read("rd", 0, c+10, true)
+	}
+	s.Finish(1000)
+	little := s.LittleAVF()
+	full := s.AVF()
+	if math.Abs(little-full) > 0.05 {
+		t.Fatalf("Little's law %v vs lifetime %v", little, full)
+	}
+}
+
+func TestLittleAVFLowerBoundsAVF(t *testing.T) {
+	// With an unknown tail, Little underestimates (known-ACE only).
+	s := NewStructure("Q", 2, 8)
+	s.Write("wr", 0, 0, true)
+	s.Read("rd", 0, 40, true)
+	s.Write("wr", 1, 10, true) // never read: unknown tail
+	s.Finish(100)
+	if s.LittleAVF() > s.AVF()+1e-12 {
+		t.Fatalf("Little %v exceeds AVF %v", s.LittleAVF(), s.AVF())
+	}
+	if s.LittleAVF() <= 0 {
+		t.Fatal("Little estimate vanished")
+	}
+}
+
+func TestLittleAVFPanicsBeforeFinish(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewStructure("Q", 1, 1).LittleAVF()
+}
+
+func TestLittleAVFInReport(t *testing.T) {
+	m := NewModel()
+	q := m.AddStructure("Q", 1, 8)
+	q.Write("wr", 0, 0, true)
+	q.Read("rd", 0, 50, true)
+	r := m.Finish(100)
+	if _, ok := r.LittleAVF["Q"]; !ok {
+		t.Fatal("report missing LittleAVF")
+	}
+	avg, err := Average([]*Report{r, r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(avg.LittleAVF["Q"]-r.LittleAVF["Q"]) > 1e-12 {
+		t.Fatal("Average dropped LittleAVF")
+	}
+}

@@ -1,0 +1,153 @@
+package ace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Model aggregates the ACE trackers of one performance-model run.
+type Model struct {
+	structs map[string]*Structure
+	hd1s    map[string]*HD1Tracker
+	order   []string
+	hdOrder []string
+}
+
+// NewModel returns an empty model.
+func NewModel() *Model {
+	return &Model{
+		structs: make(map[string]*Structure),
+		hd1s:    make(map[string]*HD1Tracker),
+	}
+}
+
+// AddStructure registers and returns a new lifetime-tracked structure.
+func (m *Model) AddStructure(name string, entries, width int, fields ...Field) *Structure {
+	s := NewStructure(name, entries, width, fields...)
+	m.structs[name] = s
+	m.order = append(m.order, name)
+	return s
+}
+
+// AddHD1 registers and returns a Hamming-distance-1 address tracker.
+func (m *Model) AddHD1(name string, entries, tagBits int) *HD1Tracker {
+	h := NewHD1Tracker(name, entries, tagBits)
+	m.hd1s[name] = h
+	m.hdOrder = append(m.hdOrder, name)
+	return h
+}
+
+// Structure returns a registered structure, or nil.
+func (m *Model) Structure(name string) *Structure { return m.structs[name] }
+
+// Finish closes every tracker at endCycle and produces the run's report.
+func (m *Model) Finish(endCycle uint64) *Report {
+	r := &Report{
+		Cycles:     endCycle,
+		StructAVF:  make(map[string]float64),
+		LittleAVF:  make(map[string]float64),
+		StructBits: make(map[string]int),
+		ReadPorts:  make(map[string]float64),
+		WritePorts: make(map[string]float64),
+	}
+	for _, name := range m.order {
+		s := m.structs[name]
+		s.Finish(endCycle)
+		r.StructAVF[name] = s.AVF()
+		r.LittleAVF[name] = s.LittleAVF()
+		r.StructBits[name] = s.Bits()
+		for _, p := range s.Ports() {
+			key := name + "." + p.Name
+			if p.Dir == DirRead {
+				r.ReadPorts[key] = p.PAVF(endCycle)
+			} else {
+				r.WritePorts[key] = p.PAVF(endCycle)
+			}
+		}
+	}
+	for _, name := range m.hdOrder {
+		h := m.hd1s[name]
+		r.StructAVF[name] = h.AVF(endCycle)
+		r.StructBits[name] = h.Bits()
+	}
+	return r
+}
+
+// Report is the measured output of one ACE-instrumented run: structure
+// AVFs (Equation 3) and port pAVFs keyed "Struct.port".
+type Report struct {
+	Cycles    uint64
+	StructAVF map[string]float64
+	// LittleAVF is the Little's-Law estimate (latency x throughput) of
+	// each lifetime-tracked structure's known-ACE AVF component.
+	LittleAVF  map[string]float64
+	StructBits map[string]int
+	ReadPorts  map[string]float64
+	WritePorts map[string]float64
+}
+
+// StructNames returns structure names in lexical order.
+func (r *Report) StructNames() []string {
+	names := make([]string, 0, len(r.StructAVF))
+	for n := range r.StructAVF {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AvgStructAVF returns the bit-weighted average structure AVF — the
+// conservative proxy the paper used for sequential AVF before this work.
+func (r *Report) AvgStructAVF() float64 {
+	var sum, bits float64
+	for n, avf := range r.StructAVF {
+		b := float64(r.StructBits[n])
+		sum += avf * b
+		bits += b
+	}
+	if bits == 0 {
+		return 0
+	}
+	return sum / bits
+}
+
+// Average combines per-workload reports into a suite-average report
+// (uniform weighting across workloads, as when the paper averages pAVFs
+// over its 547-trace suite). All reports must cover the same structures.
+func Average(reports []*Report) (*Report, error) {
+	if len(reports) == 0 {
+		return nil, fmt.Errorf("ace: no reports to average")
+	}
+	out := &Report{
+		StructAVF:  make(map[string]float64),
+		LittleAVF:  make(map[string]float64),
+		StructBits: make(map[string]int),
+		ReadPorts:  make(map[string]float64),
+		WritePorts: make(map[string]float64),
+	}
+	n := float64(len(reports))
+	for _, r := range reports {
+		out.Cycles += r.Cycles
+		for k, v := range r.StructAVF {
+			out.StructAVF[k] += v / n
+			out.StructBits[k] = r.StructBits[k]
+		}
+		for k, v := range r.LittleAVF {
+			out.LittleAVF[k] += v / n
+		}
+		for k, v := range r.ReadPorts {
+			out.ReadPorts[k] += v / n
+		}
+		for k, v := range r.WritePorts {
+			out.WritePorts[k] += v / n
+		}
+	}
+	for _, r := range reports {
+		for k := range out.StructAVF {
+			if _, ok := r.StructAVF[k]; !ok {
+				return nil, fmt.Errorf("ace: report missing structure %s", k)
+			}
+		}
+	}
+	return out, nil
+}

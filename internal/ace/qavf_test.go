@@ -1,0 +1,80 @@
+package ace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQAVFWindowAttribution(t *testing.T) {
+	q := NewQAVF(10, 100)
+	// Interval spanning windows 0 and 1: [50, 150), 10 bits.
+	q.AddInterval(50, 150, 10)
+	series := q.Series(200)
+	if len(series) != 2 {
+		t.Fatalf("series len = %d", len(series))
+	}
+	// Window 0: 10 bits x 50 cycles / (10 bits x 100 cycles) = 0.5.
+	if math.Abs(series[0]-0.5) > 1e-12 || math.Abs(series[1]-0.5) > 1e-12 {
+		t.Fatalf("series = %v", series)
+	}
+	if math.Abs(q.Peak(200)-0.5) > 1e-12 {
+		t.Fatalf("peak = %v", q.Peak(200))
+	}
+}
+
+func TestQAVFPartialLastWindow(t *testing.T) {
+	q := NewQAVF(4, 100)
+	q.AddInterval(200, 250, 4)
+	series := q.Series(250) // last window spans 50 cycles
+	if len(series) != 3 {
+		t.Fatalf("series len = %d", len(series))
+	}
+	if math.Abs(series[2]-1.0) > 1e-12 {
+		t.Fatalf("partial window AVF = %v, want 1.0", series[2])
+	}
+	if series[0] != 0 || series[1] != 0 {
+		t.Fatalf("idle windows non-zero: %v", series)
+	}
+}
+
+func TestQAVFEmptyAndDegenerate(t *testing.T) {
+	q := NewQAVF(0, 0)
+	if q.Window != 1 {
+		t.Fatal("zero window not defended")
+	}
+	if got := q.Series(0); got != nil {
+		t.Fatalf("empty series = %v", got)
+	}
+	q.AddInterval(10, 10, 4) // zero-length interval ignored
+	if q.Peak(100) != 0 {
+		t.Fatal("zero-length interval counted")
+	}
+}
+
+func TestQuantizedStructureExposesPhases(t *testing.T) {
+	// Phase 1 (cycles 0..500): hot — written and promptly ACE-read.
+	// Phase 2 (cycles 500..1000): idle.
+	s := NewStructure("Q", 1, 8)
+	q := s.Quantize(100)
+	for c := uint64(0); c < 500; c += 10 {
+		s.Write("wr", 0, c, true)
+		s.Read("rd", 0, c+9, true)
+	}
+	s.Invalidate(0, 500)
+	s.Finish(1000)
+	series := q.Series(1000)
+	if len(series) != 10 {
+		t.Fatalf("series len = %d", len(series))
+	}
+	hot, idle := series[2], series[8]
+	if hot < 0.5 {
+		t.Fatalf("hot phase AVF = %v", hot)
+	}
+	if idle != 0 {
+		t.Fatalf("idle phase AVF = %v", idle)
+	}
+	// The peak exceeds the full-run average — QAVF's reason to exist.
+	if q.Peak(1000) <= s.AVF() {
+		t.Fatalf("peak %v should exceed run average %v", q.Peak(1000), s.AVF())
+	}
+}

@@ -1,0 +1,216 @@
+// Package cells generates common RTL building blocks into netlist
+// modules: FIFOs, one-hot FSMs, arbiters, Gray counters and LFSRs. These
+// are the idioms the paper's §4.3 loop discussion names — "stall loops,
+// head and tail pointer update loops and so forth" — provided both so the
+// synthetic design generator can emit realistic feedback structure and so
+// the analysis can be tested against functionally verified circuits.
+//
+// Every generator writes into an existing netlist.Builder with a unique
+// name prefix and returns the names of its interface signals.
+package cells
+
+import (
+	"fmt"
+
+	"seqavf/internal/netlist"
+)
+
+// FIFO is the interface of a generated FIFO queue.
+type FIFO struct {
+	// Out is the head entry (valid when Empty is 0).
+	Out string
+	// Empty / Full are status flags.
+	Empty string
+	Full  string
+	// Prefix names the cell instance (slot/pointer nodes start with it).
+	Prefix string
+	Depth  int
+}
+
+// NewFIFO generates a depth-entry FIFO (depth must be a power of two,
+// >= 2) of the given width. din is the data input; push and pop are
+// 1-bit controls (a push while full or a pop while empty is ignored).
+// The head/tail pointers and the recirculating storage slots all form
+// feedback loops — exactly the structures SART's loop-boundary treatment
+// exists for.
+func NewFIFO(b *netlist.Builder, prefix string, depth, width int, din, push, pop string) (*FIFO, error) {
+	if depth < 2 || depth&(depth-1) != 0 {
+		return nil, fmt.Errorf("cells: FIFO depth %d not a power of two >= 2", depth)
+	}
+	if width < 1 {
+		return nil, fmt.Errorf("cells: FIFO width %d", width)
+	}
+	pbits := 1
+	for 1<<pbits < depth {
+		pbits++
+	}
+	pbits++ // wrap bit distinguishes full from empty
+	n := func(s string) string { return prefix + "_" + s }
+
+	one := b.Const(n("one"), pbits, 1)
+	head := n("head")
+	tail := n("tail")
+	b.M.Add(&netlist.Node{Name: head, Kind: netlist.KindSeq, Width: pbits, Inputs: []string{n("head_next")}})
+	b.M.Add(&netlist.Node{Name: tail, Kind: netlist.KindSeq, Width: pbits, Inputs: []string{n("tail_next")}})
+
+	empty := b.C(n("empty"), 1, netlist.OpEq, head, tail)
+	wrapMask := b.Const(n("wrapbit"), pbits, uint64(depth))
+	headInv := b.C(n("head_wr"), pbits, netlist.OpXor, head, wrapMask)
+	full := b.C(n("full"), 1, netlist.OpEq, headInv, tail)
+
+	notFull := b.C(n("nfull"), 1, netlist.OpNot, full)
+	notEmpty := b.C(n("nempty"), 1, netlist.OpNot, empty)
+	doPush := b.C(n("do_push"), 1, netlist.OpAnd, push, notFull)
+	doPop := b.C(n("do_pop"), 1, netlist.OpAnd, pop, notEmpty)
+
+	b.C(n("tail_inc"), pbits, netlist.OpAdd, tail, one)
+	b.Mux(n("tail_next"), pbits, doPush, tail, n("tail_inc"))
+	b.C(n("head_inc"), pbits, netlist.OpAdd, head, one)
+	b.Mux(n("head_next"), pbits, doPop, head, n("head_inc"))
+
+	// Index views (wrap bit stripped).
+	idxBits := pbits - 1
+	tailIdx := b.Select(n("tail_idx"), idxBits, tail, 0)
+	headIdx := b.Select(n("head_idx"), idxBits, head, 0)
+
+	// Storage slots with recirculation muxes.
+	var slots []string
+	for i := 0; i < depth; i++ {
+		slot := n(fmt.Sprintf("slot%d", i))
+		iconst := b.Const(n(fmt.Sprintf("c%d", i)), idxBits, uint64(i))
+		hit := b.C(n(fmt.Sprintf("tl_is%d", i)), 1, netlist.OpEq, tailIdx, iconst)
+		wr := b.C(n(fmt.Sprintf("wr%d", i)), 1, netlist.OpAnd, doPush, hit)
+		b.M.Add(&netlist.Node{Name: slot, Kind: netlist.KindSeq, Width: width,
+			Inputs: []string{n(fmt.Sprintf("slot%d_next", i))}})
+		b.Mux(n(fmt.Sprintf("slot%d_next", i)), width, wr, slot, din)
+		slots = append(slots, slot)
+	}
+	// Head-entry mux tree.
+	out := slots[0]
+	for i := 1; i < depth; i++ {
+		iconst := n(fmt.Sprintf("c%d", i))
+		sel := b.C(n(fmt.Sprintf("hd_is%d", i)), 1, netlist.OpEq, headIdx, iconst)
+		out = b.Mux(n(fmt.Sprintf("rd%d", i)), width, sel, out, slots[i])
+	}
+	dout := b.C(n("out"), width, netlist.OpPass, out)
+	return &FIFO{Out: dout, Empty: empty, Full: full, Prefix: prefix, Depth: depth}, nil
+}
+
+// NewOneHotFSM generates an n-state one-hot ring FSM that advances when
+// advance is 1, returning the per-state strobe signals. State 0 is the
+// reset state. Each state bit recirculates — n coupled loop nodes.
+func NewOneHotFSM(b *netlist.Builder, prefix string, n int, advance string) ([]string, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("cells: FSM needs >= 2 states")
+	}
+	name := func(s string) string { return prefix + "_" + s }
+	states := make([]string, n)
+	for i := 0; i < n; i++ {
+		init := uint64(0)
+		if i == 0 {
+			init = 1
+		}
+		states[i] = name(fmt.Sprintf("s%d", i))
+		b.M.Add(&netlist.Node{Name: states[i], Kind: netlist.KindSeq, Width: 1,
+			Inputs: []string{name(fmt.Sprintf("s%d_next", i))}, Init: init})
+	}
+	for i := 0; i < n; i++ {
+		prev := states[(i+n-1)%n]
+		b.Mux(name(fmt.Sprintf("s%d_next", i)), 1, advance, states[i], prev)
+	}
+	return states, nil
+}
+
+// NewTDMArbiter generates a time-division arbiter over the request lines:
+// a free-running pointer visits each requester in turn and grants it when
+// it is requesting. Returns the one-hot grant signals. (A strict
+// round-robin would skip idle requesters; TDM keeps the logic compact
+// while still producing the pointer-update loop the analysis cares
+// about.)
+func NewTDMArbiter(b *netlist.Builder, prefix string, reqs []string) ([]string, error) {
+	n := len(reqs)
+	if n < 2 || n > 64 {
+		return nil, fmt.Errorf("cells: arbiter needs 2..64 requesters, got %d", n)
+	}
+	pbits := 1
+	for 1<<pbits < n {
+		pbits++
+	}
+	name := func(s string) string { return prefix + "_" + s }
+	ptr := name("ptr")
+	b.M.Add(&netlist.Node{Name: ptr, Kind: netlist.KindSeq, Width: pbits, Inputs: []string{name("ptr_next")}})
+	one := b.Const(name("one"), pbits, 1)
+	inc := b.C(name("inc"), pbits, netlist.OpAdd, ptr, one)
+	if n == 1<<pbits {
+		b.C(name("ptr_next"), pbits, netlist.OpPass, inc)
+	} else {
+		// Wrap at n for non-power-of-two requester counts.
+		lim := b.Const(name("lim"), pbits, uint64(n))
+		atLim := b.C(name("at_lim"), 1, netlist.OpEq, inc, lim)
+		zero := b.Const(name("zero"), pbits, 0)
+		b.Mux(name("ptr_next"), pbits, atLim, inc, zero)
+	}
+	grants := make([]string, n)
+	for i := 0; i < n; i++ {
+		iconst := b.Const(name(fmt.Sprintf("c%d", i)), pbits, uint64(i))
+		sel := b.C(name(fmt.Sprintf("sel%d", i)), 1, netlist.OpEq, ptr, iconst)
+		grants[i] = b.C(name(fmt.Sprintf("gnt%d", i)), 1, netlist.OpAnd, sel, reqs[i])
+	}
+	return grants, nil
+}
+
+// NewGrayCounter generates a width-bit Gray-code counter advancing when
+// en is 1, returning the Gray output signal. The binary core is a loop;
+// Gray outputs are glitch-free sequence labels (FIFO pointers in real
+// designs cross clock domains this way).
+func NewGrayCounter(b *netlist.Builder, prefix string, width int, en string) (string, error) {
+	if width < 2 || width > 63 {
+		return "", fmt.Errorf("cells: gray counter width %d out of range", width)
+	}
+	name := func(s string) string { return prefix + "_" + s }
+	bin := name("bin")
+	b.M.Add(&netlist.Node{Name: bin, Kind: netlist.KindSeq, Width: width, Inputs: []string{name("bin_next")}})
+	one := b.Const(name("one"), width, 1)
+	inc := b.C(name("inc"), width, netlist.OpAdd, bin, one)
+	b.Mux(name("bin_next"), width, en, bin, inc)
+	shifted := b.CP(name("shr1"), width, netlist.OpShrK, 1, bin)
+	return b.C(name("gray"), width, netlist.OpXor, bin, shifted), nil
+}
+
+// lfsrTaps lists maximal-length Fibonacci LFSR tap positions (1-based,
+// per the standard XAPP052 table) for widths 2..32.
+var lfsrTaps = map[int][]int{
+	2: {2, 1}, 3: {3, 2}, 4: {4, 3}, 5: {5, 3}, 6: {6, 5}, 7: {7, 6},
+	8: {8, 6, 5, 4}, 9: {9, 5}, 10: {10, 7}, 11: {11, 9},
+	12: {12, 6, 4, 1}, 13: {13, 4, 3, 1}, 14: {14, 5, 3, 1}, 15: {15, 14},
+	16: {16, 15, 13, 4}, 17: {17, 14}, 18: {18, 11}, 19: {19, 6, 2, 1},
+	20: {20, 17}, 21: {21, 19}, 22: {22, 21}, 23: {23, 18},
+	24: {24, 23, 22, 17}, 25: {25, 22}, 26: {26, 6, 2, 1}, 27: {27, 5, 2, 1},
+	28: {28, 25}, 29: {29, 27}, 30: {30, 6, 4, 1}, 31: {31, 28},
+	32: {32, 22, 2, 1},
+}
+
+// NewLFSR generates a maximal-length Fibonacci LFSR of the given width
+// (2..32), returning the register output. The feedback is the
+// random-logic loop archetype.
+func NewLFSR(b *netlist.Builder, prefix string, width int, init uint64) (string, error) {
+	taps, ok := lfsrTaps[width]
+	if !ok {
+		return "", fmt.Errorf("cells: LFSR width %d out of range [2,32]", width)
+	}
+	if init == 0 {
+		init = 1 // all-zero state is absorbing
+	}
+	name := func(s string) string { return prefix + "_" + s }
+	reg := name("reg")
+	b.M.Add(&netlist.Node{Name: reg, Kind: netlist.KindSeq, Width: width,
+		Inputs: []string{name("next")}, Init: init & (1<<uint(width) - 1)})
+	fb := b.Select(name("tap0"), 1, reg, taps[0]-1)
+	for i := 1; i < len(taps); i++ {
+		bit := b.Select(name(fmt.Sprintf("tap%d", i)), 1, reg, taps[i]-1)
+		fb = b.C(name(fmt.Sprintf("fb%d", i)), 1, netlist.OpXor, fb, bit)
+	}
+	low := b.Select(name("low"), width-1, reg, 0)
+	b.C(name("next"), width, netlist.OpConcat, fb, low)
+	return reg, nil
+}

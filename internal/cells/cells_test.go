@@ -1,0 +1,363 @@
+package cells
+
+import (
+	"testing"
+
+	"seqavf/internal/core"
+	"seqavf/internal/graph"
+	"seqavf/internal/netlist"
+	"seqavf/internal/rtlsim"
+)
+
+// harness builds a single-FUB design around a cell and instantiates the
+// simulator with external inputs.
+type harness struct {
+	t *testing.T
+	d *netlist.Design
+	b *netlist.Builder
+}
+
+func newHarness(t *testing.T) *harness {
+	d := netlist.NewDesign("cells")
+	m := d.AddModule("m")
+	return &harness{t: t, d: d, b: netlist.Build(m)}
+}
+
+func (h *harness) sim() *rtlsim.Sim {
+	h.t.Helper()
+	h.d.AddFub("F", "m")
+	if err := h.d.Validate(); err != nil {
+		h.t.Fatalf("Validate: %v", err)
+	}
+	fd, err := netlist.Flatten(h.d)
+	if err != nil {
+		h.t.Fatalf("Flatten: %v", err)
+	}
+	s, err := rtlsim.New(fd, nil)
+	if err != nil {
+		h.t.Fatalf("rtlsim.New: %v", err)
+	}
+	return s
+}
+
+func set(t *testing.T, s *rtlsim.Sim, port string, v uint64) {
+	t.Helper()
+	if err := s.SetInput("F", port, v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func val(t *testing.T, s *rtlsim.Sim, node string) uint64 {
+	t.Helper()
+	v, err := s.Value("F", node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestFIFOQueueSemantics(t *testing.T) {
+	h := newHarness(t)
+	din := h.b.In("din", 8)
+	push := h.b.In("push", 1)
+	pop := h.b.In("pop", 1)
+	f, err := NewFIFO(h.b, "q", 4, 8, din, push, pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.b.Out("o_out", 8, f.Out)
+	h.b.Out("o_empty", 1, f.Empty)
+	h.b.Out("o_full", 1, f.Full)
+	s := h.sim()
+
+	if val(t, s, "o_empty") != 1 || val(t, s, "o_full") != 0 {
+		t.Fatal("fresh FIFO not empty")
+	}
+	// Push 4 values to full.
+	for i := uint64(1); i <= 4; i++ {
+		set(t, s, "din", i*11)
+		set(t, s, "push", 1)
+		set(t, s, "pop", 0)
+		s.Settle()
+		s.Step()
+	}
+	if val(t, s, "o_full") != 1 {
+		t.Fatal("FIFO should be full after 4 pushes")
+	}
+	// A push while full is ignored.
+	set(t, s, "din", 99)
+	s.Settle()
+	s.Step()
+	if val(t, s, "o_out") != 11 {
+		t.Fatalf("head = %d, want 11", val(t, s, "o_out"))
+	}
+	// Pop everything in order.
+	set(t, s, "push", 0)
+	set(t, s, "pop", 1)
+	for i := uint64(1); i <= 4; i++ {
+		s.Settle()
+		if got := val(t, s, "o_out"); got != i*11 {
+			t.Fatalf("FIFO order: got %d, want %d", got, i*11)
+		}
+		s.Step()
+	}
+	if val(t, s, "o_empty") != 1 {
+		t.Fatal("FIFO should drain to empty")
+	}
+	// A pop while empty is ignored (no underflow).
+	s.Settle()
+	s.Step()
+	if val(t, s, "o_empty") != 1 || val(t, s, "o_full") != 0 {
+		t.Fatal("underflow corrupted state")
+	}
+}
+
+func TestFIFOInterleavedPushPop(t *testing.T) {
+	h := newHarness(t)
+	din := h.b.In("din", 16)
+	push := h.b.In("push", 1)
+	pop := h.b.In("pop", 1)
+	f, err := NewFIFO(h.b, "q", 8, 16, din, push, pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.b.Out("o_out", 16, f.Out)
+	h.b.Out("o_empty", 1, f.Empty)
+	s := h.sim()
+
+	var model []uint64
+	next := uint64(100)
+	for step := 0; step < 200; step++ {
+		doPush := step%3 != 0 && len(model) < 8
+		doPop := step%2 == 0 && len(model) > 0
+		if doPush {
+			set(t, s, "din", next)
+		}
+		set(t, s, "push", b2u(doPush))
+		set(t, s, "pop", b2u(doPop))
+		s.Settle()
+		if doPop {
+			if got := val(t, s, "o_out"); got != model[0] {
+				t.Fatalf("step %d: head %d, want %d", step, got, model[0])
+			}
+		}
+		s.Step()
+		if doPush {
+			model = append(model, next)
+			next++
+		}
+		if doPop {
+			model = model[1:]
+		}
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestFIFOValidation(t *testing.T) {
+	h := newHarness(t)
+	din := h.b.In("din", 8)
+	if _, err := NewFIFO(h.b, "q", 3, 8, din, din, din); err == nil {
+		t.Fatal("non-power-of-two depth accepted")
+	}
+	if _, err := NewFIFO(h.b, "q", 4, 0, din, din, din); err == nil {
+		t.Fatal("zero width accepted")
+	}
+}
+
+func TestOneHotFSMRotates(t *testing.T) {
+	h := newHarness(t)
+	adv := h.b.In("adv", 1)
+	states, err := NewOneHotFSM(h.b, "fsm", 3, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range states {
+		h.b.Out(stateOut(i), 1, st)
+	}
+	s := h.sim()
+
+	read := func() (got [3]uint64) {
+		for i := range got {
+			got[i] = val(t, s, stateOut(i))
+		}
+		return
+	}
+	if read() != [3]uint64{1, 0, 0} {
+		t.Fatalf("reset state = %v", read())
+	}
+	set(t, s, "adv", 0)
+	s.Settle()
+	s.Step()
+	if read() != [3]uint64{1, 0, 0} {
+		t.Fatal("FSM advanced without enable")
+	}
+	set(t, s, "adv", 1)
+	s.Settle()
+	for _, want := range [][3]uint64{{0, 1, 0}, {0, 0, 1}, {1, 0, 0}} {
+		s.Step()
+		if read() != want {
+			t.Fatalf("FSM state = %v, want %v", read(), want)
+		}
+	}
+	if _, err := NewOneHotFSM(h.b, "bad", 1, adv); err == nil {
+		t.Fatal("single-state FSM accepted")
+	}
+}
+
+func stateOut(i int) string {
+	return []string{"s0o", "s1o", "s2o"}[i]
+}
+
+func TestTDMArbiterVisitsAll(t *testing.T) {
+	h := newHarness(t)
+	reqs := []string{h.b.In("r0", 1), h.b.In("r1", 1), h.b.In("r2", 1)}
+	grants, err := NewTDMArbiter(h.b, "arb", reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range grants {
+		h.b.Out([]string{"g0", "g1", "g2"}[i], 1, g)
+	}
+	s := h.sim()
+	for _, r := range []string{"r0", "r1", "r2"} {
+		set(t, s, r, 1)
+	}
+	s.Settle()
+	counts := [3]int{}
+	for step := 0; step < 9; step++ {
+		granted := -1
+		for i, g := range []string{"g0", "g1", "g2"} {
+			if val(t, s, g) == 1 {
+				if granted >= 0 {
+					t.Fatal("multiple grants")
+				}
+				granted = i
+			}
+		}
+		if granted < 0 {
+			t.Fatal("no grant with all requesting")
+		}
+		counts[granted]++
+		s.Step()
+	}
+	if counts != [3]int{3, 3, 3} {
+		t.Fatalf("unfair grants: %v", counts)
+	}
+	// An idle requester is never granted.
+	set(t, s, "r1", 0)
+	s.Settle()
+	for step := 0; step < 6; step++ {
+		if val(t, s, "g1") == 1 {
+			t.Fatal("granted idle requester")
+		}
+		s.Step()
+	}
+}
+
+func TestGrayCounterUnitDistance(t *testing.T) {
+	h := newHarness(t)
+	en := h.b.In("en", 1)
+	gray, err := NewGrayCounter(h.b, "gc", 4, en)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.b.Out("g", 4, gray)
+	s := h.sim()
+	set(t, s, "en", 1)
+	s.Settle()
+	prev := val(t, s, "g")
+	seen := map[uint64]bool{prev: true}
+	for i := 0; i < 15; i++ {
+		s.Step()
+		cur := val(t, s, "g")
+		if popcount(prev^cur) != 1 {
+			t.Fatalf("gray step changed %d bits (%#x -> %#x)", popcount(prev^cur), prev, cur)
+		}
+		if seen[cur] && i < 15 {
+			t.Fatalf("gray sequence repeated early at %#x", cur)
+		}
+		seen[cur] = true
+		prev = cur
+	}
+}
+
+func popcount(v uint64) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+func TestLFSRPeriod(t *testing.T) {
+	h := newHarness(t)
+	reg, err := NewLFSR(h.b, "lfsr", 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.b.Out("r", 8, reg)
+	s := h.sim()
+	start := val(t, s, "r")
+	period := 0
+	for i := 0; i < 1<<9; i++ {
+		s.Step()
+		period++
+		if v := val(t, s, "r"); v == start {
+			break
+		}
+		if v := val(t, s, "r"); v == 0 {
+			t.Fatal("LFSR reached absorbing zero state")
+		}
+	}
+	if period != 255 { // maximal for width 8
+		t.Fatalf("LFSR period = %d, want 255", period)
+	}
+}
+
+// TestCellsAreLoopNodes: the analysis classifies FIFO pointers, slots,
+// FSM rings and counters as loop-boundary nodes — the §4.3 inventory.
+func TestCellsAreLoopNodes(t *testing.T) {
+	h := newHarness(t)
+	din := h.b.In("din", 8)
+	push := h.b.In("push", 1)
+	pop := h.b.In("pop", 1)
+	f, err := NewFIFO(h.b, "q", 4, 8, din, push, pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewOneHotFSM(h.b, "fsm", 3, push); err != nil {
+		t.Fatal(err)
+	}
+	h.b.Out("o", 8, f.Out)
+	h.d.AddFub("F", "m")
+	if err := h.d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fd, err := netlist.Flatten(h.d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Build(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.NewAnalyzer(g, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range []string{"q_head", "q_tail", "q_slot0", "q_slot3", "fsm_s0", "fsm_s2"} {
+		v, _, ok := g.VertexBase("F", node)
+		if !ok {
+			t.Fatalf("node %s missing", node)
+		}
+		if a.Role(v) != core.RoleLoop {
+			t.Errorf("%s role = %v, want loop", node, a.Role(v))
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"seqavf/internal/graph"
+	"seqavf/internal/netlist"
+)
+
+// protFixture: one read port feeding a split into three write ports with
+// different protections.
+func protFixture(t *testing.T) (*Analyzer, *Inputs) {
+	t.Helper()
+	d := netlist.NewDesign("prot")
+	d.AddStructure("SRC", 4, 8)
+	d.AddStructure("PLAIN", 4, 8)
+	d.AddStructure("PAR", 4, 8).Prot = netlist.ProtParity
+	d.AddStructure("ECC", 4, 8).Prot = netlist.ProtECC
+	m := d.AddModule("m")
+	b := netlist.Build(m)
+	rd := b.SRead("rd", 8, "SRC", "r")
+	q := b.Seq("q", 8, rd)
+	q1 := b.Seq("q1", 8, q)
+	q2 := b.Seq("q2", 8, q)
+	q3 := b.Seq("q3", 8, q)
+	b.SWrite("w1", "PLAIN", "w", q1)
+	b.SWrite("w2", "PAR", "w", q2)
+	b.SWrite("w3", "ECC", "w", q3)
+	d.AddFub("F", "m")
+	a := mustAnalyze(t, d, DefaultOptions())
+	in := NewInputs()
+	in.ReadPorts[StructPort{"SRC", "r"}] = 0.9
+	in.WritePorts[StructPort{"PLAIN", "w"}] = 0.10
+	in.WritePorts[StructPort{"PAR", "w"}] = 0.20
+	in.WritePorts[StructPort{"ECC", "w"}] = 0.10
+	return a, in
+}
+
+func TestDecomposeSplitsByDestination(t *testing.T) {
+	a, in := protFixture(t)
+	r, err := a.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// q's backward set is the union of all three writes: 0.4 total, of
+	// which 0.10 plain (SDC), 0.20 parity (DUE), 0.10 ecc (DCE).
+	// AVF(q) = min(0.9, 0.4) = 0.4.
+	q := vtx(t, a, "F", "q")
+	d := r.Decompose(q)
+	approx(t, d.Total(), 0.4, "q total")
+	approx(t, d.SDC, 0.4*0.25, "q SDC")
+	approx(t, d.DUE, 0.4*0.50, "q DUE")
+	approx(t, d.DCE, 0.4*0.25, "q DCE")
+
+	// Single-destination nodes classify entirely.
+	d1 := r.Decompose(vtx(t, a, "F", "q1"))
+	approx(t, d1.SDC, d1.Total(), "q1 all SDC")
+	d2 := r.Decompose(vtx(t, a, "F", "q2"))
+	approx(t, d2.DUE, d2.Total(), "q2 all DUE")
+	approx(t, d2.Total(), 0.2, "q2 total")
+	d3 := r.Decompose(vtx(t, a, "F", "q3"))
+	approx(t, d3.DCE, d3.Total(), "q3 all DCE")
+
+	// Convenience accessors agree.
+	approx(t, r.SDCAVF(q), d.SDC, "SDCAVF")
+	approx(t, r.DUEAVF(q), d.DUE, "DUEAVF")
+}
+
+func TestDecomposeComponentsSumToAVF(t *testing.T) {
+	a, in := protFixture(t)
+	r, err := a.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < a.G.NumVerts(); v++ {
+		d := r.Decompose(graph.VertexID(v))
+		if math.Abs(d.Total()-r.AVF[v]) > 1e-9 {
+			t.Fatalf("%s: components sum to %v, AVF %v",
+				a.G.Name(graph.VertexID(v)), d.Total(), r.AVF[v])
+		}
+		if d.SDC < 0 || d.DUE < 0 || d.DCE < 0 {
+			t.Fatalf("%s: negative component %+v", a.G.Name(graph.VertexID(v)), d)
+		}
+	}
+}
+
+func TestDecomposeUnknownDestinationIsSDC(t *testing.T) {
+	// A node feeding only a dangling path: backward unknown -> SDC.
+	d := netlist.NewDesign("dangle")
+	d.AddStructure("SRC", 4, 8)
+	m := d.AddModule("m")
+	b := netlist.Build(m)
+	rd := b.SRead("rd", 8, "SRC", "r")
+	b.Seq("q", 8, rd) // q has no consumers
+	d.AddFub("F", "m")
+	a := mustAnalyze(t, d, DefaultOptions())
+	in := NewInputs()
+	in.ReadPorts[StructPort{"SRC", "r"}] = 0.3
+	r, err := a.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := r.Decompose(vtx(t, a, "F", "q"))
+	approx(t, dec.SDC, 0.3, "dangling SDC")
+	approx(t, dec.DUE+dec.DCE, 0, "dangling detected")
+}
+
+func TestDecomposeReadPortSinkIsSDC(t *testing.T) {
+	// Address bits feeding a protected structure's READ port stay SDC:
+	// a corrupted address fetches a wrong-but-valid codeword.
+	d := netlist.NewDesign("addr")
+	d.AddStructure("SRC", 4, 4)
+	d.AddStructure("TAB", 16, 8).Prot = netlist.ProtParity
+	d.AddStructure("OUT", 4, 8)
+	m := d.AddModule("m")
+	b := netlist.Build(m)
+	idx := b.Seq("idx", 4, b.SRead("rd", 4, "SRC", "r"))
+	data := b.SRead("tab_rd", 8, "TAB", "r", idx)
+	b.SWrite("out_wr", "OUT", "w", b.Seq("q", 8, data))
+	d.AddFub("F", "m")
+	a := mustAnalyze(t, d, DefaultOptions())
+	in := NewInputs()
+	in.ReadPorts[StructPort{"SRC", "r"}] = 0.5
+	in.ReadPorts[StructPort{"TAB", "r"}] = 0.4
+	in.WritePorts[StructPort{"OUT", "w"}] = 0.3
+	r, err := a.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := r.Decompose(vtx(t, a, "F", "idx"))
+	if dec.DUE != 0 || dec.DCE != 0 {
+		t.Fatalf("address path classified as detected: %+v", dec)
+	}
+	if dec.SDC <= 0 {
+		t.Fatal("address path has zero AVF")
+	}
+}
+
+func TestSeqDecomposition(t *testing.T) {
+	a, in := protFixture(t)
+	r, err := a.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := r.SeqDecomposition()
+	if d.Total() <= 0 {
+		t.Fatal("empty decomposition")
+	}
+	if d.DUE <= 0 || d.DCE <= 0 {
+		t.Fatalf("protected destinations not reflected: %+v", d)
+	}
+	// Sanity: average decomposition total matches unweighted average AVF
+	// over sequential bits.
+	var sum float64
+	n := 0
+	for v := 0; v < a.G.NumVerts(); v++ {
+		if r.IsSequentialBit(graph.VertexID(v)) {
+			sum += r.AVF[v]
+			n++
+		}
+	}
+	approx(t, d.Total(), sum/float64(n), "decomposition vs average AVF")
+}
+
+func TestContributors(t *testing.T) {
+	a, in := protFixture(t)
+	r, err := a.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd, bwd := r.Contributors(vtx(t, a, "F", "q"))
+	if len(fwd) != 1 || fwd[0].Term != "pAVF_R(SRC.r)" {
+		t.Fatalf("fwd contributors = %+v", fwd)
+	}
+	if len(bwd) != 3 {
+		t.Fatalf("bwd contributors = %+v", bwd)
+	}
+	// Sorted by descending value: PAR (0.20) first.
+	if bwd[0].Term != "pAVF_W(PAR.w)" || bwd[0].Value != 0.20 {
+		t.Fatalf("bwd[0] = %+v", bwd[0])
+	}
+	for i := 1; i < len(bwd); i++ {
+		if bwd[i].Value > bwd[i-1].Value {
+			t.Fatal("contributors not sorted")
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package design
+
+import (
+	"fmt"
+
+	"seqavf/internal/netlist"
+)
+
+// GenerateChain builds a pure FUB chain: a measured source structure at
+// the head, a measured sink structure at the tail, and n FUBs of plain
+// pipeline stages in between. Because a pAVF value crosses exactly one
+// partition boundary per relaxation iteration (§5.2), the iterations
+// needed to converge grow linearly with the chain length — the property
+// the convergence-scaling experiment demonstrates. (The paper's 20
+// iterations correspond to its design's partition diameter.)
+func GenerateChain(nFubs, stagesPerFub, width int) (*netlist.Design, error) {
+	if nFubs < 2 || stagesPerFub < 1 || width < 1 {
+		return nil, fmt.Errorf("design: invalid chain geometry (%d fubs, %d stages, %d bits)",
+			nFubs, stagesPerFub, width)
+	}
+	d := netlist.NewDesign(fmt.Sprintf("chain%d", nFubs))
+	d.AddStructure("HEAD", 8, width)
+	d.AddStructure("TAIL", 8, width)
+
+	head := d.AddModule("head")
+	hb := netlist.Build(head)
+	hb.Out("o", width, hb.Pipe("hq", width, stagesPerFub, hb.SRead("rd", width, "HEAD", "rd")))
+
+	link := func(i int) string {
+		name := fmt.Sprintf("link%02d", i)
+		m := d.AddModule(name)
+		lb := netlist.Build(m)
+		lb.Out("o", width, lb.Pipe("q", width, stagesPerFub, lb.In("i", width)))
+		return name
+	}
+
+	tail := d.AddModule("tail")
+	tb := netlist.Build(tail)
+	tb.SWrite("wr", "TAIL", "wr", tb.Pipe("tq", width, stagesPerFub, tb.In("i", width)))
+
+	d.AddFub("F00", "head")
+	prev := "F00"
+	for i := 1; i < nFubs-1; i++ {
+		fub := fmt.Sprintf("F%02d", i)
+		d.AddFub(fub, link(i))
+		d.ConnectPorts(prev, "o", fub, "i")
+		prev = fub
+	}
+	last := fmt.Sprintf("F%02d", nFubs-1)
+	d.AddFub(last, "tail")
+	d.ConnectPorts(prev, "o", last, "i")
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,141 @@
+// Package experiments regenerates every table and figure from the paper's
+// evaluation (§6), plus the validation studies the reproduction adds:
+//
+//	Table1      — the final AVF equations on the Figure 7 worked example
+//	Figure8     — average sequential AVF vs loop-boundary pAVF
+//	Figure9     — per-FUB average sequential/node AVF after relaxation
+//	Convergence — per-FUB average pAVF per relaxation iteration (§5.2/§6.1)
+//	Figure10    — modeled vs beam-measured SER for Lattice and MD5Sum
+//	Validate    — SART vs statistical fault injection on the netlist core
+//	Symbolic    — closed-form re-evaluation vs full re-solve (§5.1)
+//
+// Each experiment returns a result struct with a WriteText renderer; the
+// cmd/experiments binary is a thin driver.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"seqavf/internal/ace"
+	"seqavf/internal/core"
+	"seqavf/internal/design"
+	"seqavf/internal/graph"
+	"seqavf/internal/netlist"
+	"seqavf/internal/uarch"
+	"seqavf/internal/workload"
+)
+
+// Env bundles the expensive shared setup: the generated XeonLike design,
+// its SART analyzer, and the ACE measurements of the workload suite.
+type Env struct {
+	Gen      *design.Generated
+	Analyzer *core.Analyzer
+
+	// Workloads and their per-workload ACE reports; AvgReport is the
+	// suite average (what the paper applies to the RTL).
+	Workloads []string
+	Reports   map[string]*ace.Report
+	AvgReport *ace.Report
+
+	// AvgInputs is the SART input table for the suite average.
+	AvgInputs *core.Inputs
+}
+
+// SetupConfig controls environment construction.
+type SetupConfig struct {
+	Seed      uint64
+	SuiteSize int // synthetic workloads beyond the two named kernels
+	DesignCfg *design.Config
+}
+
+// DefaultSetup is the configuration used by all reported experiments.
+func DefaultSetup() SetupConfig {
+	return SetupConfig{Seed: 2027, SuiteSize: 12}
+}
+
+// Setup builds the environment.
+func Setup(cfg SetupConfig) (*Env, error) {
+	dcfg := design.DefaultConfig(cfg.Seed)
+	if cfg.DesignCfg != nil {
+		dcfg = *cfg.DesignCfg
+	}
+	gen, err := design.Generate(dcfg)
+	if err != nil {
+		return nil, err
+	}
+	fd, err := netlist.Flatten(gen.Design)
+	if err != nil {
+		return nil, err
+	}
+	bg, err := graph.Build(fd)
+	if err != nil {
+		return nil, err
+	}
+	analyzer, err := core.NewAnalyzer(bg, design.CanonicalOptions())
+	if err != nil {
+		return nil, err
+	}
+
+	progs := workload.Standard(cfg.SuiteSize, cfg.Seed)
+	results, avg, err := uarch.RunSuite(progs, uarch.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	env := &Env{
+		Gen:       gen,
+		Analyzer:  analyzer,
+		Reports:   make(map[string]*ace.Report, len(results)),
+		AvgReport: avg,
+	}
+	for _, r := range results {
+		env.Workloads = append(env.Workloads, r.Program.Name)
+		env.Reports[r.Program.Name] = r.Report
+	}
+	env.AvgInputs, err = gen.Inputs(avg)
+	if err != nil {
+		return nil, err
+	}
+	return env, nil
+}
+
+// StructBits returns per-structure bit counts of the generated design.
+func (e *Env) StructBits() map[string]int {
+	out := make(map[string]int, len(e.Gen.Design.Structures))
+	for name, s := range e.Gen.Design.Structures {
+		out[name] = s.Bits()
+	}
+	return out
+}
+
+// ProxyAVF returns the bit-weighted average structure AVF under the given
+// inputs — the pre-sequential-AVF proxy value.
+func (e *Env) ProxyAVF(in *core.Inputs) float64 {
+	var sum, bits float64
+	for name, avf := range in.StructAVF {
+		w := float64(e.Gen.Design.Structures[name].Bits())
+		sum += avf * w
+		bits += w
+	}
+	if bits == 0 {
+		return 0
+	}
+	return sum / bits
+}
+
+// solveWith runs the monolithic solver at a given loop/pseudo setting.
+func (e *Env) solveWith(opts core.Options, in *core.Inputs) (*core.Result, error) {
+	a, err := core.NewAnalyzer(e.Analyzer.G, opts)
+	if err != nil {
+		return nil, err
+	}
+	return a.Solve(in)
+}
+
+func fprintf(w io.Writer, format string, args ...any) {
+	fmt.Fprintf(w, format, args...)
+}
+
+func rule(w io.Writer) {
+	fmt.Fprintln(w, "----------------------------------------------------------------------")
+}

@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+
+	"seqavf/internal/core"
+	"seqavf/internal/graph"
+	"seqavf/internal/ser"
+)
+
+// Fig8Point is one sweep point of the loop-boundary study.
+type Fig8Point struct {
+	LoopPAVF       float64
+	WeightedSeqAVF float64
+	LoopSeqAVFOnly float64 // average over loop-boundary bits alone
+}
+
+// Fig8Result is the Figure 8 reproduction: average sequential AVF across
+// the whole design as a function of the injected loop-boundary pAVF. The
+// paper's observations to reproduce: the curve does not saturate at 100%
+// loop pAVF, the effect is non-linear, and the variation stays modest.
+type Fig8Result struct {
+	Points []Fig8Point
+	// LoopSeqFraction is the share of sequentials in loops (§4.3: 2-3%).
+	LoopSeqFraction float64
+}
+
+// Figure8 sweeps the loop-boundary pAVF.
+func Figure8(env *Env, loopValues []float64) (*Fig8Result, error) {
+	if len(loopValues) == 0 {
+		loopValues = []float64{0.01, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0}
+	}
+	out := &Fig8Result{}
+	for _, lv := range loopValues {
+		opts := env.Analyzer.Opts
+		opts.LoopPAVF = lv
+		res, err := env.solveWith(opts, env.AvgInputs)
+		if err != nil {
+			return nil, err
+		}
+		sum := res.Summarize()
+		pt := Fig8Point{LoopPAVF: lv, WeightedSeqAVF: sum.WeightedSeqAVF}
+		// Average over the loop bits themselves.
+		var loopSum float64
+		var loopN int
+		for v := 0; v < env.Analyzer.G.NumVerts(); v++ {
+			if res.Analyzer.Role(graph.VertexID(v)) == core.RoleLoop {
+				loopSum += res.AVF[v]
+				loopN++
+			}
+		}
+		if loopN > 0 {
+			pt.LoopSeqAVFOnly = loopSum / float64(loopN)
+		}
+		out.Points = append(out.Points, pt)
+		out.LoopSeqFraction = sum.LoopSeqFraction
+	}
+	return out, nil
+}
+
+// WriteText renders the sweep.
+func (r *Fig8Result) WriteText(w io.Writer) {
+	fprintf(w, "Figure 8: average sequential AVF vs loop-boundary pAVF\n")
+	fprintf(w, "(loop sequentials: %.1f%% of all sequential bits)\n", 100*r.LoopSeqFraction)
+	rule(w)
+	fprintf(w, "%-12s %-22s %-20s\n", "loop pAVF", "avg sequential AVF", "loop-bit AVF")
+	for _, p := range r.Points {
+		fprintf(w, "%-12.2f %-22.4f %-20.4f\n", p.LoopPAVF, p.WeightedSeqAVF, p.LoopSeqAVFOnly)
+	}
+	rule(w)
+	lo := r.Points[0].WeightedSeqAVF
+	hi := r.Points[len(r.Points)-1].WeightedSeqAVF
+	fprintf(w, "span: %.4f -> %.4f (no saturation at loop pAVF 1.0)\n", lo, hi)
+}
+
+// Fig9Result is the Figure 9 reproduction: per-FUB averages after the
+// final relaxation iteration, plus the design-wide weighted averages.
+type Fig9Result struct {
+	Stats   []core.FubStat
+	Summary core.Summary
+	// ProxyAVF is the structure-AVF proxy for comparison (§6.2).
+	ProxyAVF float64
+	// Reduction is the fractional drop from proxy to sequential AVF.
+	Reduction float64
+}
+
+// Figure9 runs the partitioned relaxation on the suite-average pAVFs.
+func Figure9(env *Env) (*Fig9Result, error) {
+	res, err := env.Analyzer.SolvePartitioned(env.AvgInputs)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig9Result{
+		Stats:    res.FubStats(),
+		Summary:  res.Summarize(),
+		ProxyAVF: env.ProxyAVF(env.AvgInputs),
+	}
+	out.Reduction = ser.SeqAVFReduction(out.ProxyAVF, out.Summary.WeightedSeqAVF)
+	return out, nil
+}
+
+// WriteText renders the per-FUB bars.
+func (r *Fig9Result) WriteText(w io.Writer) {
+	fprintf(w, "Figure 9: average FUB sequential AVF after the last iteration\n")
+	rule(w)
+	maxAVF := 0.0
+	for _, fs := range r.Stats {
+		if fs.AvgSeqAVF > maxAVF {
+			maxAVF = fs.AvgSeqAVF
+		}
+	}
+	fprintf(w, "%-8s %-10s %-12s %-12s %-6s %-6s %s\n",
+		"FUB", "seq bits", "avg seqAVF", "avg nodeAVF", "loops", "ctrl", "")
+	for _, fs := range r.Stats {
+		bar := ""
+		if maxAVF > 0 {
+			bar = strings.Repeat("#", int(24*fs.AvgSeqAVF/maxAVF+0.5))
+		}
+		fprintf(w, "%-8s %-10d %-12.4f %-12.4f %-6d %-6d %s\n",
+			fs.Fub, fs.SeqBits, fs.AvgSeqAVF, fs.AvgNodeAVF, fs.LoopSeqBits, fs.CtrlBits, bar)
+	}
+	rule(w)
+	s := r.Summary
+	fprintf(w, "weighted avg sequential AVF : %.4f  (paper: ~0.14)\n", s.WeightedSeqAVF)
+	fprintf(w, "weighted avg node AVF       : %.4f\n", s.WeightedNodeAVF)
+	fprintf(w, "structure-AVF proxy          : %.4f\n", r.ProxyAVF)
+	fprintf(w, "sequential-vs-proxy reduction: %.1f%%  (paper: ~63%% for beam workloads)\n", 100*r.Reduction)
+	fprintf(w, "nodes visited by walks       : %.2f%%  (paper: >98%%)\n", 100*s.VisitedFraction)
+	fprintf(w, "loop sequential fraction     : %.2f%%  (paper: 2-3%%)\n", 100*s.LoopSeqFraction)
+	fprintf(w, "control register bits        : %d\n", s.CtrlBits)
+	fprintf(w, "relaxation iterations        : %d (converged=%v; paper: 20)\n", s.Iterations, s.Converged)
+}
+
+// ConvergenceResult is the §5.2/§6.1 convergence study: the average
+// sequential pAVF of each FUB at each relaxation iteration.
+type ConvergenceResult struct {
+	FubNames []string
+	// Trace[iter][fub].
+	Trace      [][]float64
+	Iterations int
+	Converged  bool
+}
+
+// Convergence runs the partitioned solver and extracts its trace.
+func Convergence(env *Env) (*ConvergenceResult, error) {
+	res, err := env.Analyzer.SolvePartitioned(env.AvgInputs)
+	if err != nil {
+		return nil, err
+	}
+	return &ConvergenceResult{
+		FubNames:   env.Analyzer.G.FubNames,
+		Trace:      res.Trace,
+		Iterations: res.Iterations,
+		Converged:  res.Converged,
+	}, nil
+}
+
+// WriteText renders the iteration series (FUBs as columns, every fourth
+// FUB to keep the table printable).
+func (r *ConvergenceResult) WriteText(w io.Writer) {
+	fprintf(w, "Convergence: average sequential pAVF per FUB per iteration\n")
+	fprintf(w, "(converged=%v after %d iterations; paper used 20)\n", r.Converged, r.Iterations)
+	rule(w)
+	step := 4
+	fprintf(w, "%-6s", "iter")
+	for f := 0; f < len(r.FubNames); f += step {
+		fprintf(w, " %-8s", r.FubNames[f])
+	}
+	fprintf(w, " %-8s\n", "mean")
+	for i, row := range r.Trace {
+		fprintf(w, "%-6d", i+1)
+		var sum float64
+		for _, v := range row {
+			sum += v
+		}
+		for f := 0; f < len(row); f += step {
+			fprintf(w, " %-8.4f", row[f])
+		}
+		fprintf(w, " %-8.4f\n", sum/float64(len(row)))
+	}
+}
+
+// Fig10Workload is one bar group of Figure 10.
+type Fig10Workload struct {
+	Corr ser.Correlation
+	// SeqAVF / ProxyAVF are the per-workload averages behind the bars.
+	SeqAVF    float64
+	ProxyAVF  float64
+	Reduction float64
+}
+
+// Fig10Result is the silicon-correlation reproduction: for each beam
+// workload, the pre-model (structure proxy), post-model (SART sequential
+// AVFs), and the simulated beam measurement with its statistical error.
+type Fig10Result struct {
+	Workloads []Fig10Workload
+	// MeanImprovement is the average correlation improvement (paper: ~66%).
+	MeanImprovement float64
+}
+
+// BeamWorkloads are the two kernels with (simulated) accelerated SER data.
+var BeamWorkloads = []string{"lattice12", "md5like200"}
+
+// Figure10 runs the correlation experiment.
+func Figure10(env *Env) (*Fig10Result, error) {
+	out := &Fig10Result{}
+	params := ser.DefaultFITParams()
+	bits := env.StructBits()
+	for wi, name := range BeamWorkloads {
+		rep, ok := env.Reports[name]
+		if !ok {
+			continue
+		}
+		in, err := env.Gen.Inputs(rep)
+		if err != nil {
+			return nil, err
+		}
+		res, err := env.Analyzer.Solve(in)
+		if err != nil {
+			return nil, err
+		}
+		truth := env.Gen.GroundTruth(res)
+		pre := ser.ProxyFIT(res, bits, params)
+		post := ser.ModeledFIT(res, bits, params)
+		tru := ser.TrueFIT(res, truth, bits, params)
+		meas, err := ser.BeamTest(tru.Total(), ser.DefaultBeamConfig(env.Gen.Config.Seed+uint64(wi)))
+		if err != nil {
+			return nil, err
+		}
+		sum := res.Summarize()
+		proxy := env.ProxyAVF(in)
+		out.Workloads = append(out.Workloads, Fig10Workload{
+			Corr: ser.Correlation{
+				Workload: name,
+				Measured: meas,
+				PreFIT:   pre.Total(),
+				PostFIT:  post.Total(),
+			},
+			SeqAVF:    sum.WeightedSeqAVF,
+			ProxyAVF:  proxy,
+			Reduction: ser.SeqAVFReduction(proxy, sum.WeightedSeqAVF),
+		})
+	}
+	for _, wl := range out.Workloads {
+		out.MeanImprovement += wl.Corr.Improvement() / float64(len(out.Workloads))
+	}
+	return out, nil
+}
+
+// WriteText renders the bar groups, normalized to the measured value
+// (arbitrary units, as in the paper).
+func (r *Fig10Result) WriteText(w io.Writer) {
+	fprintf(w, "Figure 10: modeled vs measured SER (normalized AU)\n")
+	rule(w)
+	fprintf(w, "%-12s %-12s %-12s %-16s %-10s %-8s\n",
+		"workload", "pre model", "post model", "measured (AU)", "improve", "within")
+	for _, wl := range r.Workloads {
+		c := wl.Corr
+		m := c.Measured.FIT
+		fprintf(w, "%-12s %-12.2f %-12.2f %.2f [%.2f,%.2f] %-10.1f%% %-8v\n",
+			c.Workload, c.PreFIT/m.Point, c.PostFIT/m.Point,
+			1.0, m.Lo/m.Point, m.Hi/m.Point,
+			100*c.Improvement(), c.WithinMeasurement())
+	}
+	rule(w)
+	fprintf(w, "mean correlation improvement: %.1f%%  (paper: ~66%%)\n", 100*r.MeanImprovement)
+	for _, wl := range r.Workloads {
+		fprintf(w, "%s: sequential AVF %.4f vs proxy %.4f (%.0f%% lower; paper: ~63%%)\n",
+			wl.Corr.Workload, wl.SeqAVF, wl.ProxyAVF, 100*wl.Reduction)
+	}
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"seqavf/internal/core"
+	"seqavf/internal/design"
+	"seqavf/internal/graph"
+	"seqavf/internal/netlist"
+	"seqavf/internal/ser"
+	"seqavf/internal/uarch"
+	"seqavf/internal/workload"
+)
+
+// ProtPoint is one point of the protection sweep.
+type ProtPoint struct {
+	// ProtectedFrac is the fraction of structures protected (2/3 parity,
+	// 1/3 ECC).
+	ProtectedFrac float64
+	// SDCFIT / DUEFIT are the modeled totals (AU).
+	SDCFIT float64
+	DUEFIT float64
+	// SeqShare is the sequential share of the SDC FIT.
+	SeqShare float64
+	// SeqSDC / SeqDUE / SeqDCE decompose the average sequential AVF.
+	SeqSDC, SeqDUE, SeqDCE float64
+}
+
+// ProtResult reproduces the paper's §1 projection: "as more and more
+// register files and arrays are protected by techniques such as parity
+// and ECC, the relative SDC SER contribution of sequentials will continue
+// to increase even as the absolute SDC SER of the entire part decreases."
+// The sweep regenerates the XeonLike design at rising protection coverage
+// and recomputes the SDC/DUE decomposition end to end.
+type ProtResult struct {
+	Points []ProtPoint
+}
+
+// Protection runs the sweep.
+func Protection(seed uint64, fracs []float64) (*ProtResult, error) {
+	if len(fracs) == 0 {
+		fracs = []float64{0, 0.2, 0.4, 0.6, 0.8}
+	}
+	perf, err := uarch.Run(workload.Lattice(10), uarch.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	out := &ProtResult{}
+	params := ser.DefaultFITParams()
+	for _, frac := range fracs {
+		cfg := design.DefaultConfig(seed)
+		cfg.ParityFrac = frac * 2 / 3
+		cfg.ECCFrac = frac / 3
+		gen, err := design.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		fd, err := netlist.Flatten(gen.Design)
+		if err != nil {
+			return nil, err
+		}
+		bg, err := graph.Build(fd)
+		if err != nil {
+			return nil, err
+		}
+		a, err := core.NewAnalyzer(bg, design.CanonicalOptions())
+		if err != nil {
+			return nil, err
+		}
+		in, err := gen.Inputs(perf.Report)
+		if err != nil {
+			return nil, err
+		}
+		res, err := a.Solve(in)
+		if err != nil {
+			return nil, err
+		}
+		bits := make(map[string]int, len(gen.Design.Structures))
+		for name, st := range gen.Design.Structures {
+			bits[name] = st.Bits()
+		}
+		sdc := ser.ModeledFIT(res, bits, params)
+		due := ser.ModeledDUEFIT(res, bits, params)
+		dec := res.SeqDecomposition()
+		pt := ProtPoint{
+			ProtectedFrac: frac,
+			SDCFIT:        sdc.Total(),
+			DUEFIT:        due.Total(),
+			SeqSDC:        dec.SDC,
+			SeqDUE:        dec.DUE,
+			SeqDCE:        dec.DCE,
+		}
+		if sdc.Total() > 0 {
+			pt.SeqShare = sdc.SeqFIT / sdc.Total()
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+func percent(v float64) string {
+	return fmt.Sprintf("%.0f%%", 100*v)
+}
+
+// WriteText renders the sweep.
+func (r *ProtResult) WriteText(w io.Writer) {
+	fprintf(w, "Protection sweep: SDC/DUE vs array protection coverage (§1 projection)\n")
+	rule(w)
+	fprintf(w, "%-10s %-12s %-12s %-10s %-24s\n",
+		"protected", "SDC FIT", "DUE FIT", "seq share", "seq AVF (SDC/DUE/DCE)")
+	for _, p := range r.Points {
+		fprintf(w, "%-10s %-12.1f %-12.1f %-10s %.4f / %.4f / %.4f\n",
+			percent(p.ProtectedFrac), p.SDCFIT, p.DUEFIT, percent(p.SeqShare),
+			p.SeqSDC, p.SeqDUE, p.SeqDCE)
+	}
+	rule(w)
+	first, last := r.Points[0], r.Points[len(r.Points)-1]
+	fprintf(w, "absolute SDC falls %.1f%% while the sequential share rises %.0f%% -> %.0f%%\n",
+		100*(first.SDCFIT-last.SDCFIT)/first.SDCFIT,
+		100*first.SeqShare, 100*last.SeqShare)
+}

@@ -1,0 +1,391 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"seqavf/internal/netlist"
+)
+
+// pipelineDesign: S1 read -> q1 -> q2 -> S2 write, all 4 bits wide, one FUB.
+func pipelineDesign(t *testing.T) *Graph {
+	t.Helper()
+	d := netlist.NewDesign("pipe")
+	d.AddStructure("S1", 8, 4)
+	d.AddStructure("S2", 8, 4)
+	m := d.AddModule("m")
+	b := netlist.Build(m)
+	rd := b.SRead("s1_rd", 4, "S1", "rd")
+	q1 := b.Seq("q1", 4, rd)
+	q2 := b.Seq("q2", 4, q1)
+	b.SWrite("s2_wr", "S2", "wr", q2)
+	d.AddFub("F", "m")
+	return mustBuild(t, d)
+}
+
+func mustBuild(t *testing.T, d *netlist.Design) *Graph {
+	t.Helper()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	fd, err := netlist.Flatten(d)
+	if err != nil {
+		t.Fatalf("Flatten: %v", err)
+	}
+	g, err := Build(fd)
+	if err != nil {
+		t.Fatalf("graph.Build: %v", err)
+	}
+	return g
+}
+
+func TestPipelineEdgesElementwise(t *testing.T) {
+	g := pipelineDesign(t)
+	q1, w, ok := g.VertexBase("F", "q1")
+	if !ok || w != 4 {
+		t.Fatalf("VertexBase q1: %v %d", ok, w)
+	}
+	rd, _, _ := g.VertexBase("F", "s1_rd")
+	for b := VertexID(0); b < 4; b++ {
+		preds := g.Preds(q1 + b)
+		if len(preds) != 1 || preds[0] != rd+b {
+			t.Fatalf("q1[%d] preds = %v, want [s1_rd[%d]]", b, preds, b)
+		}
+	}
+	q2, _, _ := g.VertexBase("F", "q2")
+	for b := VertexID(0); b < 4; b++ {
+		succs := g.Succs(q1 + b)
+		if len(succs) != 1 || succs[0] != q2+b {
+			t.Fatalf("q1[%d] succs = %v", b, succs)
+		}
+	}
+	// No loops in a straight pipeline.
+	if vs := g.LoopSeqVertices(); len(vs) != 0 {
+		t.Fatalf("unexpected loop vertices: %v", vs)
+	}
+}
+
+func TestMixingOpAllToAll(t *testing.T) {
+	d := netlist.NewDesign("mix")
+	d.AddStructure("S", 4, 4)
+	m := d.AddModule("m")
+	b := netlist.Build(m)
+	rd := b.SRead("rd", 4, "S", "r")
+	sum := b.C("sum", 4, netlist.OpAdd, rd, rd)
+	b.SWrite("wr", "S", "w", sum)
+	d.AddFub("F", "m")
+	g := mustBuild(t, d)
+	sumBase, _, _ := g.VertexBase("F", "sum")
+	for b := VertexID(0); b < 4; b++ {
+		// Each sum bit depends on all 4 rd bits, twice (two operands).
+		if got := len(g.Preds(sumBase + b)); got != 8 {
+			t.Fatalf("sum[%d] has %d preds, want 8", b, got)
+		}
+	}
+}
+
+func TestMuxBroadcastAndSelect(t *testing.T) {
+	d := netlist.NewDesign("mux")
+	d.AddStructure("S", 4, 8)
+	m := d.AddModule("m")
+	b := netlist.Build(m)
+	rd := b.SRead("rd", 8, "S", "r")
+	sel := b.Select("selbit", 1, rd, 7)
+	lo := b.Select("lo", 4, rd, 0)
+	hi := b.Select("hi", 4, rd, 4)
+	mx := b.Mux("mx", 4, sel, lo, hi)
+	b.SWrite("wr", "S", "w", mx)
+	d.AddFub("F", "m")
+	g := mustBuild(t, d)
+
+	// Select routes exact bits.
+	loBase, _, _ := g.VertexBase("F", "lo")
+	rdBase, _, _ := g.VertexBase("F", "rd")
+	for i := VertexID(0); i < 4; i++ {
+		p := g.Preds(loBase + i)
+		if len(p) != 1 || p[0] != rdBase+i {
+			t.Fatalf("lo[%d] preds %v", i, p)
+		}
+	}
+	hiBase, _, _ := g.VertexBase("F", "hi")
+	for i := VertexID(0); i < 4; i++ {
+		p := g.Preds(hiBase + i)
+		if len(p) != 1 || p[0] != rdBase+4+i {
+			t.Fatalf("hi[%d] preds %v", i, p)
+		}
+	}
+	// Mux: each output bit has 3 preds (sel broadcast + two data bits).
+	mxBase, _, _ := g.VertexBase("F", "mx")
+	selBase, _, _ := g.VertexBase("F", "selbit")
+	for i := VertexID(0); i < 4; i++ {
+		p := g.Preds(mxBase + i)
+		if len(p) != 3 {
+			t.Fatalf("mx[%d] has %d preds", i, len(p))
+		}
+		found := false
+		for _, x := range p {
+			if x == selBase {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("mx[%d] missing select broadcast", i)
+		}
+	}
+}
+
+func loopDesign(t *testing.T) *Graph {
+	t.Helper()
+	d := netlist.NewDesign("loop")
+	d.AddStructure("S", 4, 8)
+	m := d.AddModule("m")
+	b := netlist.Build(m)
+	one := b.Const("one", 8, 1)
+	// count feeds cnt_next feeds count: a 2-node loop (1 seq, 1 comb).
+	b.Seq("count", 8, "cnt_next")
+	b.C("cnt_next", 8, netlist.OpAdd, "count", one)
+	// A non-loop pipeline hanging off the loop.
+	rd := b.SRead("rd", 8, "S", "r")
+	mix := b.C("mix", 8, netlist.OpXor, "count", rd)
+	q := b.Seq("q", 8, mix)
+	b.SWrite("wr", "S", "w", q)
+	d.AddFub("F", "m")
+	return mustBuild(t, d)
+}
+
+func TestLoopDetection(t *testing.T) {
+	g := loopDesign(t)
+	loopSeqs := g.LoopSeqVertices()
+	if len(loopSeqs) != 8 { // the 8 bits of count
+		t.Fatalf("loop seq bits = %d, want 8", len(loopSeqs))
+	}
+	for _, v := range loopSeqs {
+		if g.Verts[v].Node.Name != "count" {
+			t.Fatalf("unexpected loop member %s", g.Name(v))
+		}
+	}
+	// cnt_next (comb) must also be marked in-loop but is not a seq.
+	cn, _, _ := g.VertexBase("F", "cnt_next")
+	if !g.Verts[cn].InLoop {
+		t.Fatal("cnt_next should be in loop")
+	}
+	// q must not be in a loop.
+	qb, _, _ := g.VertexBase("F", "q")
+	if g.Verts[qb].InLoop {
+		t.Fatal("q wrongly marked in loop")
+	}
+}
+
+func TestSelfLoopSeq(t *testing.T) {
+	d := netlist.NewDesign("hold")
+	m := d.AddModule("m")
+	b := netlist.Build(m)
+	b.Seq("r", 4, "r") // r holds itself: self-loop
+	b.Out("o", 4, "r")
+	d.AddFub("F", "m")
+	g := mustBuild(t, d)
+	if got := len(g.LoopSeqVertices()); got != 4 {
+		t.Fatalf("self-loop seq bits = %d, want 4", got)
+	}
+}
+
+func TestCombLoopRejected(t *testing.T) {
+	d := netlist.NewDesign("combloop")
+	m := d.AddModule("m")
+	b := netlist.Build(m)
+	b.C("a", 1, netlist.OpNot, "b")
+	b.C("b", 1, netlist.OpNot, "a")
+	b.Out("o", 1, "a")
+	d.AddFub("F", "m")
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	fd, err := netlist.Flatten(d)
+	if err != nil {
+		t.Fatalf("Flatten: %v", err)
+	}
+	_, err = Build(fd)
+	if err == nil || !strings.Contains(err.Error(), "combinational loop") {
+		t.Fatalf("want combinational loop error, got %v", err)
+	}
+}
+
+func TestTopoOrderRespectsEdges(t *testing.T) {
+	g := loopDesign(t)
+	fixed := func(v VertexID) bool {
+		vx := &g.Verts[v]
+		return vx.InLoop && vx.Node.Kind == netlist.KindSeq ||
+			vx.Node.Kind == netlist.KindStructRead ||
+			vx.Node.Kind == netlist.KindStructWrite ||
+			vx.Node.Kind == netlist.KindConst
+	}
+	order, err := g.TopoOrder(fixed)
+	if err != nil {
+		t.Fatalf("TopoOrder: %v", err)
+	}
+	pos := make(map[VertexID]int)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, v := range order {
+		for _, w := range g.Succs(v) {
+			if _, ok := pos[w]; !ok {
+				continue // fixed
+			}
+			if pos[w] < pos[v] {
+				t.Fatalf("edge %s -> %s violates order", g.Name(v), g.Name(w))
+			}
+		}
+	}
+	// All non-fixed vertices must appear.
+	want := 0
+	for v := 0; v < g.NumVerts(); v++ {
+		if !fixed(VertexID(v)) {
+			want++
+		}
+	}
+	if len(order) != want {
+		t.Fatalf("order covers %d of %d", len(order), want)
+	}
+}
+
+func TestTopoOrderFailsWithoutCut(t *testing.T) {
+	g := loopDesign(t)
+	_, err := g.TopoOrder(func(VertexID) bool { return false })
+	if err == nil {
+		t.Fatal("TopoOrder should fail when loops are not cut")
+	}
+}
+
+func TestCrossEdgesAndBoundary(t *testing.T) {
+	d := netlist.NewDesign("two")
+	ma := d.AddModule("ma")
+	ba := netlist.Build(ma)
+	ba.Out("q", 4, ba.Seq("r", 4, ba.In("x", 4)))
+	mb := d.AddModule("mb")
+	bb := netlist.Build(mb)
+	bb.Out("y", 4, bb.Seq("r", 4, bb.In("p", 4)))
+	d.AddFub("A", "ma")
+	d.AddFub("B", "mb")
+	d.ConnectPorts("A", "q", "B", "p")
+	g := mustBuild(t, d)
+
+	if len(g.CrossEdges) != 4 {
+		t.Fatalf("cross edges = %d, want 4", len(g.CrossEdges))
+	}
+	aq, _, _ := g.VertexBase("A", "q")
+	bp, _, _ := g.VertexBase("B", "p")
+	for b := VertexID(0); b < 4; b++ {
+		if !g.DrivenInputs[bp+b] {
+			t.Fatalf("B.p[%d] should be driven", b)
+		}
+		if !g.ConsumedOutputs[aq+b] {
+			t.Fatalf("A.q[%d] should be consumed", b)
+		}
+		if !g.IsCross(aq+b, bp+b) {
+			t.Fatal("IsCross false for cross edge")
+		}
+	}
+	// A.x is a boundary input: not driven.
+	ax, _, _ := g.VertexBase("A", "x")
+	if g.DrivenInputs[ax] {
+		t.Fatal("A.x should be a boundary input")
+	}
+	// B.y is a boundary output: not consumed.
+	by, _, _ := g.VertexBase("B", "y")
+	if g.ConsumedOutputs[by] {
+		t.Fatal("B.y should be a boundary output")
+	}
+}
+
+func TestStructPortEdges(t *testing.T) {
+	d := netlist.NewDesign("sp")
+	d.AddStructure("RF", 16, 8)
+	m := d.AddModule("m")
+	b := netlist.Build(m)
+	addr := b.In("addr", 4)
+	rd := b.SRead("rd", 8, "RF", "r0", addr)
+	q := b.Seq("q", 8, rd)
+	b.SWrite("wr", "RF", "w0", q, addr)
+	d.AddFub("F", "m")
+	g := mustBuild(t, d)
+
+	// Address bits feed every read-port data bit.
+	rdBase, _, _ := g.VertexBase("F", "rd")
+	for i := VertexID(0); i < 8; i++ {
+		if got := len(g.Preds(rdBase + i)); got != 4 {
+			t.Fatalf("rd[%d] preds = %d, want 4 addr bits", i, got)
+		}
+	}
+	// Write port: q data bits map onto the single placeholder vertex,
+	// plus 4 addr bits.
+	wrBase, w, _ := g.VertexBase("F", "wr")
+	if w != 1 {
+		t.Fatalf("swrite width = %d", w)
+	}
+	if got := len(g.Preds(wrBase)); got != 12 { // 8 data + 4 addr
+		t.Fatalf("wr preds = %d, want 12", got)
+	}
+}
+
+func TestNameFormatting(t *testing.T) {
+	g := pipelineDesign(t)
+	q1, _, _ := g.VertexBase("F", "q1")
+	if got := g.Name(q1 + 2); got != "F/q1[2]" {
+		t.Fatalf("Name = %q", got)
+	}
+}
+
+func TestEnabledSeqSelfLoop(t *testing.T) {
+	d := netlist.NewDesign("en")
+	m := d.AddModule("m")
+	b := netlist.Build(m)
+	en := b.In("en", 1)
+	din := b.In("din", 8)
+	b.SeqEn("r", 8, din, en)
+	b.Out("q", 8, "r")
+	d.AddFub("F", "m")
+	g := mustBuild(t, d)
+	// Every bit of the enabled register is a retention loop.
+	if got := len(g.LoopSeqVertices()); got != 8 {
+		t.Fatalf("enabled seq loop bits = %d, want 8", got)
+	}
+	// A plain register is not.
+	d2 := netlist.NewDesign("plain")
+	m2 := d2.AddModule("m")
+	b2 := netlist.Build(m2)
+	b2.Out("q", 8, b2.Seq("r", 8, b2.In("din", 8)))
+	d2.AddFub("F", "m")
+	g2 := mustBuild(t, d2)
+	if got := len(g2.LoopSeqVertices()); got != 0 {
+		t.Fatalf("plain seq loop bits = %d, want 0", got)
+	}
+}
+
+func TestMeasureStats(t *testing.T) {
+	g := loopDesign(t)
+	st := Measure(g)
+	if st.Fubs != 1 || st.Vertices != g.NumVerts() {
+		t.Fatalf("basic counts wrong: %+v", st)
+	}
+	if st.SeqBits != 16 { // count + q
+		t.Fatalf("seq bits = %d", st.SeqBits)
+	}
+	if st.LoopSeqBits != 8 {
+		t.Fatalf("loop seq bits = %d", st.LoopSeqBits)
+	}
+	if st.OpBits[netlist.OpAdd] != 8 || st.OpBits[netlist.OpXor] != 8 {
+		t.Fatalf("op mix = %v", st.OpBits)
+	}
+	if st.MaxCombDepth < 1 {
+		t.Fatalf("comb depth = %d", st.MaxCombDepth)
+	}
+	if st.MaxFanout < 1 || st.Edges == 0 {
+		t.Fatalf("connectivity stats: %+v", st)
+	}
+	var sb strings.Builder
+	st.WriteText(&sb)
+	if !strings.Contains(sb.String(), "operator mix") {
+		t.Fatal("render incomplete")
+	}
+}

@@ -1,0 +1,150 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"seqavf/internal/netlist"
+)
+
+// DesignStats summarizes a bit graph the way an RTL sign-off report
+// would: state/logic balance, operator mix, loop census, combinational
+// depth and fan-out. The paper's §5.2 sizing discussion ("very large
+// memory footprints and slow node traversal") is about exactly these
+// numbers.
+type DesignStats struct {
+	Fubs     int
+	Vertices int
+	Edges    int
+
+	SeqBits        int
+	CombBits       int
+	PortBits       int
+	StructPortBits int
+	ConstBits      int
+
+	LoopSeqBits  int
+	LoopCombBits int
+
+	// OpBits counts combinational bits per operator.
+	OpBits map[netlist.Op]int
+
+	// MaxCombDepth / AvgCombDepth measure combinational path length
+	// between sequential/structure boundaries.
+	MaxCombDepth int
+	AvgCombDepth float64
+
+	// MaxFanout is the largest out-degree of any bit.
+	MaxFanout int
+}
+
+// Measure computes statistics for g.
+func Measure(g *Graph) DesignStats {
+	st := DesignStats{
+		Fubs:     len(g.FubNames),
+		Vertices: g.NumVerts(),
+		OpBits:   make(map[netlist.Op]int),
+	}
+	isBoundary := func(v VertexID) bool {
+		switch g.Verts[v].Node.Kind {
+		case netlist.KindSeq, netlist.KindStructRead, netlist.KindStructWrite, netlist.KindConst, netlist.KindInput:
+			return true
+		}
+		return false
+	}
+	for v := 0; v < g.NumVerts(); v++ {
+		id := VertexID(v)
+		vx := &g.Verts[v]
+		st.Edges += len(g.Succs(id))
+		if len(g.Succs(id)) > st.MaxFanout {
+			st.MaxFanout = len(g.Succs(id))
+		}
+		switch vx.Node.Kind {
+		case netlist.KindSeq:
+			st.SeqBits++
+			if vx.InLoop {
+				st.LoopSeqBits++
+			}
+		case netlist.KindComb:
+			st.CombBits++
+			st.OpBits[vx.Node.Op]++
+			if vx.InLoop {
+				st.LoopCombBits++
+			}
+		case netlist.KindInput, netlist.KindOutput:
+			st.PortBits++
+		case netlist.KindStructRead, netlist.KindStructWrite:
+			st.StructPortBits++
+		case netlist.KindConst:
+			st.ConstBits++
+		}
+	}
+	// Combinational depth: longest chain of comb vertices, measured by a
+	// DP over a topological order with sequential/structure boundaries as
+	// depth-0 sources. Cycles are cut at sequential bits, so the comb
+	// subgraph is acyclic (Build rejects combinational loops).
+	order, err := g.TopoOrder(isBoundary)
+	if err != nil {
+		// Should be impossible after Build's validation; report empty
+		// depth rather than panicking in a diagnostics path.
+		return st
+	}
+	depth := make([]int, g.NumVerts())
+	var sum, count int
+	for _, v := range order {
+		d := 0
+		for _, p := range g.Preds(v) {
+			if isBoundary(p) {
+				continue
+			}
+			if depth[p]+1 > d {
+				d = depth[p] + 1
+			}
+		}
+		if g.Verts[v].Node.Kind == netlist.KindComb {
+			d++
+		}
+		depth[v] = d
+		if d > st.MaxCombDepth {
+			st.MaxCombDepth = d
+		}
+		sum += d
+		count++
+	}
+	if count > 0 {
+		st.AvgCombDepth = float64(sum) / float64(count)
+	}
+	return st
+}
+
+// WriteText renders the report.
+func (st DesignStats) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "design statistics: %d FUBs, %d bit vertices, %d edges\n",
+		st.Fubs, st.Vertices, st.Edges)
+	fmt.Fprintf(w, "  sequential bits   : %d (%d in loops)\n", st.SeqBits, st.LoopSeqBits)
+	fmt.Fprintf(w, "  combinational bits: %d (%d in loops)\n", st.CombBits, st.LoopCombBits)
+	fmt.Fprintf(w, "  port bits         : %d module, %d structure\n", st.PortBits, st.StructPortBits)
+	fmt.Fprintf(w, "  constants         : %d\n", st.ConstBits)
+	fmt.Fprintf(w, "  comb depth        : max %d, avg %.2f\n", st.MaxCombDepth, st.AvgCombDepth)
+	fmt.Fprintf(w, "  max fanout        : %d\n", st.MaxFanout)
+	type opCount struct {
+		op netlist.Op
+		n  int
+	}
+	ops := make([]opCount, 0, len(st.OpBits))
+	for op, n := range st.OpBits {
+		ops = append(ops, opCount{op, n})
+	}
+	sort.Slice(ops, func(i, j int) bool {
+		if ops[i].n != ops[j].n {
+			return ops[i].n > ops[j].n
+		}
+		return ops[i].op < ops[j].op
+	})
+	fmt.Fprintf(w, "  operator mix      :")
+	for _, oc := range ops {
+		fmt.Fprintf(w, " %s=%d", oc.op, oc.n)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,252 @@
+package isa
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements the textual assembly format, so workloads can be
+// supplied to the tools as files rather than Go code:
+//
+//	; comment (also '#')
+//	.data 10 1234          ; initialize data word: mem[10] = 1234
+//	start:                 ; label
+//	    addi r1, r0, 5
+//	    ld   r2, r1, 3     ; r2 = mem[r1+3]
+//	    st   r1, r2, 0     ; mem[r1+0] = r2  (st ra, rb, imm)
+//	    bne  r1, r2, start
+//	    out  r1
+//	    hlt
+//
+// Register operands are r0..r15; immediates are decimal or 0x hex.
+
+// ParseAsm assembles a program from the textual format.
+func ParseAsm(name string, r io.Reader) (*Program, error) {
+	b := NewBuilder(name)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("isa: %s:%d: %s", name, lineNo, fmt.Sprintf(format, args...))
+	}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly followed by an instruction on the same line).
+		for {
+			if i := strings.IndexByte(line, ':'); i >= 0 && !strings.ContainsAny(line[:i], " \t,") {
+				b.Label(strings.TrimSpace(line[:i]))
+				line = strings.TrimSpace(line[i+1:])
+				continue
+			}
+			break
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.FieldsFunc(line, func(r rune) bool { return r == ' ' || r == '\t' || r == ',' })
+		mn := strings.ToLower(fields[0])
+		args := fields[1:]
+		if mn == ".data" {
+			if len(args) != 2 {
+				return nil, fail(".data takes addr value")
+			}
+			addr, err1 := strconv.ParseUint(args[0], 0, 32)
+			val, err2 := strconv.ParseUint(args[1], 0, 32)
+			if err1 != nil || err2 != nil {
+				return nil, fail("bad .data operands %q %q", args[0], args[1])
+			}
+			b.SetData(uint32(addr), uint32(val))
+			continue
+		}
+		if err := assembleInstr(b, mn, args); err != nil {
+			return nil, fail("%v", err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}
+
+func assembleInstr(b *Builder, mn string, args []string) error {
+	op := OpFromMnemonic(mn)
+	if !op.Valid() && mn != "nop" {
+		return fmt.Errorf("unknown mnemonic %q", mn)
+	}
+	reg := func(s string) (uint8, error) {
+		if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+			return 0, fmt.Errorf("bad register %q", s)
+		}
+		n, err := strconv.Atoi(s[1:])
+		if err != nil || n < 0 || n > 15 {
+			return 0, fmt.Errorf("bad register %q", s)
+		}
+		return uint8(n), nil
+	}
+	imm := func(s string) (int32, error) {
+		v, err := strconv.ParseInt(s, 0, 32)
+		if err != nil || v < -2048 || v > 4095 {
+			return 0, fmt.Errorf("bad immediate %q", s)
+		}
+		return int32(v), nil
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s takes %d operands, got %d", mn, n, len(args))
+		}
+		return nil
+	}
+	switch op {
+	case NOP, HLT:
+		if err := need(0); err != nil {
+			return err
+		}
+		b.I(op, 0, 0, 0, 0)
+	case ADD, SUB, AND, OR, XOR, SHL, SHR, MUL:
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, e1 := reg(args[0])
+		ra, e2 := reg(args[1])
+		rb, e3 := reg(args[2])
+		if e1 != nil || e2 != nil || e3 != nil {
+			return firstErr(e1, e2, e3)
+		}
+		b.R(op, rd, ra, rb)
+	case ADDI, ANDI, ORI, XORI, LD:
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, e1 := reg(args[0])
+		ra, e2 := reg(args[1])
+		iv, e3 := imm(args[2])
+		if e1 != nil || e2 != nil || e3 != nil {
+			return firstErr(e1, e2, e3)
+		}
+		b.I(op, rd, ra, 0, iv)
+	case LUI:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, e1 := reg(args[0])
+		iv, e2 := imm(args[1])
+		if e1 != nil || e2 != nil {
+			return firstErr(e1, e2)
+		}
+		b.Imm(LUI, rd, 0, iv)
+	case ST:
+		// st ra, rb, imm : mem[ra+imm] = rb
+		if err := need(3); err != nil {
+			return err
+		}
+		ra, e1 := reg(args[0])
+		rb, e2 := reg(args[1])
+		iv, e3 := imm(args[2])
+		if e1 != nil || e2 != nil || e3 != nil {
+			return firstErr(e1, e2, e3)
+		}
+		b.I(ST, 0, ra, rb, iv)
+	case BEQ, BNE:
+		if err := need(3); err != nil {
+			return err
+		}
+		ra, e1 := reg(args[0])
+		rb, e2 := reg(args[1])
+		if e1 != nil || e2 != nil {
+			return firstErr(e1, e2)
+		}
+		b.Branch(op, ra, rb, args[2])
+	case JMP:
+		if err := need(1); err != nil {
+			return err
+		}
+		b.Jump(args[0])
+	case OUT:
+		if err := need(1); err != nil {
+			return err
+		}
+		ra, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		b.Out(ra)
+	default:
+		return fmt.Errorf("unknown mnemonic %q", mn)
+	}
+	return nil
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// OpFromMnemonic maps an assembly mnemonic to its opcode (NOP for
+// unknown; check Valid or compare against the mnemonic).
+func OpFromMnemonic(mn string) Op {
+	for op := NOP; op < numOps; op++ {
+		if op.String() == mn {
+			return op
+		}
+	}
+	return numOps // invalid
+}
+
+// WriteAsm disassembles a program into the textual format (data section
+// first, then code; branch targets are emitted as explicit offsets since
+// original labels are not retained).
+func WriteAsm(w io.Writer, p *Program) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "; %s\n", p.Name)
+	addrs := make([]uint32, 0, len(p.Data))
+	for a := range p.Data {
+		addrs = append(addrs, a)
+	}
+	for i := 1; i < len(addrs); i++ {
+		for j := i; j > 0 && addrs[j] < addrs[j-1]; j-- {
+			addrs[j], addrs[j-1] = addrs[j-1], addrs[j]
+		}
+	}
+	for _, a := range addrs {
+		fmt.Fprintf(bw, ".data %d %d\n", a, p.Data[a])
+	}
+	for pc, in := range p.Code {
+		// Branch offsets become explicit labels so the output
+		// reassembles with ParseAsm.
+		switch in.Op {
+		case BEQ, BNE:
+			fmt.Fprintf(bw, "L%d: %s r%d, r%d, L%d\n", pc, in.Op, in.Ra, in.Rb, pc+1+int(in.Imm))
+		case JMP:
+			fmt.Fprintf(bw, "L%d: jmp L%d\n", pc, pc+1+int(in.Imm))
+		case ST:
+			fmt.Fprintf(bw, "L%d: st r%d, r%d, %d\n", pc, in.Ra, in.Rb, in.Imm)
+		case LD:
+			fmt.Fprintf(bw, "L%d: ld r%d, r%d, %d\n", pc, in.Rd, in.Ra, in.Imm)
+		case LUI:
+			fmt.Fprintf(bw, "L%d: lui r%d, %d\n", pc, in.Rd, in.Imm)
+		case ADDI, ANDI, ORI, XORI:
+			fmt.Fprintf(bw, "L%d: %s r%d, r%d, %d\n", pc, in.Op, in.Rd, in.Ra, in.Imm)
+		case OUT:
+			fmt.Fprintf(bw, "L%d: out r%d\n", pc, in.Ra)
+		case NOP, HLT:
+			fmt.Fprintf(bw, "L%d: %s\n", pc, in.Op)
+		default:
+			fmt.Fprintf(bw, "L%d: %s r%d, r%d, r%d\n", pc, in.Op, in.Rd, in.Ra, in.Rb)
+		}
+	}
+	return bw.Flush()
+}

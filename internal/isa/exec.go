@@ -1,0 +1,187 @@
+package isa
+
+import "fmt"
+
+// TraceEntry records one retired dynamic instruction for downstream
+// analyses (ACE deadness, pipeline replay).
+type TraceEntry struct {
+	PC    uint32
+	Instr Instr
+	// Result is the value written to Rd (when WritesReg).
+	Result uint32
+	// Addr is the effective word address for LD/ST.
+	Addr uint32
+	// StoreVal is the value stored for ST.
+	StoreVal uint32
+	// Taken reports branch outcome.
+	Taken bool
+	// OutVal is the value emitted for OUT.
+	OutVal uint32
+}
+
+// ExecResult is the outcome of an architectural run.
+type ExecResult struct {
+	// Out is the program-output stream — the SDC observation points.
+	Out []uint32
+	// Trace lists every retired instruction in order.
+	Trace []TraceEntry
+	// Halted is true when the program reached HLT (false: step limit).
+	Halted bool
+	// Regs is the final register file.
+	Regs [16]uint32
+	// Mem is the final data memory.
+	Mem map[uint32]uint32
+}
+
+// DefaultMaxSteps bounds Exec when the program does not specify a budget.
+const DefaultMaxSteps = 2_000_000
+
+// Exec runs p on the architectural (ISA-level) reference machine. It is
+// the golden model: the performance model and the gate-level core must
+// both produce the same output stream.
+func Exec(p *Program, maxSteps int) (*ExecResult, error) {
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	res := &ExecResult{Mem: make(map[uint32]uint32, len(p.Data))}
+	for a, v := range p.Data {
+		res.Mem[a] = v
+	}
+	var regs [16]uint32
+	pc := uint32(0)
+	for step := 0; step < maxSteps; step++ {
+		if int(pc) >= len(p.Code) {
+			return nil, fmt.Errorf("isa: %s: pc %d ran off code (len %d)", p.Name, pc, len(p.Code))
+		}
+		in := p.Code[pc]
+		te := TraceEntry{PC: pc, Instr: in}
+		next := pc + 1
+		a, b := regs[in.Ra], regs[in.Rb]
+		switch in.Op {
+		case NOP:
+		case ADD:
+			te.Result = a + b
+		case SUB:
+			te.Result = a - b
+		case AND:
+			te.Result = a & b
+		case OR:
+			te.Result = a | b
+		case XOR:
+			te.Result = a ^ b
+		case SHL:
+			te.Result = a << (b & 31)
+		case SHR:
+			te.Result = a >> (b & 31)
+		case MUL:
+			te.Result = a * b
+		case ADDI:
+			te.Result = a + uint32(in.Imm)
+		case ANDI:
+			te.Result = a & in.UImm()
+		case ORI:
+			te.Result = a | in.UImm()
+		case XORI:
+			te.Result = a ^ in.UImm()
+		case LUI:
+			te.Result = in.UImm() << 12
+		case LD:
+			te.Addr = a + uint32(in.Imm)
+			te.Result = res.Mem[te.Addr]
+		case ST:
+			te.Addr = a + uint32(in.Imm)
+			te.StoreVal = b
+			res.Mem[te.Addr] = b
+		case BEQ:
+			te.Taken = a == b
+		case BNE:
+			te.Taken = a != b
+		case JMP:
+			te.Taken = true
+		case OUT:
+			te.OutVal = a
+			res.Out = append(res.Out, a)
+		case HLT:
+			res.Trace = append(res.Trace, te)
+			res.Halted = true
+			res.Regs = regs
+			return res, nil
+		default:
+			return nil, fmt.Errorf("isa: %s: invalid opcode %d at pc %d", p.Name, in.Op, pc)
+		}
+		if in.WritesReg() {
+			regs[in.Rd] = te.Result
+		}
+		if te.Taken {
+			next = uint32(int32(pc) + 1 + in.Imm)
+		}
+		res.Trace = append(res.Trace, te)
+		pc = next
+	}
+	res.Regs = regs
+	return res, nil
+}
+
+// ACEFlags computes, for each trace entry, whether the instruction was
+// necessary for architecturally correct execution — the dynamic-deadness
+// analysis the ACE model applies before attributing structure events.
+//
+// The analysis walks the trace backward maintaining live registers and
+// live memory words. OUT is architecturally visible by definition;
+// branches steer control and are treated as ACE; an ALU/load result is ACE
+// only if its destination is consumed by a later ACE instruction before
+// being overwritten (transitively dead code is un-ACE); a store is ACE
+// only if the stored word is later loaded by an ACE consumer.
+//
+// If the program did not halt (trace truncated), everything still live at
+// the cut is conservatively treated as consumed.
+func ACEFlags(trace []TraceEntry, halted bool) []bool {
+	flags := make([]bool, len(trace))
+	var liveReg [16]bool
+	liveMem := make(map[uint32]bool)
+	if !halted {
+		for i := range liveReg {
+			liveReg[i] = true
+		}
+	}
+	for i := len(trace) - 1; i >= 0; i-- {
+		te := &trace[i]
+		in := te.Instr
+		ace := false
+		switch {
+		case in.Op == OUT:
+			ace = true
+		case in.Op == HLT || in.Op == NOP:
+			ace = false
+		case in.IsBranch():
+			ace = true
+		case in.Op == ST:
+			if halted {
+				ace = liveMem[te.Addr]
+			} else {
+				ace = true // truncated run: stored data may still matter
+			}
+			if ace {
+				delete(liveMem, te.Addr)
+			}
+		case in.WritesReg():
+			ace = liveReg[in.Rd]
+			if ace {
+				liveReg[in.Rd] = false
+			}
+		}
+		flags[i] = ace
+		if ace {
+			if in.ReadsRa() && in.Ra != 0 {
+				liveReg[in.Ra] = true
+			}
+			if in.ReadsRb() && in.Rb != 0 {
+				liveReg[in.Rb] = true
+			}
+			if in.Op == LD {
+				liveMem[te.Addr] = true
+			}
+		}
+	}
+	return flags
+}

@@ -1,0 +1,285 @@
+// Package isa defines the small load/store instruction set shared by the
+// ACE-instrumented performance model (internal/uarch), the workload
+// generators (internal/workload), and the gate-level netlist core
+// (internal/tinycore). Having one ISA on both sides of the tool flow is
+// what lets the reproduction validate SART against RTL fault injection:
+// the performance model measures port AVFs for the same machine the
+// netlist implements.
+//
+// The machine: 16 32-bit registers (r0 reads as zero), word-addressed
+// data memory, a program-output port (OUT) that serves as the SDC
+// observation point, and a HLT instruction.
+//
+// Encoding (32 bits): op[31:24] rd[23:20] ra[19:16] rb[15:12] imm12[11:0]
+// (imm is sign-extended; branches are PC-relative in instruction words).
+package isa
+
+import "fmt"
+
+// Op is an instruction opcode.
+type Op uint8
+
+const (
+	NOP  Op = iota
+	ADD     // rd = ra + rb
+	SUB     // rd = ra - rb
+	AND     // rd = ra & rb
+	OR      // rd = ra | rb
+	XOR     // rd = ra ^ rb
+	SHL     // rd = ra << (rb & 31)
+	SHR     // rd = ra >> (rb & 31)
+	MUL     // rd = ra * rb (low 32 bits)
+	ADDI    // rd = ra + imm
+	ANDI    // rd = ra & imm
+	ORI     // rd = ra | imm
+	XORI    // rd = ra ^ imm
+	LUI     // rd = imm << 12
+	LD      // rd = mem[ra + imm]
+	ST      // mem[ra + imm] = rb
+	BEQ     // if ra == rb: pc += imm
+	BNE     // if ra != rb: pc += imm
+	JMP     // pc += imm
+	OUT     // emit ra to the program output port
+	HLT     // stop
+	numOps
+)
+
+var opNames = [...]string{
+	NOP: "nop", ADD: "add", SUB: "sub", AND: "and", OR: "or", XOR: "xor",
+	SHL: "shl", SHR: "shr", MUL: "mul", ADDI: "addi", ANDI: "andi",
+	ORI: "ori", XORI: "xori", LUI: "lui", LD: "ld", ST: "st",
+	BEQ: "beq", BNE: "bne", JMP: "jmp", OUT: "out", HLT: "hlt",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op%d", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o < numOps }
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op         Op
+	Rd, Ra, Rb uint8
+	Imm        int32 // 12-bit signed immediate
+}
+
+// Categories used by hazard logic and ACE analysis.
+
+// WritesReg reports whether the instruction writes Rd.
+func (i Instr) WritesReg() bool {
+	switch i.Op {
+	case ADD, SUB, AND, OR, XOR, SHL, SHR, MUL, ADDI, ANDI, ORI, XORI, LUI, LD:
+		return i.Rd != 0
+	}
+	return false
+}
+
+// ReadsRa reports whether the instruction reads Ra.
+func (i Instr) ReadsRa() bool {
+	switch i.Op {
+	case ADD, SUB, AND, OR, XOR, SHL, SHR, MUL, ADDI, ANDI, ORI, XORI, LD, ST, BEQ, BNE, OUT:
+		return true
+	}
+	return false
+}
+
+// ReadsRb reports whether the instruction reads Rb.
+func (i Instr) ReadsRb() bool {
+	switch i.Op {
+	case ADD, SUB, AND, OR, XOR, SHL, SHR, MUL, ST, BEQ, BNE:
+		return true
+	}
+	return false
+}
+
+// IsBranch reports whether the instruction can redirect the PC.
+func (i Instr) IsBranch() bool { return i.Op == BEQ || i.Op == BNE || i.Op == JMP }
+
+// IsMem reports whether the instruction accesses data memory.
+func (i Instr) IsMem() bool { return i.Op == LD || i.Op == ST }
+
+const immMask = 0xFFF
+
+// UImm returns the immediate zero-extended to 12 bits. The logical
+// immediates (ANDI/ORI/XORI/LUI) use this form; arithmetic, memory, and
+// branch immediates are sign-extended (Imm).
+func (i Instr) UImm() uint32 { return uint32(i.Imm) & immMask }
+
+// Encode packs the instruction into a 32-bit word.
+func (i Instr) Encode() uint32 {
+	return uint32(i.Op)<<24 |
+		uint32(i.Rd&0xF)<<20 |
+		uint32(i.Ra&0xF)<<16 |
+		uint32(i.Rb&0xF)<<12 |
+		uint32(i.Imm)&immMask
+}
+
+// Decode unpacks a 32-bit word. Unknown opcodes decode with Op preserved
+// so simulators can treat them as NOP or fault.
+func Decode(w uint32) Instr {
+	imm := int32(w & immMask)
+	if imm&0x800 != 0 {
+		imm -= 0x1000
+	}
+	return Instr{
+		Op:  Op(w >> 24),
+		Rd:  uint8(w >> 20 & 0xF),
+		Ra:  uint8(w >> 16 & 0xF),
+		Rb:  uint8(w >> 12 & 0xF),
+		Imm: imm,
+	}
+}
+
+func (i Instr) String() string {
+	switch i.Op {
+	case NOP, HLT:
+		return i.Op.String()
+	case OUT:
+		return fmt.Sprintf("out r%d", i.Ra)
+	case JMP:
+		return fmt.Sprintf("jmp %+d", i.Imm)
+	case BEQ, BNE:
+		return fmt.Sprintf("%s r%d, r%d, %+d", i.Op, i.Ra, i.Rb, i.Imm)
+	case LD:
+		return fmt.Sprintf("ld r%d, [r%d%+d]", i.Rd, i.Ra, i.Imm)
+	case ST:
+		return fmt.Sprintf("st r%d, [r%d%+d]", i.Rb, i.Ra, i.Imm)
+	case ADDI, ANDI, ORI, XORI:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Rd, i.Ra, i.Imm)
+	case LUI:
+		return fmt.Sprintf("lui r%d, %d", i.Rd, i.Imm)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.Rd, i.Ra, i.Rb)
+	}
+}
+
+// Program is an assembled workload: code, initial data memory, and a
+// cycle budget for simulators.
+type Program struct {
+	Name string
+	Code []Instr
+	// Data holds initial data-memory words, keyed by word address.
+	Data map[uint32]uint32
+	// MaxCycles bounds simulation (0 means the simulator default).
+	MaxCycles int
+}
+
+// Builder assembles programs with labels and branch fixups.
+type Builder struct {
+	name   string
+	code   []Instr
+	data   map[uint32]uint32
+	labels map[string]int
+	fixups []fixup
+	errs   []error
+}
+
+type fixup struct {
+	at    int
+	label string
+}
+
+// NewBuilder starts assembling a program.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, data: make(map[uint32]uint32), labels: make(map[string]int)}
+}
+
+// Emit appends an instruction.
+func (b *Builder) Emit(i Instr) *Builder {
+	b.code = append(b.code, i)
+	return b
+}
+
+// I is shorthand for Emit with field arguments.
+func (b *Builder) I(op Op, rd, ra, rb uint8, imm int32) *Builder {
+	return b.Emit(Instr{Op: op, Rd: rd, Ra: ra, Rb: rb, Imm: imm})
+}
+
+// R emits a three-register ALU instruction.
+func (b *Builder) R(op Op, rd, ra, rb uint8) *Builder { return b.I(op, rd, ra, rb, 0) }
+
+// Imm emits a register-immediate instruction.
+func (b *Builder) Imm(op Op, rd, ra uint8, imm int32) *Builder { return b.I(op, rd, ra, 0, imm) }
+
+// Label defines a branch target at the current position.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("isa: duplicate label %q", name))
+	}
+	b.labels[name] = len(b.code)
+	return b
+}
+
+// Branch emits a branch to a label (resolved at Build time).
+func (b *Builder) Branch(op Op, ra, rb uint8, label string) *Builder {
+	b.fixups = append(b.fixups, fixup{at: len(b.code), label: label})
+	return b.I(op, 0, ra, rb, 0)
+}
+
+// Jump emits an unconditional jump to a label.
+func (b *Builder) Jump(label string) *Builder {
+	b.fixups = append(b.fixups, fixup{at: len(b.code), label: label})
+	return b.I(JMP, 0, 0, 0, 0)
+}
+
+// Out emits an observation-point output of ra.
+func (b *Builder) Out(ra uint8) *Builder { return b.I(OUT, 0, ra, 0, 0) }
+
+// Halt emits HLT.
+func (b *Builder) Halt() *Builder { return b.I(HLT, 0, 0, 0, 0) }
+
+// SetData initializes a data-memory word.
+func (b *Builder) SetData(addr, value uint32) *Builder {
+	b.data[addr] = value
+	return b
+}
+
+// LoadConst emits instructions setting rd to a constant below 2^24 using
+// only rd (LUI fills bits 23:12, ORI the low 12 bits; both immediates are
+// zero-extended for the logical ops). It records an error for larger
+// values.
+func (b *Builder) LoadConst(rd uint8, v uint32) *Builder {
+	if v >= 1<<24 {
+		b.errs = append(b.errs, fmt.Errorf("isa: LoadConst value %#x exceeds 24 bits", v))
+		return b
+	}
+	b.Imm(LUI, rd, 0, int32(v>>12))
+	return b.Imm(ORI, rd, rd, int32(v&0xFFF))
+}
+
+// Build resolves fixups and returns the program.
+func (b *Builder) Build() (*Program, error) {
+	for _, f := range b.fixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			b.errs = append(b.errs, fmt.Errorf("isa: undefined label %q", f.label))
+			continue
+		}
+		// PC-relative: offset from the instruction after the branch.
+		off := target - (f.at + 1)
+		if off < -2048 || off > 2047 {
+			b.errs = append(b.errs, fmt.Errorf("isa: branch to %q out of range (%d)", f.label, off))
+			continue
+		}
+		b.code[f.at].Imm = int32(off)
+	}
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	return &Program{Name: b.name, Code: b.code, Data: b.data}, nil
+}
+
+// MustBuild is Build that panics on assembly errors (for tests and
+// statically known-good generators).
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,335 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(op uint8, rd, ra, rb uint8, imm int16) bool {
+		i := Instr{
+			Op: Op(op % uint8(numOps)),
+			Rd: rd & 0xF, Ra: ra & 0xF, Rb: rb & 0xF,
+			Imm: int32(imm) % 2048,
+		}
+		got := Decode(i.Encode())
+		return got == i
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeSignExtension(t *testing.T) {
+	i := Instr{Op: ADDI, Rd: 1, Ra: 2, Imm: -1}
+	d := Decode(i.Encode())
+	if d.Imm != -1 {
+		t.Fatalf("imm = %d, want -1", d.Imm)
+	}
+	if d.UImm() != 0xFFF {
+		t.Fatalf("UImm = %#x", d.UImm())
+	}
+}
+
+func TestExecSimpleArithmetic(t *testing.T) {
+	p := NewBuilder("arith").
+		Imm(ADDI, 1, 0, 5).
+		Imm(ADDI, 2, 0, 7).
+		R(ADD, 3, 1, 2).
+		R(MUL, 4, 3, 1).
+		Out(3).Out(4).
+		Halt().
+		MustBuild()
+	res, err := Exec(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted {
+		t.Fatal("did not halt")
+	}
+	if len(res.Out) != 2 || res.Out[0] != 12 || res.Out[1] != 60 {
+		t.Fatalf("out = %v", res.Out)
+	}
+}
+
+func TestExecR0IsZero(t *testing.T) {
+	p := NewBuilder("r0").
+		Imm(ADDI, 0, 0, 99). // write to r0 is discarded
+		Out(0).
+		Halt().MustBuild()
+	res, err := Exec(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Out[0] != 0 {
+		t.Fatalf("r0 = %d, want 0", res.Out[0])
+	}
+}
+
+func TestExecLoadStoreAndLoop(t *testing.T) {
+	// Sum mem[0..4] with a countdown loop.
+	b := NewBuilder("sum")
+	for i := uint32(0); i < 5; i++ {
+		b.SetData(i, i+10)
+	}
+	b.Imm(ADDI, 1, 0, 0). // sum
+				Imm(ADDI, 2, 0, 0). // index
+				Imm(ADDI, 3, 0, 5). // limit
+				Label("loop").
+				I(LD, 4, 2, 0, 0). // r4 = mem[r2]
+				R(ADD, 1, 1, 4).
+				Imm(ADDI, 2, 2, 1).
+				Branch(BNE, 2, 3, "loop").
+				Out(1).
+				Halt()
+	p := b.MustBuild()
+	res, err := Exec(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Out[0] != 10+11+12+13+14 {
+		t.Fatalf("sum = %d", res.Out[0])
+	}
+}
+
+func TestExecBranchNotTaken(t *testing.T) {
+	p := NewBuilder("bnt").
+		Imm(ADDI, 1, 0, 1).
+		Branch(BEQ, 1, 0, "skip"). // not taken
+		Out(1).
+		Label("skip").
+		Halt().MustBuild()
+	res, err := Exec(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Out) != 1 {
+		t.Fatalf("out = %v", res.Out)
+	}
+}
+
+func TestExecRunsOffCode(t *testing.T) {
+	p := &Program{Name: "off", Code: []Instr{{Op: NOP}}}
+	if _, err := Exec(p, 0); err == nil {
+		t.Fatal("expected run-off error")
+	}
+}
+
+func TestExecStepLimit(t *testing.T) {
+	p := NewBuilder("spin").Label("l").Jump("l").MustBuild()
+	res, err := Exec(p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Halted {
+		t.Fatal("spin loop should not halt")
+	}
+	if len(res.Trace) != 100 {
+		t.Fatalf("trace len = %d", len(res.Trace))
+	}
+}
+
+func TestLoadConst(t *testing.T) {
+	for _, v := range []uint32{0, 1, 0x7FF, 0x800, 0xFFF, 0x1000, 0xABCDE, 0xFFFFFF} {
+		p := NewBuilder("lc").LoadConst(5, v).Out(5).Halt().MustBuild()
+		res, err := Exec(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Out[0] != v {
+			t.Fatalf("LoadConst(%#x) produced %#x", v, res.Out[0])
+		}
+	}
+	if _, err := NewBuilder("big").LoadConst(1, 1<<24).Halt().Build(); err == nil {
+		t.Fatal("LoadConst should reject >= 2^24")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	if _, err := NewBuilder("x").Jump("nowhere").Build(); err == nil {
+		t.Fatal("undefined label accepted")
+	}
+	if _, err := NewBuilder("x").Label("a").Label("a").Build(); err == nil {
+		t.Fatal("duplicate label accepted")
+	}
+}
+
+func TestACEFlagsDeadCode(t *testing.T) {
+	p := NewBuilder("dead").
+		Imm(ADDI, 1, 0, 5). // ACE: feeds OUT
+		Imm(ADDI, 2, 0, 6). // dead: overwritten below before any read
+		Imm(ADDI, 2, 0, 7). // ACE: feeds r3
+		R(ADD, 3, 1, 2).    // ACE
+		Imm(ADDI, 4, 0, 9). // dead: never read
+		Out(3).
+		Halt().MustBuild()
+	res, err := Exec(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flags := ACEFlags(res.Trace, res.Halted)
+	want := []bool{true, false, true, true, false, true, false} // ..., OUT, HLT
+	if len(flags) != len(want) {
+		t.Fatalf("flags len = %d", len(flags))
+	}
+	for i := range want {
+		if flags[i] != want[i] {
+			t.Fatalf("flag[%d] (%v) = %v, want %v", i, res.Trace[i].Instr, flags[i], want[i])
+		}
+	}
+}
+
+func TestACEFlagsTransitiveDeadness(t *testing.T) {
+	p := NewBuilder("trans").
+		Imm(ADDI, 1, 0, 1). // feeds r2 which is dead => transitively dead
+		R(ADD, 2, 1, 1).    // dead: r2 never consumed
+		Imm(ADDI, 3, 0, 3). // ACE
+		Out(3).
+		Halt().MustBuild()
+	res, _ := Exec(p, 0)
+	flags := ACEFlags(res.Trace, res.Halted)
+	if flags[0] || flags[1] {
+		t.Fatalf("transitively dead chain marked ACE: %v", flags)
+	}
+	if !flags[2] {
+		t.Fatal("live producer marked dead")
+	}
+}
+
+func TestACEFlagsStoreLiveness(t *testing.T) {
+	p := NewBuilder("mem").
+		Imm(ADDI, 1, 0, 42).
+		I(ST, 0, 0, 1, 10). // mem[10] = r1: ACE (loaded below)
+		I(ST, 0, 0, 1, 11). // mem[11] = r1: dead (overwritten below, never loaded)
+		I(ST, 0, 0, 0, 11). // mem[11] = 0: dead (never loaded)
+		I(LD, 2, 0, 0, 10). // ACE
+		Out(2).
+		Halt().MustBuild()
+	res, _ := Exec(p, 0)
+	flags := ACEFlags(res.Trace, res.Halted)
+	if !flags[1] {
+		t.Fatal("consumed store marked dead")
+	}
+	if flags[2] || flags[3] {
+		t.Fatalf("dead stores marked ACE: %v", flags)
+	}
+}
+
+func TestACEFlagsTruncatedRunConservative(t *testing.T) {
+	p := NewBuilder("trunc").
+		Imm(ADDI, 1, 0, 5).
+		I(ST, 0, 0, 1, 3).
+		Label("l").Jump("l").MustBuild()
+	res, err := Exec(p, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flags := ACEFlags(res.Trace, res.Halted)
+	// With the run truncated, the write and store must stay conservative.
+	if !flags[0] || !flags[1] {
+		t.Fatalf("truncated run not conservative: %v", flags[:3])
+	}
+}
+
+func TestInstrStringForms(t *testing.T) {
+	cases := map[string]Instr{
+		"nop":            {Op: NOP},
+		"add r1, r2, r3": {Op: ADD, Rd: 1, Ra: 2, Rb: 3},
+		"addi r1, r0, 5": {Op: ADDI, Rd: 1, Imm: 5},
+		"ld r2, [r3+4]":  {Op: LD, Rd: 2, Ra: 3, Imm: 4},
+		"st r5, [r1-2]":  {Op: ST, Ra: 1, Rb: 5, Imm: -2},
+		"beq r1, r2, +7": {Op: BEQ, Ra: 1, Rb: 2, Imm: 7},
+		"out r9":         {Op: OUT, Ra: 9},
+		"jmp -3":         {Op: JMP, Imm: -3},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestParseAsmBasics(t *testing.T) {
+	src := `
+; sum mem[0..2]
+.data 0 10
+.data 1 20
+.data 2 0x1E
+    addi r1, r0, 0     ; sum
+    addi r2, r0, 0     ; index
+    addi r3, r0, 3
+loop:
+    ld   r4, r2, 0
+    add  r1, r1, r4
+    addi r2, r2, 1
+    bne  r2, r3, loop
+    out  r1
+    hlt
+`
+	p, err := ParseAsm("sum", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Exec(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Out) != 1 || res.Out[0] != 60 {
+		t.Fatalf("out = %v, want [60]", res.Out)
+	}
+}
+
+func TestParseAsmErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"bad mnemonic", "frob r1, r2, r3\n", "unknown mnemonic"},
+		{"bad register", "add rx, r1, r2\n", "bad register"},
+		{"big register", "add r16, r1, r2\n", "bad register"},
+		{"bad imm", "addi r1, r0, zebra\n", "bad immediate"},
+		{"wrong arity", "add r1, r2\n", "takes 3 operands"},
+		{"undefined label", "jmp nowhere\nhlt\n", "undefined label"},
+		{"bad data", ".data x 1\n", "bad .data"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseAsm("t", strings.NewReader(tc.src))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestAsmRoundTrip: disassemble generated kernels and reassemble; the
+// programs must produce identical outputs.
+func TestAsmRoundTrip(t *testing.T) {
+	progs := []*Program{
+		NewBuilder("t").Imm(ADDI, 1, 0, 7).Out(1).Halt().MustBuild(),
+	}
+	for _, p := range progs {
+		var sb strings.Builder
+		if err := WriteAsm(&sb, p); err != nil {
+			t.Fatal(err)
+		}
+		p2, err := ParseAsm(p.Name, strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("%s: reassembly failed: %v\n%s", p.Name, err, sb.String())
+		}
+		a, err := Exec(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Exec(p2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Out) != len(b.Out) {
+			t.Fatalf("%s: output lengths differ", p.Name)
+		}
+		for i := range a.Out {
+			if a.Out[i] != b.Out[i] {
+				t.Fatalf("%s: out[%d] differs", p.Name, i)
+			}
+		}
+	}
+}

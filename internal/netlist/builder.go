@@ -1,0 +1,145 @@
+package netlist
+
+// Builder provides terse helpers for constructing modules programmatically.
+// Every method returns the created node's name so calls compose naturally:
+//
+//	b := netlist.Build(m)
+//	sum := b.C("sum", 32, netlist.OpAdd, b.In("a", 32), b.In("b", 32))
+//	b.Out("q", 32, b.Seq("r", 32, sum))
+//
+// The builder performs no validation; run Design.Validate afterwards.
+type Builder struct {
+	M *Module
+}
+
+// Build wraps m in a Builder.
+func Build(m *Module) *Builder { return &Builder{M: m} }
+
+// In declares a module input port.
+func (b *Builder) In(name string, width int) string {
+	b.M.Add(&Node{Name: name, Kind: KindInput, Width: width})
+	return name
+}
+
+// Out declares a module output port driven by driver.
+func (b *Builder) Out(name string, width int, driver string) string {
+	b.M.Add(&Node{Name: name, Kind: KindOutput, Width: width, Inputs: []string{driver}})
+	return name
+}
+
+// Seq declares a register with data input d.
+func (b *Builder) Seq(name string, width int, d string) string {
+	b.M.Add(&Node{Name: name, Kind: KindSeq, Width: width, Inputs: []string{d}})
+	return name
+}
+
+// SeqInit declares a register with data input d and reset value init.
+func (b *Builder) SeqInit(name string, width int, d string, init uint64) string {
+	b.M.Add(&Node{Name: name, Kind: KindSeq, Width: width, Inputs: []string{d}, Init: init})
+	return name
+}
+
+// SeqEn declares an enabled register: it holds its value unless en is 1.
+func (b *Builder) SeqEn(name string, width int, d, en string) string {
+	b.M.Add(&Node{Name: name, Kind: KindSeq, Width: width, Inputs: []string{d, en}})
+	return name
+}
+
+// CtrlReg declares a configuration control register (ClassControl).
+func (b *Builder) CtrlReg(name string, width int, d string, init uint64) string {
+	b.M.Add(&Node{
+		Name: name, Kind: KindSeq, Width: width, Inputs: []string{d},
+		Init: init, Class: ClassControl, Clock: "cfgclk",
+	})
+	return name
+}
+
+// C declares a combinational node with operator op.
+func (b *Builder) C(name string, width int, op Op, inputs ...string) string {
+	b.M.Add(&Node{Name: name, Kind: KindComb, Op: op, Width: width, Inputs: inputs})
+	return name
+}
+
+// CP declares a combinational node that carries a parameter (select low
+// bit, constant shift amount).
+func (b *Builder) CP(name string, width int, op Op, param int64, inputs ...string) string {
+	b.M.Add(&Node{Name: name, Kind: KindComb, Op: op, Width: width, Param: param, Inputs: inputs})
+	return name
+}
+
+// Const declares a constant node.
+func (b *Builder) Const(name string, width int, value uint64) string {
+	b.M.Add(&Node{Name: name, Kind: KindConst, Width: width, Param: int64(value)})
+	return name
+}
+
+// Mux declares a 2-way multiplexer: out = sel ? hi : lo.
+func (b *Builder) Mux(name string, width int, sel, lo, hi string) string {
+	return b.C(name, width, OpMux, sel, lo, hi)
+}
+
+// Select extracts width bits of in starting at bit lo.
+func (b *Builder) Select(name string, width int, in string, lo int) string {
+	return b.CP(name, width, OpSelect, int64(lo), in)
+}
+
+// SRead declares a structure read port named name on structure strct,
+// producing width bits of data; addrs are address/enable inputs.
+func (b *Builder) SRead(name string, width int, strct, port string, addrs ...string) string {
+	b.M.Add(&Node{
+		Name: name, Kind: KindStructRead, Width: width,
+		Struct: strct, Port: port, Inputs: addrs,
+	})
+	return name
+}
+
+// SWrite declares a structure write port: data plus address/enable inputs.
+func (b *Builder) SWrite(name string, strct, port, data string, addrs ...string) string {
+	b.M.Add(&Node{
+		Name: name, Kind: KindStructWrite, Width: 1,
+		Struct: strct, Port: port, Inputs: append([]string{data}, addrs...),
+	})
+	return name
+}
+
+// Pipe declares a chain of depth registers fed by d, named
+// name_1..name_depth, returning the final stage's name. depth must be >= 1.
+func (b *Builder) Pipe(name string, width, depth int, d string) string {
+	cur := d
+	for i := 1; i <= depth; i++ {
+		cur = b.Seq(pipeStageName(name, i), width, cur)
+	}
+	return cur
+}
+
+func pipeStageName(base string, i int) string {
+	return base + "_" + itoa(i)
+}
+
+// Inst instantiates sub-module module as name with the given port bindings.
+func (b *Builder) Inst(name, module string, conns map[string]string) {
+	b.M.Insts = append(b.M.Insts, &Inst{Name: name, Module: module, Conns: conns})
+}
+
+// itoa is a dependency-free integer formatter for hot builder paths.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,169 @@
+package netlist
+
+import "fmt"
+
+// FlatFub is one fully flattened top-level FUB: all sub-module hierarchy
+// expanded, every node carrying a module-local unique name. Instance
+// boundary ports become OpPass combinational nodes, preserving the
+// original signal names for reporting.
+type FlatFub struct {
+	Name   string
+	Module string
+	Nodes  []*Node
+
+	index map[string]*Node
+}
+
+// Node returns the flat node named name, or nil.
+func (f *FlatFub) Node(name string) *Node {
+	if f.index == nil {
+		f.index = make(map[string]*Node, len(f.Nodes))
+		for _, n := range f.Nodes {
+			f.index[n.Name] = n
+		}
+	}
+	return f.index[name]
+}
+
+// FlatDesign is the flattened form of a Design, ready for graph
+// extraction, simulation, and SART analysis.
+type FlatDesign struct {
+	Name       string
+	Structures map[string]*Structure
+	Fubs       []*FlatFub
+	Connects   []Connect
+}
+
+// Fub returns the flat FUB named name, or nil.
+func (fd *FlatDesign) Fub(name string) *FlatFub {
+	for _, f := range fd.Fubs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// NumNodes returns the total flat node count across all FUBs.
+func (fd *FlatDesign) NumNodes() int {
+	total := 0
+	for _, f := range fd.Fubs {
+		total += len(f.Nodes)
+	}
+	return total
+}
+
+// Flatten expands all module hierarchy, producing one FlatFub per top-level
+// FUB instance. The design must already Validate.
+//
+// Expansion rules per instance I of sub-module S inside module M:
+//   - every node n of (recursively flattened) S is cloned as "I/n";
+//   - S's input port p becomes OpPass node "I/p" driven by M's bound signal;
+//   - S's output port p bound to parent signal s becomes OpPass node "s"
+//     driven by the (renamed) internal driver — so references in M resolve.
+//
+// Unbound sub-module outputs become dangling "I/p" pass nodes.
+func Flatten(d *Design) (*FlatDesign, error) {
+	memo := make(map[string][]*Node)
+	var flattenModule func(name string) ([]*Node, error)
+	flattenModule = func(name string) ([]*Node, error) {
+		if nodes, ok := memo[name]; ok {
+			return nodes, nil
+		}
+		m, ok := d.Modules[name]
+		if !ok {
+			return nil, fmt.Errorf("netlist: flatten: undefined module %q", name)
+		}
+		var out []*Node
+		for _, n := range m.Nodes {
+			out = append(out, cloneNode(n))
+		}
+		for _, inst := range m.Insts {
+			subNodes, err := flattenModule(inst.Module)
+			if err != nil {
+				return nil, err
+			}
+			sub := d.Modules[inst.Module]
+			rename := func(sig string) string { return inst.Name + "/" + sig }
+			for _, n := range subNodes {
+				c := cloneNode(n)
+				switch {
+				case c.Kind == KindInput:
+					bound := inst.Conns[c.Name]
+					c.Kind = KindComb
+					c.Op = OpPass
+					c.Name = rename(c.Name)
+					c.Inputs = []string{bound}
+				case c.Kind == KindOutput:
+					origName := c.Name
+					c.Kind = KindComb
+					c.Op = OpPass
+					if bound, ok := inst.Conns[origName]; ok {
+						c.Name = bound
+					} else {
+						c.Name = rename(origName)
+					}
+					c.Inputs = []string{rename(c.Inputs[0])}
+				default:
+					c.Name = rename(c.Name)
+					for i, in := range c.Inputs {
+						// Inputs referencing the sub-module's own input
+						// ports resolve to the pass nodes created above.
+						c.Inputs[i] = rename(in)
+					}
+					_ = sub
+				}
+				out = append(out, c)
+			}
+		}
+		memo[name] = out
+		return out, nil
+	}
+
+	fd := &FlatDesign{
+		Name:       d.Name,
+		Structures: d.Structures,
+		Connects:   append([]Connect(nil), d.Connects...),
+	}
+	for _, fub := range d.Fubs {
+		nodes, err := flattenModule(fub.Module)
+		if err != nil {
+			return nil, err
+		}
+		ff := &FlatFub{Name: fub.Name, Module: fub.Module}
+		ff.Nodes = make([]*Node, len(nodes))
+		for i, n := range nodes {
+			ff.Nodes[i] = cloneNode(n)
+		}
+		if err := checkFlat(ff); err != nil {
+			return nil, err
+		}
+		fd.Fubs = append(fd.Fubs, ff)
+	}
+	return fd, nil
+}
+
+func cloneNode(n *Node) *Node {
+	c := *n
+	c.Inputs = append([]string(nil), n.Inputs...)
+	return &c
+}
+
+// checkFlat verifies that every reference in a flattened FUB resolves.
+func checkFlat(f *FlatFub) error {
+	names := make(map[string]bool, len(f.Nodes))
+	for _, n := range f.Nodes {
+		if names[n.Name] {
+			return fmt.Errorf("netlist: flatten: FUB %s: duplicate flat node %q", f.Name, n.Name)
+		}
+		names[n.Name] = true
+	}
+	for _, n := range f.Nodes {
+		for _, in := range n.Inputs {
+			if !names[in] {
+				return fmt.Errorf("netlist: flatten: FUB %s: node %s references unresolved signal %q", f.Name, n.Name, in)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,424 @@
+package netlist
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MaxWidth is the widest signal the toolchain supports (values are uint64).
+const MaxWidth = 64
+
+// Validate checks design-level and module-level integrity: name uniqueness,
+// module/structure references, instantiation acyclicity, port bindings,
+// node arities and widths. It returns the first error found, annotated with
+// its location.
+func (d *Design) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("netlist: design has no name")
+	}
+	if err := d.checkInstGraph(); err != nil {
+		return err
+	}
+	for name := range d.Structures {
+		if strings.ContainsRune(name, '.') {
+			return fmt.Errorf("netlist: structure name %q must not contain '.'", name)
+		}
+	}
+	for _, f := range d.Fubs {
+		if strings.ContainsRune(f.Name, '.') {
+			return fmt.Errorf("netlist: FUB name %q must not contain '.'", f.Name)
+		}
+	}
+	for _, name := range d.SortedModuleNames() {
+		if err := d.validateModule(d.Modules[name]); err != nil {
+			return err
+		}
+	}
+	if err := d.validateTop(); err != nil {
+		return err
+	}
+	return d.validateStructPorts()
+}
+
+// checkInstGraph rejects missing modules and recursive instantiation.
+func (d *Design) checkInstGraph() error {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	var visit func(name string, path []string) error
+	visit = func(name string, path []string) error {
+		switch color[name] {
+		case gray:
+			return fmt.Errorf("netlist: recursive instantiation: %s", strings.Join(append(path, name), " -> "))
+		case black:
+			return nil
+		}
+		m, ok := d.Modules[name]
+		if !ok {
+			return fmt.Errorf("netlist: module %q not defined (path %s)", name, strings.Join(path, " -> "))
+		}
+		color[name] = gray
+		for _, inst := range m.Insts {
+			if err := visit(inst.Module, append(path, name)); err != nil {
+				return err
+			}
+		}
+		color[name] = black
+		return nil
+	}
+	for name := range d.Modules {
+		if err := visit(name, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// signalWidths maps every referenceable signal in m to its width: node
+// names plus instance-exported output bindings.
+func (d *Design) signalWidths(m *Module) (map[string]int, error) {
+	widths := make(map[string]int, len(m.Nodes))
+	for _, n := range m.Nodes {
+		if n.Name == "" {
+			return nil, fmt.Errorf("netlist: module %s: node with empty name", m.Name)
+		}
+		if _, dup := widths[n.Name]; dup {
+			return nil, fmt.Errorf("netlist: module %s: duplicate node %q", m.Name, n.Name)
+		}
+		widths[n.Name] = n.Width
+	}
+	for _, inst := range m.Insts {
+		sub, ok := d.Modules[inst.Module]
+		if !ok {
+			return nil, fmt.Errorf("netlist: module %s: inst %s of undefined module %q", m.Name, inst.Name, inst.Module)
+		}
+		for _, out := range sub.Outputs() {
+			sig, bound := inst.Conns[out.Name]
+			if !bound {
+				continue // unconnected output is legal (dangles)
+			}
+			if _, dup := widths[sig]; dup {
+				return nil, fmt.Errorf("netlist: module %s: inst %s output %s collides with signal %q", m.Name, inst.Name, out.Name, sig)
+			}
+			widths[sig] = out.Width
+		}
+	}
+	return widths, nil
+}
+
+func (d *Design) validateModule(m *Module) error {
+	widths, err := d.signalWidths(m)
+	if err != nil {
+		return err
+	}
+	for _, n := range m.Nodes {
+		if err := d.validateNode(m, n, widths); err != nil {
+			return err
+		}
+	}
+	for _, inst := range m.Insts {
+		sub := d.Modules[inst.Module]
+		for port, sig := range inst.Conns {
+			pn := sub.Node(port)
+			if pn == nil || (pn.Kind != KindInput && pn.Kind != KindOutput) {
+				return fmt.Errorf("netlist: module %s: inst %s binds unknown port %q of %s", m.Name, inst.Name, port, inst.Module)
+			}
+			if pn.Kind == KindInput {
+				w, ok := widths[sig]
+				if !ok {
+					return fmt.Errorf("netlist: module %s: inst %s input %s bound to undefined signal %q", m.Name, inst.Name, port, sig)
+				}
+				if w != pn.Width {
+					return fmt.Errorf("netlist: module %s: inst %s input %s width %d bound to %q width %d", m.Name, inst.Name, port, pn.Width, sig, w)
+				}
+			}
+		}
+		for _, in := range sub.Inputs() {
+			if _, ok := inst.Conns[in.Name]; !ok {
+				return fmt.Errorf("netlist: module %s: inst %s leaves input %s.%s unbound", m.Name, inst.Name, inst.Module, in.Name)
+			}
+		}
+	}
+	return nil
+}
+
+func (d *Design) validateNode(m *Module, n *Node, widths map[string]int) error {
+	where := func(format string, args ...any) error {
+		return fmt.Errorf("netlist: module %s: node %s: %s", m.Name, n.Name, fmt.Sprintf(format, args...))
+	}
+	if n.Width < 1 || n.Width > MaxWidth {
+		return where("width %d out of range [1,%d]", n.Width, MaxWidth)
+	}
+	inW := make([]int, len(n.Inputs))
+	for i, ref := range n.Inputs {
+		w, ok := widths[ref]
+		if !ok {
+			return where("input %d references undefined signal %q", i, ref)
+		}
+		inW[i] = w
+	}
+	needInputs := func(lo, hi int) error {
+		if len(n.Inputs) < lo || (hi >= 0 && len(n.Inputs) > hi) {
+			return where("%s takes %d..%d inputs, got %d", n.Kind, lo, hi, len(n.Inputs))
+		}
+		return nil
+	}
+	switch n.Kind {
+	case KindInput, KindConst:
+		return needInputs(0, 0)
+	case KindOutput:
+		if err := needInputs(1, 1); err != nil {
+			return err
+		}
+		if inW[0] != n.Width {
+			return where("driver width %d != port width %d", inW[0], n.Width)
+		}
+	case KindSeq:
+		if err := needInputs(1, 2); err != nil {
+			return err
+		}
+		if inW[0] != n.Width {
+			return where("D width %d != register width %d", inW[0], n.Width)
+		}
+		if len(n.Inputs) == 2 && inW[1] != 1 {
+			return where("enable width %d != 1", inW[1])
+		}
+	case KindStructRead:
+		st, ok := d.Structures[n.Struct]
+		if !ok {
+			return where("unknown structure %q", n.Struct)
+		}
+		if n.Width > st.Width {
+			return where("read width %d exceeds structure width %d", n.Width, st.Width)
+		}
+		if n.Port == "" {
+			return where("structure port name empty")
+		}
+	case KindStructWrite:
+		if _, ok := d.Structures[n.Struct]; !ok {
+			return where("unknown structure %q", n.Struct)
+		}
+		if n.Port == "" {
+			return where("structure port name empty")
+		}
+		if err := needInputs(1, -1); err != nil {
+			return err
+		}
+	case KindComb:
+		return validateComb(n, inW, where)
+	default:
+		return where("invalid kind")
+	}
+	return nil
+}
+
+func validateComb(n *Node, inW []int, where func(string, ...any) error) error {
+	arity := func(lo, hi int) error {
+		if len(inW) < lo || (hi >= 0 && len(inW) > hi) {
+			return where("%s takes %d..%d inputs, got %d", n.Op, lo, hi, len(inW))
+		}
+		return nil
+	}
+	sameWidth := func(idx ...int) error {
+		for _, i := range idx {
+			if inW[i] != n.Width {
+				return where("%s input %d width %d != node width %d", n.Op, i, inW[i], n.Width)
+			}
+		}
+		return nil
+	}
+	switch n.Op {
+	case OpPass, OpNot:
+		if err := arity(1, 1); err != nil {
+			return err
+		}
+		return sameWidth(0)
+	case OpAnd, OpOr, OpXor:
+		if err := arity(2, -1); err != nil {
+			return err
+		}
+		idx := make([]int, len(inW))
+		for i := range idx {
+			idx[i] = i
+		}
+		return sameWidth(idx...)
+	case OpNand, OpNor, OpXnor:
+		if err := arity(2, 2); err != nil {
+			return err
+		}
+		return sameWidth(0, 1)
+	case OpMux:
+		if err := arity(3, 3); err != nil {
+			return err
+		}
+		if inW[0] != 1 {
+			return where("mux select width %d != 1", inW[0])
+		}
+		return sameWidth(1, 2)
+	case OpAdd, OpSub, OpMul:
+		if err := arity(2, 2); err != nil {
+			return err
+		}
+		return sameWidth(0, 1)
+	case OpShl, OpShr:
+		if err := arity(2, 2); err != nil {
+			return err
+		}
+		return sameWidth(0)
+	case OpEq, OpNe, OpLt:
+		if err := arity(2, 2); err != nil {
+			return err
+		}
+		if n.Width != 1 {
+			return where("%s output width %d != 1", n.Op, n.Width)
+		}
+		if inW[0] != inW[1] {
+			return where("%s operand widths differ: %d vs %d", n.Op, inW[0], inW[1])
+		}
+	case OpRedAnd, OpRedOr, OpRedXor:
+		if err := arity(1, 1); err != nil {
+			return err
+		}
+		if n.Width != 1 {
+			return where("reduction output width %d != 1", n.Width)
+		}
+	case OpSelect:
+		if err := arity(1, 1); err != nil {
+			return err
+		}
+		if n.Param < 0 || int(n.Param)+n.Width > inW[0] {
+			return where("select [%d +: %d] out of input width %d", n.Param, n.Width, inW[0])
+		}
+	case OpConcat:
+		if err := arity(1, -1); err != nil {
+			return err
+		}
+		total := 0
+		for _, w := range inW {
+			total += w
+		}
+		if total != n.Width {
+			return where("concat input widths sum to %d, node width %d", total, n.Width)
+		}
+	case OpShlK, OpShrK:
+		if err := arity(1, 1); err != nil {
+			return err
+		}
+		if n.Param < 0 || n.Param >= int64(n.Width) {
+			return where("constant shift %d out of range for width %d", n.Param, n.Width)
+		}
+		return sameWidth(0)
+	case OpDecode:
+		if err := arity(1, 1); err != nil {
+			return err
+		}
+	default:
+		return where("invalid op")
+	}
+	return nil
+}
+
+// validateTop checks FUB instances and interconnect.
+func (d *Design) validateTop() error {
+	fubs := make(map[string]*Module, len(d.Fubs))
+	for _, f := range d.Fubs {
+		if _, dup := fubs[f.Name]; dup {
+			return fmt.Errorf("netlist: duplicate FUB %q", f.Name)
+		}
+		m, ok := d.Modules[f.Module]
+		if !ok {
+			return fmt.Errorf("netlist: FUB %s instantiates undefined module %q", f.Name, f.Module)
+		}
+		fubs[f.Name] = m
+	}
+	driven := make(map[PortRef]bool)
+	for _, c := range d.Connects {
+		fm, ok := fubs[c.From.Fub]
+		if !ok {
+			return fmt.Errorf("netlist: connect from unknown FUB %q", c.From.Fub)
+		}
+		tm, ok := fubs[c.To.Fub]
+		if !ok {
+			return fmt.Errorf("netlist: connect to unknown FUB %q", c.To.Fub)
+		}
+		fp := fm.Node(c.From.Port)
+		if fp == nil || fp.Kind != KindOutput {
+			return fmt.Errorf("netlist: connect source %s is not an output port", c.From)
+		}
+		tp := tm.Node(c.To.Port)
+		if tp == nil || tp.Kind != KindInput {
+			return fmt.Errorf("netlist: connect target %s is not an input port", c.To)
+		}
+		if fp.Width != tp.Width {
+			return fmt.Errorf("netlist: connect %s(%d) -> %s(%d): width mismatch", c.From, fp.Width, c.To, tp.Width)
+		}
+		if driven[c.To] {
+			return fmt.Errorf("netlist: input %s driven twice", c.To)
+		}
+		driven[c.To] = true
+	}
+	return nil
+}
+
+// validateStructPorts enforces one direction and one owner per
+// (structure, port) pair across the whole design, counting instantiations:
+// a module containing struct ports may be instantiated at most once.
+func (d *Design) validateStructPorts() error {
+	type use struct {
+		kind Kind
+		at   string
+	}
+	seen := make(map[string]use)
+	counts := d.moduleInstCounts()
+	for _, mname := range d.SortedModuleNames() {
+		m := d.Modules[mname]
+		for _, n := range m.Nodes {
+			if n.Kind != KindStructRead && n.Kind != KindStructWrite {
+				continue
+			}
+			if counts[mname] > 1 {
+				return fmt.Errorf("netlist: module %s has structure ports but is instantiated %d times", mname, counts[mname])
+			}
+			key := n.Struct + "." + n.Port
+			at := mname + "/" + n.Name
+			if prev, ok := seen[key]; ok {
+				return fmt.Errorf("netlist: structure port %s used by both %s and %s", key, prev.at, at)
+			}
+			seen[key] = use{kind: n.Kind, at: at}
+		}
+	}
+	return nil
+}
+
+// moduleInstCounts counts how many times each module is instantiated in
+// the fully elaborated design.
+func (d *Design) moduleInstCounts() map[string]int {
+	memo := make(map[string]map[string]int) // module -> transitive counts incl. self
+	var expand func(name string) map[string]int
+	expand = func(name string) map[string]int {
+		if c, ok := memo[name]; ok {
+			return c
+		}
+		counts := map[string]int{name: 1}
+		m := d.Modules[name]
+		if m != nil {
+			for _, inst := range m.Insts {
+				for sub, k := range expand(inst.Module) {
+					counts[sub] += k
+				}
+			}
+		}
+		memo[name] = counts
+		return counts
+	}
+	total := make(map[string]int)
+	for _, f := range d.Fubs {
+		for sub, k := range expand(f.Module) {
+			total[sub] += k
+		}
+	}
+	return total
+}

@@ -1,0 +1,340 @@
+// Package pavf implements the port-AVF value algebra at the heart of the
+// SART methodology (Raasch et al., MICRO-48 2015, Section 4).
+//
+// A propagated pAVF value is not a plain probability: the paper's worked
+// example (Figure 7) requires the union operation to be idempotent, so that
+// pAVF_1 ∪ (pAVF_1 ∪ pAVF_2) simplifies to pAVF_1 ∪ pAVF_2. We therefore
+// represent every propagated value as a *set of source terms*. Each term
+// names one source of ACE traffic: a structure port measured by the ACE
+// performance model, an identified configuration control register, an
+// injected loop-boundary node, or a pseudo-structure standing in for
+// circuits outside the RTL under analysis.
+//
+// The numeric value of a set under an environment (a table of per-term
+// pAVFs) is min(1, Σ term values) — the paper's "union simplifies to the
+// sum, capped at 1.0" rule under the no-overlap assumption.
+//
+// Because values are symbolic sets, the closed-form equations of Section 5.1
+// fall out for free: after propagation each node's AVF is
+// MIN(Union(forward terms), Union(backward terms)), re-evaluatable against
+// fresh pAVF measurements without re-walking the design.
+package pavf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TermKind classifies the source of ACE traffic a term represents.
+type TermKind uint8
+
+const (
+	// KindTop is the distinguished ⊤ term with fixed value 1.0. A set
+	// containing Top evaluates to 1.0 regardless of other members; it
+	// models the paper's conservative "node pAVF starts at 1.0" default
+	// flowing through a join whose other input was never refined.
+	KindTop TermKind = iota
+	// KindReadPort is a structure read-port pAVF (pAVF_R), measured by
+	// ACE analysis in the performance model.
+	KindReadPort
+	// KindWritePort is a structure write-port pAVF (pAVF_W).
+	KindWritePort
+	// KindControlReg is an identified configuration control register,
+	// assigned pAVF_R = 100% (Section 5.1).
+	KindControlReg
+	// KindLoop is a loop-boundary node with an injected static pAVF
+	// (Section 4.3; the paper selects 0.3 via the Figure 8 study).
+	KindLoop
+	// KindPseudo is a pseudo-structure grouping circuits outside the RTL
+	// under analysis (Section 5.1).
+	KindPseudo
+)
+
+func (k TermKind) String() string {
+	switch k {
+	case KindTop:
+		return "top"
+	case KindReadPort:
+		return "pAVF_R"
+	case KindWritePort:
+		return "pAVF_W"
+	case KindControlReg:
+		return "ctrlreg"
+	case KindLoop:
+		return "loop"
+	case KindPseudo:
+		return "pseudo"
+	default:
+		return fmt.Sprintf("TermKind(%d)", uint8(k))
+	}
+}
+
+// TermID is a dense index into a Universe's term table.
+type TermID int32
+
+// Top is the TermID of the ⊤ term in every Universe.
+const Top TermID = 0
+
+// Term describes one source of ACE traffic.
+type Term struct {
+	Kind TermKind
+	// Name identifies the source: "Struct.port" for ports, the node name
+	// for control registers and loop boundaries, the pseudo-structure
+	// name for boundary groups.
+	Name string
+}
+
+func (t Term) String() string {
+	if t.Kind == KindTop {
+		return "1.0"
+	}
+	return fmt.Sprintf("%s(%s)", t.Kind, t.Name)
+}
+
+// Universe interns terms and assigns them dense IDs. A single Universe is
+// shared by all values propagated through one design.
+type Universe struct {
+	terms []Term
+	index map[Term]TermID
+}
+
+// NewUniverse returns a Universe containing only the Top term.
+func NewUniverse() *Universe {
+	u := &Universe{index: make(map[Term]TermID)}
+	top := Term{Kind: KindTop}
+	u.terms = append(u.terms, top)
+	u.index[top] = Top
+	return u
+}
+
+// Intern returns the ID for t, adding it to the universe if new.
+func (u *Universe) Intern(t Term) TermID {
+	if id, ok := u.index[t]; ok {
+		return id
+	}
+	id := TermID(len(u.terms))
+	u.terms = append(u.terms, t)
+	u.index[t] = id
+	return id
+}
+
+// Lookup returns the ID for t and whether it exists.
+func (u *Universe) Lookup(t Term) (TermID, bool) {
+	id, ok := u.index[t]
+	return id, ok
+}
+
+// Term returns the term for id. It panics on an out-of-range ID.
+func (u *Universe) Term(id TermID) Term { return u.terms[id] }
+
+// Len returns the number of interned terms, including Top.
+func (u *Universe) Len() int { return len(u.terms) }
+
+// Set is an immutable sorted set of term IDs. The zero value is the empty
+// set, whose numeric value is 0 (no ACE traffic reaches the node).
+type Set struct {
+	ids []TermID // sorted ascending, unique
+}
+
+// Singleton returns the set {id}.
+func Singleton(id TermID) Set { return Set{ids: []TermID{id}} }
+
+// TopSet returns the set {Top}, evaluating to 1.0.
+func TopSet() Set { return Singleton(Top) }
+
+// NewSet builds a set from the given IDs (deduplicated, any order).
+func NewSet(ids ...TermID) Set {
+	if len(ids) == 0 {
+		return Set{}
+	}
+	cp := make([]TermID, len(ids))
+	copy(cp, ids)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	out := cp[:1]
+	for _, id := range cp[1:] {
+		if id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return Set{ids: out}
+}
+
+// Len returns the number of terms in the set.
+func (s Set) Len() int { return len(s.ids) }
+
+// IsEmpty reports whether the set has no terms.
+func (s Set) IsEmpty() bool { return len(s.ids) == 0 }
+
+// HasTop reports whether the set contains the ⊤ term.
+func (s Set) HasTop() bool { return len(s.ids) > 0 && s.ids[0] == Top }
+
+// Contains reports whether the set contains id.
+func (s Set) Contains(id TermID) bool {
+	i := sort.Search(len(s.ids), func(i int) bool { return s.ids[i] >= id })
+	return i < len(s.ids) && s.ids[i] == id
+}
+
+// IDs returns the terms in ascending order. The returned slice must not be
+// modified.
+func (s Set) IDs() []TermID { return s.ids }
+
+// Equal reports whether two sets hold identical terms.
+func (s Set) Equal(o Set) bool {
+	if len(s.ids) != len(o.ids) {
+		return false
+	}
+	for i, id := range s.ids {
+		if o.ids[i] != id {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns s ∪ o. Union is idempotent, commutative and associative —
+// the set-theory rules of Section 4.1 that keep repeated contributions from
+// double counting (Figure 7: pAVF_1 ∪ (pAVF_1 ∪ pAVF_2) = pAVF_1 ∪ pAVF_2).
+// If either side contains Top the result collapses to {Top}: no additional
+// term can raise the value past 1.0, and collapsing keeps sets small.
+func (s Set) Union(o Set) Set {
+	if s.HasTop() || o.HasTop() {
+		return TopSet()
+	}
+	if len(s.ids) == 0 {
+		return o
+	}
+	if len(o.ids) == 0 {
+		return s
+	}
+	merged := make([]TermID, 0, len(s.ids)+len(o.ids))
+	i, j := 0, 0
+	for i < len(s.ids) && j < len(o.ids) {
+		switch {
+		case s.ids[i] < o.ids[j]:
+			merged = append(merged, s.ids[i])
+			i++
+		case s.ids[i] > o.ids[j]:
+			merged = append(merged, o.ids[j])
+			j++
+		default:
+			merged = append(merged, s.ids[i])
+			i++
+			j++
+		}
+	}
+	merged = append(merged, s.ids[i:]...)
+	merged = append(merged, o.ids[j:]...)
+	return Set{ids: merged}
+}
+
+// UnionAll folds Union over the given sets.
+func UnionAll(sets ...Set) Set {
+	var acc Set
+	for _, s := range sets {
+		acc = acc.Union(s)
+	}
+	return acc
+}
+
+// Env assigns a numeric pAVF to every term in a Universe. Index by TermID.
+// Env[Top] must be 1.0 (NewEnv guarantees it).
+type Env []float64
+
+// NewEnv returns an environment sized for u with Top = 1.0 and all other
+// terms 0.
+func NewEnv(u *Universe) Env {
+	e := make(Env, u.Len())
+	e[Top] = 1.0
+	return e
+}
+
+// Set assigns value v to term id, clamping to [0, 1].
+func (e Env) Set(id TermID, v float64) {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	e[id] = v
+}
+
+// Eval returns the numeric value of s under e: min(1, Σ values). The empty
+// set evaluates to 0.
+func (s Set) Eval(e Env) float64 {
+	sum := 0.0
+	for _, id := range s.ids {
+		sum += e[id]
+		if sum >= 1 {
+			return 1
+		}
+	}
+	return sum
+}
+
+// Format renders the set as a human-readable union expression under u,
+// e.g. "pAVF_R(S1) + pAVF_R(S2)". The empty set renders as "0".
+func (s Set) Format(u *Universe) string {
+	if len(s.ids) == 0 {
+		return "0"
+	}
+	parts := make([]string, len(s.ids))
+	for i, id := range s.ids {
+		parts[i] = u.Term(id).String()
+	}
+	return strings.Join(parts, " + ")
+}
+
+// Expr is the closed-form AVF equation for one node after propagation
+// (Section 5.1): AVF = MIN(eval(Fwd), eval(Bwd)). A side that was never
+// reached by a walk is conservatively ⊤ (1.0); Known* record reachability
+// so visitation statistics can be reported.
+type Expr struct {
+	Fwd      Set
+	Bwd      Set
+	KnownFwd bool
+	KnownBwd bool
+}
+
+// Visited reports whether at least one walk reached the node.
+func (x Expr) Visited() bool { return x.KnownFwd || x.KnownBwd }
+
+// FwdValue returns the forward estimate under e (1.0 when unvisited).
+func (x Expr) FwdValue(e Env) float64 {
+	if !x.KnownFwd {
+		return 1
+	}
+	return x.Fwd.Eval(e)
+}
+
+// BwdValue returns the backward estimate under e (1.0 when unvisited).
+func (x Expr) BwdValue(e Env) float64 {
+	if !x.KnownBwd {
+		return 1
+	}
+	return x.Bwd.Eval(e)
+}
+
+// Eval resolves the node AVF under e: the smaller of the two conservative
+// estimates (Table 1's MIN rule).
+func (x Expr) Eval(e Env) float64 {
+	f, b := x.FwdValue(e), x.BwdValue(e)
+	if b < f {
+		return b
+	}
+	return f
+}
+
+// Format renders the closed-form equation, e.g.
+// "MIN(pAVF_R(S1) + pAVF_R(S2), pAVF_W(S3))".
+func (x Expr) Format(u *Universe) string {
+	fwd, bwd := "1.0", "1.0"
+	if x.KnownFwd {
+		fwd = x.Fwd.Format(u)
+	}
+	if x.KnownBwd {
+		bwd = x.Bwd.Format(u)
+	}
+	return fmt.Sprintf("MIN(%s, %s)", fwd, bwd)
+}

@@ -1,0 +1,248 @@
+package pavf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testUniverse(t *testing.T) (*Universe, TermID, TermID, TermID) {
+	t.Helper()
+	u := NewUniverse()
+	s1 := u.Intern(Term{Kind: KindReadPort, Name: "S1.rd"})
+	s2 := u.Intern(Term{Kind: KindReadPort, Name: "S2.rd"})
+	w3 := u.Intern(Term{Kind: KindWritePort, Name: "S3.wr"})
+	return u, s1, s2, w3
+}
+
+func TestUniverseInternIsStable(t *testing.T) {
+	u := NewUniverse()
+	a := u.Intern(Term{Kind: KindReadPort, Name: "X"})
+	b := u.Intern(Term{Kind: KindReadPort, Name: "X"})
+	if a != b {
+		t.Fatalf("re-interning produced new ID: %d vs %d", a, b)
+	}
+	if u.Len() != 2 { // Top + X
+		t.Fatalf("universe size = %d, want 2", u.Len())
+	}
+	if got := u.Term(a); got.Name != "X" {
+		t.Fatalf("Term() roundtrip failed: %+v", got)
+	}
+}
+
+func TestUniverseHasTopAtZero(t *testing.T) {
+	u := NewUniverse()
+	if u.Term(Top).Kind != KindTop {
+		t.Fatal("Top term not at ID 0")
+	}
+	if _, ok := u.Lookup(Term{Kind: KindTop}); !ok {
+		t.Fatal("Top not findable")
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	_, s1, s2, _ := testUniverse(t)
+	empty := Set{}
+	if !empty.IsEmpty() || empty.Len() != 0 {
+		t.Fatal("zero Set should be empty")
+	}
+	s := NewSet(s2, s1, s2, s1)
+	if s.Len() != 2 {
+		t.Fatalf("NewSet dedup failed: %v", s.IDs())
+	}
+	if !s.Contains(s1) || !s.Contains(s2) || s.Contains(Top) {
+		t.Fatal("Contains wrong")
+	}
+	if got := s.IDs(); got[0] > got[1] {
+		t.Fatal("IDs not sorted")
+	}
+}
+
+func TestUnionIdempotent(t *testing.T) {
+	_, s1, s2, _ := testUniverse(t)
+	a := Singleton(s1)
+	b := NewSet(s1, s2)
+	// Figure 7: pAVF_1 U (pAVF_1 U pAVF_2) = pAVF_1 U pAVF_2.
+	got := a.Union(b)
+	if !got.Equal(b) {
+		t.Fatalf("idempotent union failed: %v", got.IDs())
+	}
+	if !a.Union(a).Equal(a) {
+		t.Fatal("self-union should be identity")
+	}
+}
+
+func TestUnionWithEmptyAndTop(t *testing.T) {
+	_, s1, _, _ := testUniverse(t)
+	a := Singleton(s1)
+	if !a.Union(Set{}).Equal(a) || !(Set{}).Union(a).Equal(a) {
+		t.Fatal("union with empty should be identity")
+	}
+	top := TopSet()
+	if !a.Union(top).Equal(top) || !top.Union(a).Equal(top) {
+		t.Fatal("union with Top should collapse to Top")
+	}
+	if !top.HasTop() {
+		t.Fatal("HasTop")
+	}
+}
+
+func TestUnionAll(t *testing.T) {
+	_, s1, s2, w3 := testUniverse(t)
+	got := UnionAll(Singleton(s1), Singleton(s2), Singleton(w3))
+	want := NewSet(s1, s2, w3)
+	if !got.Equal(want) {
+		t.Fatalf("UnionAll = %v, want %v", got.IDs(), want.IDs())
+	}
+	if !UnionAll().IsEmpty() {
+		t.Fatal("UnionAll() should be empty")
+	}
+}
+
+func TestEvalCappedSum(t *testing.T) {
+	u, s1, s2, w3 := testUniverse(t)
+	env := NewEnv(u)
+	env.Set(s1, 0.10)
+	env.Set(s2, 0.02)
+	env.Set(w3, 0.95)
+
+	if got := Singleton(s1).Eval(env); math.Abs(got-0.10) > 1e-12 {
+		t.Fatalf("singleton eval = %v", got)
+	}
+	// Figure 7: union evaluates as the sum (0.12).
+	if got := NewSet(s1, s2).Eval(env); math.Abs(got-0.12) > 1e-12 {
+		t.Fatalf("join eval = %v, want 0.12", got)
+	}
+	// Capped at 1.0.
+	if got := NewSet(s1, s2, w3).Eval(env); got != 1 {
+		t.Fatalf("capped eval = %v, want 1", got)
+	}
+	if got := (Set{}).Eval(env); got != 0 {
+		t.Fatalf("empty eval = %v, want 0", got)
+	}
+	if got := TopSet().Eval(env); got != 1 {
+		t.Fatalf("top eval = %v, want 1", got)
+	}
+}
+
+func TestEnvClamping(t *testing.T) {
+	u, s1, _, _ := testUniverse(t)
+	env := NewEnv(u)
+	env.Set(s1, 1.7)
+	if env[s1] != 1 {
+		t.Fatalf("env should clamp to 1, got %v", env[s1])
+	}
+	env.Set(s1, -0.5)
+	if env[s1] != 0 {
+		t.Fatalf("env should clamp to 0, got %v", env[s1])
+	}
+	if env[Top] != 1 {
+		t.Fatal("Top must be 1.0 in a fresh env")
+	}
+}
+
+func TestExprEvalMinRule(t *testing.T) {
+	u, s1, s2, w3 := testUniverse(t)
+	env := NewEnv(u)
+	env.Set(s1, 0.10)
+	env.Set(s2, 0.02)
+	env.Set(w3, 0.05)
+
+	// Table 1 logical-join row: AVF(Q2a) = MIN(pAVF_R(S1)+pAVF_R(S2), pAVF_W(S3)).
+	x := Expr{Fwd: NewSet(s1, s2), Bwd: Singleton(w3), KnownFwd: true, KnownBwd: true}
+	if got := x.Eval(env); math.Abs(got-0.05) > 1e-12 {
+		t.Fatalf("MIN eval = %v, want 0.05", got)
+	}
+	env.Set(w3, 0.5)
+	if got := x.Eval(env); math.Abs(got-0.12) > 1e-12 {
+		t.Fatalf("MIN eval = %v, want 0.12", got)
+	}
+}
+
+func TestExprUnvisitedSidesAreConservative(t *testing.T) {
+	u, s1, _, _ := testUniverse(t)
+	env := NewEnv(u)
+	env.Set(s1, 0.25)
+
+	onlyFwd := Expr{Fwd: Singleton(s1), KnownFwd: true}
+	if got := onlyFwd.Eval(env); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("fwd-only eval = %v", got)
+	}
+	if onlyFwd.BwdValue(env) != 1 {
+		t.Fatal("unknown bwd side must be 1.0")
+	}
+	unvisited := Expr{}
+	if unvisited.Eval(env) != 1 {
+		t.Fatal("unvisited node must resolve to 1.0")
+	}
+	if unvisited.Visited() {
+		t.Fatal("Visited() on zero Expr")
+	}
+	if !onlyFwd.Visited() {
+		t.Fatal("Visited() should be true with one side known")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	u, s1, s2, w3 := testUniverse(t)
+	x := Expr{Fwd: NewSet(s1, s2), Bwd: Singleton(w3), KnownFwd: true, KnownBwd: true}
+	got := x.Format(u)
+	want := "MIN(pAVF_R(S1.rd) + pAVF_R(S2.rd), pAVF_W(S3.wr))"
+	if got != want {
+		t.Fatalf("Format = %q, want %q", got, want)
+	}
+	if got := (Set{}).Format(u); got != "0" {
+		t.Fatalf("empty set format = %q", got)
+	}
+	if got := (Expr{}).Format(u); got != "MIN(1.0, 1.0)" {
+		t.Fatalf("unvisited format = %q", got)
+	}
+}
+
+// Properties of the algebra, checked with testing/quick over random sets.
+
+func randomSet(u *Universe, raw []uint8) Set {
+	ids := make([]TermID, 0, len(raw))
+	for _, b := range raw {
+		ids = append(ids, TermID(int(b)%u.Len()))
+	}
+	return NewSet(ids...)
+}
+
+func TestUnionProperties(t *testing.T) {
+	u := NewUniverse()
+	for i := 0; i < 12; i++ {
+		u.Intern(Term{Kind: KindReadPort, Name: string(rune('A' + i))})
+	}
+	env := NewEnv(u)
+	for i := 1; i < u.Len(); i++ {
+		env.Set(TermID(i), float64(i)/20)
+	}
+
+	commutative := func(a, b []uint8) bool {
+		x, y := randomSet(u, a), randomSet(u, b)
+		return x.Union(y).Equal(y.Union(x))
+	}
+	associative := func(a, b, c []uint8) bool {
+		x, y, z := randomSet(u, a), randomSet(u, b), randomSet(u, c)
+		return x.Union(y).Union(z).Equal(x.Union(y.Union(z)))
+	}
+	monotone := func(a, b []uint8) bool {
+		x, y := randomSet(u, a), randomSet(u, b)
+		return x.Union(y).Eval(env) >= x.Eval(env)-1e-12
+	}
+	bounded := func(a []uint8) bool {
+		v := randomSet(u, a).Eval(env)
+		return v >= 0 && v <= 1
+	}
+	for name, f := range map[string]any{
+		"commutative": commutative,
+		"associative": associative,
+		"monotone":    monotone,
+		"bounded":     bounded,
+	} {
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

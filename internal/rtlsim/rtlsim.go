@@ -1,0 +1,506 @@
+// Package rtlsim is a cycle-accurate simulator for flattened netlists —
+// the "slow, detailed RTL simulation" side of the paper's trade-off, used
+// by the statistical fault injection baseline (internal/sfi) and to
+// validate the hand-built netlist core against the architectural model.
+//
+// Word-level combinational nodes are levelized once and evaluated in
+// dependency order every cycle; sequential nodes latch at the cycle edge;
+// structure ports delegate to behavioral models (register files, RAMs,
+// ROMs) registered per structure — mirroring how real RTL instantiates
+// array macros that are modeled behaviorally.
+package rtlsim
+
+import (
+	"fmt"
+
+	"seqavf/internal/netlist"
+)
+
+// StructSim is a behavioral model backing one netlist structure.
+type StructSim interface {
+	// Read services a read port: addrs are the port's address/enable
+	// input values in declaration order.
+	Read(port string, addrs []uint64) uint64
+	// Write captures a write port at the cycle edge.
+	Write(port string, data uint64, addrs []uint64)
+	// Tick advances internal state at the end of a cycle.
+	Tick()
+	// Clone returns a deep copy (for golden/fault paired simulation).
+	Clone() StructSim
+	// Hash folds the structure state into a comparison hash.
+	Hash() uint64
+}
+
+type nodeKind uint8
+
+const (
+	nkInput nodeKind = iota
+	nkOutput
+	nkSeq
+	nkComb
+	nkConst
+	nkSRead
+	nkSWrite
+)
+
+type simNode struct {
+	kind   nodeKind
+	node   *netlist.Node
+	fub    int32
+	mask   uint64
+	inputs []int32 // global node indices
+	// driver is the cross-FUB source for driven input ports (-1 none).
+	driver int32
+	strct  int32 // index into Sim.structs for struct ports
+}
+
+// Sim is an instantiated simulation of a flattened design.
+type Sim struct {
+	fd    *netlist.FlatDesign
+	nodes []simNode
+	// order lists nodes needing per-cycle evaluation, in dependency order.
+	order []int32
+	// seqs/swrites are updated at the cycle edge.
+	seqs    []int32
+	swrites []int32
+
+	structNames []string
+	structs     []StructSim
+
+	vals  []uint64 // current settled values (seq nodes: state)
+	cycle uint64
+
+	index map[string]int32 // "fub/node" -> index
+}
+
+// New builds a simulator for fd. structs supplies a behavioral model per
+// structure name; every structure referenced by a port must be present.
+func New(fd *netlist.FlatDesign, structs map[string]StructSim) (*Sim, error) {
+	s := &Sim{fd: fd, index: make(map[string]int32)}
+	// Stable structure table.
+	for _, name := range sortedKeys(structs) {
+		s.structNames = append(s.structNames, name)
+		s.structs = append(s.structs, structs[name])
+	}
+	structIdx := make(map[string]int32)
+	for i, n := range s.structNames {
+		structIdx[n] = int32(i)
+	}
+
+	// Create nodes.
+	for fi, fub := range fd.Fubs {
+		for _, n := range fub.Nodes {
+			idx := int32(len(s.nodes))
+			s.index[fub.Name+"/"+n.Name] = idx
+			sn := simNode{node: n, fub: int32(fi), mask: widthMask(n.Width), driver: -1, strct: -1}
+			switch n.Kind {
+			case netlist.KindInput:
+				sn.kind = nkInput
+			case netlist.KindOutput:
+				sn.kind = nkOutput
+			case netlist.KindSeq:
+				sn.kind = nkSeq
+			case netlist.KindComb:
+				sn.kind = nkComb
+			case netlist.KindConst:
+				sn.kind = nkConst
+			case netlist.KindStructRead:
+				sn.kind = nkSRead
+				si, ok := structIdx[n.Struct]
+				if !ok {
+					return nil, fmt.Errorf("rtlsim: no behavioral model for structure %q", n.Struct)
+				}
+				sn.strct = si
+			case netlist.KindStructWrite:
+				sn.kind = nkSWrite
+				si, ok := structIdx[n.Struct]
+				if !ok {
+					return nil, fmt.Errorf("rtlsim: no behavioral model for structure %q", n.Struct)
+				}
+				sn.strct = si
+			default:
+				return nil, fmt.Errorf("rtlsim: unsupported node kind %v", n.Kind)
+			}
+			s.nodes = append(s.nodes, sn)
+		}
+	}
+	// Resolve inputs.
+	for i := range s.nodes {
+		sn := &s.nodes[i]
+		fub := fd.Fubs[sn.fub]
+		sn.inputs = make([]int32, len(sn.node.Inputs))
+		for j, ref := range sn.node.Inputs {
+			idx, ok := s.index[fub.Name+"/"+ref]
+			if !ok {
+				return nil, fmt.Errorf("rtlsim: %s/%s references unknown %q", fub.Name, sn.node.Name, ref)
+			}
+			sn.inputs[j] = idx
+		}
+		if sn.kind == nkSeq {
+			s.seqs = append(s.seqs, int32(i))
+		}
+		if sn.kind == nkSWrite {
+			s.swrites = append(s.swrites, int32(i))
+		}
+	}
+	// Cross-FUB drivers.
+	for _, c := range fd.Connects {
+		from, ok1 := s.index[c.From.Fub+"/"+c.From.Port]
+		to, ok2 := s.index[c.To.Fub+"/"+c.To.Port]
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("rtlsim: bad connect %v -> %v", c.From, c.To)
+		}
+		s.nodes[to].driver = from
+	}
+	if err := s.levelize(); err != nil {
+		return nil, err
+	}
+	s.vals = make([]uint64, len(s.nodes))
+	s.Reset()
+	return s, nil
+}
+
+func widthMask(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(w) - 1
+}
+
+// levelize orders per-cycle evaluated nodes (everything except seq/const,
+// whose values are state) by combinational dependency.
+func (s *Sim) levelize() error {
+	n := len(s.nodes)
+	evaluated := func(i int32) bool {
+		k := s.nodes[i].kind
+		return k == nkComb || k == nkOutput || k == nkInput || k == nkSRead || k == nkSWrite
+	}
+	indeg := make([]int32, n)
+	succs := make([][]int32, n)
+	addDep := func(from, to int32) {
+		if evaluated(from) {
+			succs[from] = append(succs[from], to)
+			indeg[to]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		sn := &s.nodes[i]
+		if !evaluated(int32(i)) {
+			continue
+		}
+		for _, in := range sn.inputs {
+			addDep(in, int32(i))
+		}
+		if sn.kind == nkInput && sn.driver >= 0 {
+			addDep(sn.driver, int32(i))
+		}
+	}
+	var queue []int32
+	for i := 0; i < n; i++ {
+		if evaluated(int32(i)) && indeg[i] == 0 {
+			queue = append(queue, int32(i))
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		s.order = append(s.order, v)
+		for _, w := range succs[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	want := 0
+	for i := 0; i < n; i++ {
+		if evaluated(int32(i)) {
+			want++
+		}
+	}
+	if len(s.order) != want {
+		return fmt.Errorf("rtlsim: combinational cycle (%d of %d ordered)", len(s.order), want)
+	}
+	return nil
+}
+
+// Reset restores registers to their init values and cycle to 0. Structure
+// models are NOT reset (recreate the Sim for a fully fresh machine).
+func (s *Sim) Reset() {
+	for _, i := range s.seqs {
+		s.vals[i] = s.nodes[i].node.Init & s.nodes[i].mask
+	}
+	for i := range s.nodes {
+		if s.nodes[i].kind == nkConst {
+			s.vals[i] = uint64(s.nodes[i].node.Param) & s.nodes[i].mask
+		}
+	}
+	s.cycle = 0
+	s.settle()
+}
+
+// Cycle returns the current cycle count.
+func (s *Sim) Cycle() uint64 { return s.cycle }
+
+// settle evaluates all combinational logic against current state.
+func (s *Sim) settle() {
+	for _, i := range s.order {
+		sn := &s.nodes[i]
+		switch sn.kind {
+		case nkInput:
+			if sn.driver >= 0 {
+				s.vals[i] = s.vals[sn.driver]
+			}
+			// Undriven inputs keep their externally poked value.
+		case nkOutput:
+			s.vals[i] = s.vals[sn.inputs[0]]
+		case nkComb:
+			s.vals[i] = s.evalComb(sn)
+		case nkSRead:
+			addrs := make([]uint64, len(sn.inputs))
+			for j, in := range sn.inputs {
+				addrs[j] = s.vals[in]
+			}
+			s.vals[i] = s.structs[sn.strct].Read(sn.node.Port, addrs) & sn.mask
+		case nkSWrite:
+			// Captured at the edge; nothing to settle.
+		}
+	}
+}
+
+func (s *Sim) evalComb(sn *simNode) uint64 {
+	in := func(j int) uint64 { return s.vals[sn.inputs[j]] }
+	var v uint64
+	switch sn.node.Op {
+	case netlist.OpPass:
+		v = in(0)
+	case netlist.OpNot:
+		v = ^in(0)
+	case netlist.OpAnd:
+		v = in(0)
+		for j := 1; j < len(sn.inputs); j++ {
+			v &= in(j)
+		}
+	case netlist.OpOr:
+		v = in(0)
+		for j := 1; j < len(sn.inputs); j++ {
+			v |= in(j)
+		}
+	case netlist.OpXor:
+		v = in(0)
+		for j := 1; j < len(sn.inputs); j++ {
+			v ^= in(j)
+		}
+	case netlist.OpNand:
+		v = ^(in(0) & in(1))
+	case netlist.OpNor:
+		v = ^(in(0) | in(1))
+	case netlist.OpXnor:
+		v = ^(in(0) ^ in(1))
+	case netlist.OpMux:
+		if in(0)&1 == 1 {
+			v = in(2)
+		} else {
+			v = in(1)
+		}
+	case netlist.OpAdd:
+		v = in(0) + in(1)
+	case netlist.OpSub:
+		v = in(0) - in(1)
+	case netlist.OpMul:
+		v = in(0) * in(1)
+	case netlist.OpShl:
+		sh := in(1) & 63
+		v = in(0) << sh
+	case netlist.OpShr:
+		sh := in(1) & 63
+		v = (in(0) & sn.mask) >> sh
+	case netlist.OpEq:
+		if in(0)&s.nodes[sn.inputs[0]].mask == in(1)&s.nodes[sn.inputs[1]].mask {
+			v = 1
+		}
+	case netlist.OpNe:
+		if in(0)&s.nodes[sn.inputs[0]].mask != in(1)&s.nodes[sn.inputs[1]].mask {
+			v = 1
+		}
+	case netlist.OpLt:
+		if in(0)&s.nodes[sn.inputs[0]].mask < in(1)&s.nodes[sn.inputs[1]].mask {
+			v = 1
+		}
+	case netlist.OpRedAnd:
+		if in(0)&s.nodes[sn.inputs[0]].mask == s.nodes[sn.inputs[0]].mask {
+			v = 1
+		}
+	case netlist.OpRedOr:
+		if in(0)&s.nodes[sn.inputs[0]].mask != 0 {
+			v = 1
+		}
+	case netlist.OpRedXor:
+		x := in(0) & s.nodes[sn.inputs[0]].mask
+		x ^= x >> 32
+		x ^= x >> 16
+		x ^= x >> 8
+		x ^= x >> 4
+		x ^= x >> 2
+		x ^= x >> 1
+		v = x & 1
+	case netlist.OpSelect:
+		v = in(0) >> uint(sn.node.Param)
+	case netlist.OpConcat:
+		off := uint(0)
+		for j := 0; j < len(sn.inputs); j++ {
+			w := uint(s.nodes[sn.inputs[j]].node.Width)
+			v |= (in(j) & widthMask(int(w))) << off
+			off += w
+		}
+	case netlist.OpShlK:
+		v = in(0) << uint(sn.node.Param)
+	case netlist.OpShrK:
+		v = (in(0) & sn.mask) >> uint(sn.node.Param)
+	case netlist.OpDecode:
+		idx := in(0) & s.nodes[sn.inputs[0]].mask
+		if idx < 64 {
+			v = 1 << idx
+		}
+	}
+	return v & sn.mask
+}
+
+// Step advances one clock cycle: capture sequential next-state and
+// structure writes against the settled logic, commit, then re-settle.
+func (s *Sim) Step() {
+	// Capture.
+	next := make([]uint64, len(s.seqs))
+	for k, i := range s.seqs {
+		sn := &s.nodes[i]
+		d := s.vals[sn.inputs[0]] & sn.mask
+		if sn.node.HasEnable() && s.vals[sn.inputs[1]]&1 == 0 {
+			d = s.vals[i] // hold
+		}
+		next[k] = d
+	}
+	for _, i := range s.swrites {
+		sn := &s.nodes[i]
+		data := s.vals[sn.inputs[0]]
+		addrs := make([]uint64, len(sn.inputs)-1)
+		for j := 1; j < len(sn.inputs); j++ {
+			addrs[j-1] = s.vals[sn.inputs[j]]
+		}
+		s.structs[sn.strct].Write(sn.node.Port, data, addrs)
+	}
+	// Commit.
+	for k, i := range s.seqs {
+		s.vals[i] = next[k]
+	}
+	for _, st := range s.structs {
+		st.Tick()
+	}
+	s.cycle++
+	s.settle()
+}
+
+// Value returns the settled value of fub/node.
+func (s *Sim) Value(fub, node string) (uint64, error) {
+	i, ok := s.index[fub+"/"+node]
+	if !ok {
+		return 0, fmt.Errorf("rtlsim: unknown node %s/%s", fub, node)
+	}
+	return s.vals[i], nil
+}
+
+// SetInput pokes an undriven FUB input port (external stimulus). The new
+// value takes effect at the next settle (Step or Settle).
+func (s *Sim) SetInput(fub, port string, v uint64) error {
+	i, ok := s.index[fub+"/"+port]
+	if !ok || s.nodes[i].kind != nkInput {
+		return fmt.Errorf("rtlsim: %s/%s is not an input port", fub, port)
+	}
+	if s.nodes[i].driver >= 0 {
+		return fmt.Errorf("rtlsim: input %s/%s is driven internally", fub, port)
+	}
+	s.vals[i] = v & s.nodes[i].mask
+	return nil
+}
+
+// Settle re-evaluates combinational logic (after SetInput or FlipBit).
+func (s *Sim) Settle() { s.settle() }
+
+// SeqSite names one injectable sequential bit.
+type SeqSite struct {
+	Fub, Node string
+	Width     int
+}
+
+// SeqSites lists every sequential node (the SFI injection universe).
+func (s *Sim) SeqSites() []SeqSite {
+	var out []SeqSite
+	for i := range s.nodes {
+		if s.nodes[i].kind == nkSeq {
+			out = append(out, SeqSite{
+				Fub:   s.fd.Fubs[s.nodes[i].fub].Name,
+				Node:  s.nodes[i].node.Name,
+				Width: s.nodes[i].node.Width,
+			})
+		}
+	}
+	return out
+}
+
+// FlipBit injects a single-event upset into bit of a sequential node and
+// re-settles downstream logic.
+func (s *Sim) FlipBit(fub, node string, bit int) error {
+	i, ok := s.index[fub+"/"+node]
+	if !ok {
+		return fmt.Errorf("rtlsim: unknown node %s/%s", fub, node)
+	}
+	if s.nodes[i].kind != nkSeq {
+		return fmt.Errorf("rtlsim: %s/%s is not sequential", fub, node)
+	}
+	if bit < 0 || bit >= s.nodes[i].node.Width {
+		return fmt.Errorf("rtlsim: bit %d out of range for %s/%s", bit, fub, node)
+	}
+	s.vals[i] ^= 1 << uint(bit)
+	s.settle()
+	return nil
+}
+
+// Clone deep-copies the machine (registers, cycle, structures).
+func (s *Sim) Clone() *Sim {
+	c := *s
+	c.vals = append([]uint64(nil), s.vals...)
+	c.structs = make([]StructSim, len(s.structs))
+	for i, st := range s.structs {
+		c.structs[i] = st.Clone()
+	}
+	return &c
+}
+
+// Hash folds all architectural state (registers + structures) into a
+// comparison hash, used by SFI to detect resident-but-unpropagated faults.
+func (s *Sim) Hash() uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	for _, i := range s.seqs {
+		mix(s.vals[i])
+	}
+	for _, st := range s.structs {
+		mix(st.Hash())
+	}
+	return h
+}
+
+func sortedKeys(m map[string]StructSim) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

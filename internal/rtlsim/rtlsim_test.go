@@ -1,0 +1,358 @@
+package rtlsim
+
+import (
+	"strings"
+	"testing"
+
+	"seqavf/internal/netlist"
+)
+
+func counterSim(t *testing.T) *Sim {
+	t.Helper()
+	d := netlist.NewDesign("cnt")
+	m := d.AddModule("m")
+	b := netlist.Build(m)
+	one := b.Const("one", 8, 1)
+	b.Seq("count", 8, "next")
+	b.C("next", 8, netlist.OpAdd, "count", one)
+	b.Out("q", 8, "count")
+	d.AddFub("F", "m")
+	return mustSim(t, d, nil)
+}
+
+func mustSim(t *testing.T, d *netlist.Design, structs map[string]StructSim) *Sim {
+	t.Helper()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	fd, err := netlist.Flatten(d)
+	if err != nil {
+		t.Fatalf("Flatten: %v", err)
+	}
+	s, err := New(fd, structs)
+	if err != nil {
+		t.Fatalf("rtlsim.New: %v", err)
+	}
+	return s
+}
+
+func val(t *testing.T, s *Sim, fub, node string) uint64 {
+	t.Helper()
+	v, err := s.Value(fub, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestCounterCounts(t *testing.T) {
+	s := counterSim(t)
+	for want := uint64(0); want < 10; want++ {
+		if got := val(t, s, "F", "count"); got != want {
+			t.Fatalf("cycle %d: count = %d, want %d", s.Cycle(), got, want)
+		}
+		s.Step()
+	}
+	if s.Cycle() != 10 {
+		t.Fatalf("cycle = %d", s.Cycle())
+	}
+}
+
+func TestCounterWraps(t *testing.T) {
+	s := counterSim(t)
+	for i := 0; i < 256; i++ {
+		s.Step()
+	}
+	if got := val(t, s, "F", "count"); got != 0 {
+		t.Fatalf("8-bit counter should wrap: %d", got)
+	}
+}
+
+func TestCombOps(t *testing.T) {
+	d := netlist.NewDesign("ops")
+	m := d.AddModule("m")
+	b := netlist.Build(m)
+	a := b.Const("a", 8, 0b1100)
+	c := b.Const("c", 8, 0b1010)
+	sel := b.Const("s1", 1, 1)
+	b.C("and", 8, netlist.OpAnd, a, c)
+	b.C("or", 8, netlist.OpOr, a, c)
+	b.C("xor", 8, netlist.OpXor, a, c)
+	b.C("not", 8, netlist.OpNot, a)
+	b.C("add", 8, netlist.OpAdd, a, c)
+	b.C("sub", 8, netlist.OpSub, a, c)
+	b.C("mul", 8, netlist.OpMul, a, c)
+	b.Mux("mux", 8, sel, a, c)
+	b.C("eq", 1, netlist.OpEq, a, a)
+	b.C("ne", 1, netlist.OpNe, a, c)
+	b.C("lt", 1, netlist.OpLt, c, a)
+	b.C("redor", 1, netlist.OpRedOr, a)
+	b.C("redand", 1, netlist.OpRedAnd, a)
+	b.C("redxor", 1, netlist.OpRedXor, a)
+	b.Select("sel2", 2, a, 2)
+	b.C("cat", 16, netlist.OpConcat, a, c)
+	b.CP("shlk", 8, netlist.OpShlK, 2, a)
+	b.CP("shrk", 8, netlist.OpShrK, 1, a)
+	b.C("dec", 16, netlist.OpDecode, "sel2")
+	b.Out("o", 8, "and")
+	d.AddFub("F", "m")
+	s := mustSim(t, d, nil)
+
+	cases := map[string]uint64{
+		"and": 0b1000, "or": 0b1110, "xor": 0b0110,
+		"not": 0xF3, "add": 22, "sub": 2, "mul": 120,
+		"mux": 0b1010, "eq": 1, "ne": 1, "lt": 1,
+		"redor": 1, "redand": 0, "redxor": 0,
+		"sel2": 0b11, "cat": 0b1010_00001100, "shlk": 0b110000, "shrk": 0b110,
+		"dec": 1 << 3,
+	}
+	for node, want := range cases {
+		if got := val(t, s, "F", node); got != want {
+			t.Errorf("%s = %#b, want %#b", node, got, want)
+		}
+	}
+}
+
+func TestEnabledSeqHolds(t *testing.T) {
+	d := netlist.NewDesign("en")
+	m := d.AddModule("m")
+	b := netlist.Build(m)
+	en := b.In("en", 1)
+	din := b.In("din", 8)
+	b.SeqEn("r", 8, din, en)
+	b.Out("q", 8, "r")
+	d.AddFub("F", "m")
+	s := mustSim(t, d, nil)
+
+	if err := s.SetInput("F", "din", 0x5A); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetInput("F", "en", 0); err != nil {
+		t.Fatal(err)
+	}
+	s.Settle()
+	s.Step()
+	if got := val(t, s, "F", "r"); got != 0 {
+		t.Fatalf("disabled latch captured: %#x", got)
+	}
+	if err := s.SetInput("F", "en", 1); err != nil {
+		t.Fatal(err)
+	}
+	s.Settle()
+	s.Step()
+	if got := val(t, s, "F", "r"); got != 0x5A {
+		t.Fatalf("enabled latch missed: %#x", got)
+	}
+}
+
+func structDesign(t *testing.T) (*netlist.Design, *RegArray) {
+	t.Helper()
+	d := netlist.NewDesign("rf")
+	d.AddStructure("RF", 16, 32)
+	m := d.AddModule("m")
+	b := netlist.Build(m)
+	addr := b.In("addr", 4)
+	wdata := b.In("wdata", 32)
+	wen := b.In("wen", 1)
+	rd := b.SRead("rf_rd", 32, "RF", "rd0", addr)
+	b.SWrite("rf_wr", "RF", "wr0", wdata, addr, wen)
+	b.Out("q", 32, rd)
+	d.AddFub("F", "m")
+	return d, NewRegArray(16, 32, true)
+}
+
+func TestStructReadWrite(t *testing.T) {
+	d, rf := structDesign(t)
+	s := mustSim(t, d, map[string]StructSim{"RF": rf})
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.SetInput("F", "addr", 5))
+	must(s.SetInput("F", "wdata", 1234))
+	must(s.SetInput("F", "wen", 1))
+	s.Settle()
+	s.Step() // write commits at the edge
+	must(s.SetInput("F", "wen", 0))
+	s.Settle()
+	if got := val(t, s, "F", "q"); got != 1234 {
+		t.Fatalf("readback = %d", got)
+	}
+	// Zero-entry pinning.
+	must(s.SetInput("F", "addr", 0))
+	must(s.SetInput("F", "wdata", 99))
+	must(s.SetInput("F", "wen", 1))
+	s.Settle()
+	s.Step()
+	s.Settle()
+	if got := val(t, s, "F", "q"); got != 0 {
+		t.Fatalf("r0 = %d, want 0", got)
+	}
+	// Write with enable low is suppressed.
+	must(s.SetInput("F", "addr", 5))
+	must(s.SetInput("F", "wdata", 777))
+	must(s.SetInput("F", "wen", 0))
+	s.Settle()
+	s.Step()
+	if got := val(t, s, "F", "q"); got != 1234 {
+		t.Fatalf("suppressed write changed state: %d", got)
+	}
+}
+
+func TestMissingStructModel(t *testing.T) {
+	d, _ := structDesign(t)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fd, _ := netlist.Flatten(d)
+	if _, err := New(fd, nil); err == nil {
+		t.Fatal("missing behavioral model accepted")
+	}
+}
+
+func TestFlipBitAndClone(t *testing.T) {
+	s := counterSim(t)
+	for i := 0; i < 5; i++ {
+		s.Step()
+	}
+	g := s.Clone()
+	if s.Hash() != g.Hash() {
+		t.Fatal("clone hash differs")
+	}
+	if err := s.FlipBit("F", "count", 2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Hash() == g.Hash() {
+		t.Fatal("flip did not change hash")
+	}
+	if got, want := val(t, s, "F", "count"), uint64(5^4); got != want {
+		t.Fatalf("count after flip = %d, want %d", got, want)
+	}
+	// The clone is unaffected and both evolve independently.
+	g.Step()
+	if got := val(t, g, "F", "count"); got != 6 {
+		t.Fatalf("golden clone diverged: %d", got)
+	}
+}
+
+func TestFlipBitValidation(t *testing.T) {
+	s := counterSim(t)
+	if err := s.FlipBit("F", "next", 0); err == nil {
+		t.Fatal("flipping a comb node accepted")
+	}
+	if err := s.FlipBit("F", "count", 8); err == nil {
+		t.Fatal("out-of-range bit accepted")
+	}
+	if err := s.FlipBit("X", "count", 0); err == nil {
+		t.Fatal("unknown fub accepted")
+	}
+}
+
+func TestSeqSites(t *testing.T) {
+	s := counterSim(t)
+	sites := s.SeqSites()
+	if len(sites) != 1 || sites[0].Node != "count" || sites[0].Width != 8 {
+		t.Fatalf("sites = %+v", sites)
+	}
+}
+
+func TestCrossFubDataflow(t *testing.T) {
+	d := netlist.NewDesign("x")
+	ma := d.AddModule("ma")
+	ba := netlist.Build(ma)
+	one := ba.Const("one", 8, 3)
+	ba.Seq("r", 8, "nx")
+	ba.C("nx", 8, netlist.OpAdd, "r", one)
+	ba.Out("o", 8, "r")
+	mb := d.AddModule("mb")
+	bb := netlist.Build(mb)
+	in := bb.In("i", 8)
+	bb.Out("o2", 8, bb.C("dbl", 8, netlist.OpAdd, in, in))
+	d.AddFub("A", "ma")
+	d.AddFub("B", "mb")
+	d.ConnectPorts("A", "o", "B", "i")
+	s := mustSim(t, d, nil)
+	s.Step()
+	s.Step() // r = 6
+	if got := val(t, s, "B", "o2"); got != 12 {
+		t.Fatalf("cross-FUB value = %d, want 12", got)
+	}
+}
+
+func TestSparseMemAndROM(t *testing.T) {
+	mem := NewSparseMem(32)
+	mem.Init(7, 42)
+	if got := mem.Read("ld", []uint64{7}); got != 42 {
+		t.Fatalf("mem read = %d", got)
+	}
+	mem.Write("st", 100, []uint64{9})
+	if got := mem.Read("ld", []uint64{9}); got != 0 {
+		t.Fatal("write visible before Tick")
+	}
+	mem.Tick()
+	if got := mem.Read("ld", []uint64{9}); got != 100 {
+		t.Fatalf("post-tick read = %d", got)
+	}
+	c := mem.Clone()
+	mem.Write("st", 1, []uint64{9})
+	mem.Tick()
+	if c.Read("ld", []uint64{9}) != 100 {
+		t.Fatal("clone shares state")
+	}
+
+	rom := NewROM([]uint64{10, 20, 30})
+	if rom.Read("fetch", []uint64{1}) != 20 {
+		t.Fatal("rom read")
+	}
+	rom.Write("x", 99, []uint64{1})
+	if rom.Read("fetch", []uint64{1}) != 20 {
+		t.Fatal("rom should ignore writes")
+	}
+	if rom.Read("fetch", []uint64{5}) != 0 {
+		t.Fatal("rom OOB should read 0")
+	}
+}
+
+func TestHashIgnoresZeroMemWords(t *testing.T) {
+	a := NewSparseMem(32)
+	b := NewSparseMem(32)
+	a.Init(5, 0) // explicit zero
+	if a.Hash() != b.Hash() {
+		t.Fatal("explicit zero changed hash")
+	}
+}
+
+func TestTracer(t *testing.T) {
+	s := counterSim(t)
+	tr, err := NewTracer(s, "F/count", "F/next")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Run(5)
+	rows := tr.Rows()
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for c, row := range rows {
+		if row[0] != uint64(c) || row[1] != uint64(c+1) {
+			t.Fatalf("cycle %d trace = %v", c, row)
+		}
+	}
+	changes := tr.Changes()
+	if changes[0] != 4 || changes[1] != 4 {
+		t.Fatalf("changes = %v", changes)
+	}
+	var sb strings.Builder
+	tr.WriteText(&sb)
+	if !strings.Contains(sb.String(), "F/count") {
+		t.Fatal("render missing header")
+	}
+	if _, err := NewTracer(s, "nofub"); err == nil {
+		t.Fatal("bad ref accepted")
+	}
+	if _, err := NewTracer(s, "F/ghost"); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+}

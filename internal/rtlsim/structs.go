@@ -1,0 +1,200 @@
+package rtlsim
+
+// Behavioral structure models. Port conventions:
+//
+//   - read ports: addrs[0] is the entry address (absent for single-entry
+//     or whole-structure reads, which return entry 0);
+//   - write ports: addrs[0] is the entry address, optional addrs[1] is an
+//     active-high enable (write suppressed when 0).
+
+// RegArray is a register-file-like array of entries.
+type RegArray struct {
+	Entries int
+	Width   int
+	// ZeroEntry pins entry 0 to zero (RISC-style r0) when true.
+	ZeroEntry bool
+	data      []uint64
+	// pending writes applied at Tick (write-before-read semantics within
+	// a cycle are NOT modeled: reads see the pre-edge state).
+	pend []pendWrite
+}
+
+type pendWrite struct {
+	addr int
+	data uint64
+}
+
+// NewRegArray allocates a zeroed array.
+func NewRegArray(entries, width int, zeroEntry bool) *RegArray {
+	return &RegArray{Entries: entries, Width: width, ZeroEntry: zeroEntry, data: make([]uint64, entries)}
+}
+
+// Read implements StructSim.
+func (r *RegArray) Read(port string, addrs []uint64) uint64 {
+	addr := 0
+	if len(addrs) > 0 {
+		addr = int(addrs[0]) % r.Entries
+	}
+	if r.ZeroEntry && addr == 0 {
+		return 0
+	}
+	return r.data[addr] & widthMask(r.Width)
+}
+
+// Write implements StructSim.
+func (r *RegArray) Write(port string, data uint64, addrs []uint64) {
+	addr := 0
+	if len(addrs) > 0 {
+		addr = int(addrs[0]) % r.Entries
+	}
+	if len(addrs) > 1 && addrs[1]&1 == 0 {
+		return // enable low
+	}
+	if r.ZeroEntry && addr == 0 {
+		return
+	}
+	r.pend = append(r.pend, pendWrite{addr: addr, data: data & widthMask(r.Width)})
+}
+
+// Tick implements StructSim.
+func (r *RegArray) Tick() {
+	for _, w := range r.pend {
+		r.data[w.addr] = w.data
+	}
+	r.pend = r.pend[:0]
+}
+
+// Clone implements StructSim.
+func (r *RegArray) Clone() StructSim {
+	c := *r
+	c.data = append([]uint64(nil), r.data...)
+	c.pend = append([]pendWrite(nil), r.pend...)
+	return &c
+}
+
+// Hash implements StructSim.
+func (r *RegArray) Hash() uint64 {
+	h := uint64(1469598103934665603)
+	for _, v := range r.data {
+		h ^= v
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Set initializes an entry directly (test/benchmark setup).
+func (r *RegArray) Set(entry int, v uint64) { r.data[entry] = v & widthMask(r.Width) }
+
+// Get reads an entry directly.
+func (r *RegArray) Get(entry int) uint64 { return r.data[entry] }
+
+// SparseMem is a sparse word memory (data memory).
+type SparseMem struct {
+	Width int
+	data  map[uint64]uint64
+	pend  []memWrite
+}
+
+type memWrite struct {
+	addr, data uint64
+}
+
+// NewSparseMem allocates an empty memory.
+func NewSparseMem(width int) *SparseMem {
+	return &SparseMem{Width: width, data: make(map[uint64]uint64)}
+}
+
+// Init sets a word before simulation.
+func (m *SparseMem) Init(addr, v uint64) { m.data[addr] = v & widthMask(m.Width) }
+
+// Read implements StructSim.
+func (m *SparseMem) Read(port string, addrs []uint64) uint64 {
+	if len(addrs) == 0 {
+		return 0
+	}
+	return m.data[addrs[0]]
+}
+
+// Write implements StructSim.
+func (m *SparseMem) Write(port string, data uint64, addrs []uint64) {
+	if len(addrs) == 0 {
+		return
+	}
+	if len(addrs) > 1 && addrs[1]&1 == 0 {
+		return
+	}
+	m.pend = append(m.pend, memWrite{addr: addrs[0], data: data & widthMask(m.Width)})
+}
+
+// Tick implements StructSim.
+func (m *SparseMem) Tick() {
+	for _, w := range m.pend {
+		m.data[w.addr] = w.data
+	}
+	m.pend = m.pend[:0]
+}
+
+// Clone implements StructSim.
+func (m *SparseMem) Clone() StructSim {
+	c := &SparseMem{Width: m.Width, data: make(map[uint64]uint64, len(m.data))}
+	for k, v := range m.data {
+		c.data[k] = v
+	}
+	c.pend = append([]memWrite(nil), m.pend...)
+	return c
+}
+
+// Hash implements StructSim. Order-independent fold so map iteration
+// order cannot perturb comparisons.
+func (m *SparseMem) Hash() uint64 {
+	var h uint64
+	for k, v := range m.data {
+		if v == 0 {
+			continue // treat explicit zero same as absent
+		}
+		x := k*0x9E3779B97F4A7C15 ^ v
+		x ^= x >> 29
+		x *= 0xBF58476D1CE4E5B9
+		h += x
+	}
+	return h
+}
+
+// Get reads a word directly.
+func (m *SparseMem) Get(addr uint64) uint64 { return m.data[addr] }
+
+// ROM is a read-only word store (instruction memory). Writes are ignored.
+type ROM struct {
+	words []uint64
+}
+
+// NewROM copies the given contents.
+func NewROM(words []uint64) *ROM {
+	return &ROM{words: append([]uint64(nil), words...)}
+}
+
+// Read implements StructSim; out-of-range addresses return 0.
+func (r *ROM) Read(port string, addrs []uint64) uint64 {
+	if len(addrs) == 0 {
+		return 0
+	}
+	a := addrs[0]
+	if a >= uint64(len(r.words)) {
+		return 0
+	}
+	return r.words[a]
+}
+
+// Write implements StructSim (ignored: ROM).
+func (r *ROM) Write(port string, data uint64, addrs []uint64) {}
+
+// Tick implements StructSim.
+func (r *ROM) Tick() {}
+
+// Clone implements StructSim. ROM contents are immutable, so the receiver
+// itself is returned.
+func (r *ROM) Clone() StructSim { return r }
+
+// Hash implements StructSim. Contents never change, so a constant
+// suffices.
+func (r *ROM) Hash() uint64 { return 0 }

@@ -1,0 +1,223 @@
+// Package stats provides the deterministic random number generation and
+// small-sample statistics used throughout the reproduction.
+//
+// Every stochastic component in the repository (workload generation, the
+// synthetic design generator, fault-injection campaigns, the simulated beam
+// test) draws from a seeded SplitMix64 stream so that all experiments are
+// reproducible bit-for-bit.
+package stats
+
+import "math"
+
+// RNG is a deterministic SplitMix64 pseudo-random number generator.
+// The zero value is a valid generator seeded with 0; prefer New to make
+// seeding explicit.
+type RNG struct {
+	state uint64
+}
+
+// New returns an RNG seeded with seed.
+func New(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Fork derives an independent child stream from the current state and a
+// stream label. Forking lets concurrent or per-item consumers (e.g. one
+// stream per injected fault) obtain decorrelated sequences that do not
+// depend on consumption order elsewhere.
+func (r *RNG) Fork(label uint64) *RNG {
+	// Mix the label through one SplitMix64 round of the parent state.
+	x := r.Uint64() ^ (label * 0x9E3779B97F4A7C15)
+	return &RNG{state: x}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Range returns a uniform float64 in [lo, hi).
+func (r *RNG) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Norm returns a normally distributed value with the given mean and
+// standard deviation, using the Box-Muller transform.
+func (r *RNG) Norm(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// Poisson returns a Poisson-distributed count with mean lambda.
+// For large lambda it falls back to a normal approximation, which is
+// adequate for the beam-test error-count simulation.
+func (r *RNG) Poisson(lambda float64) int {
+	if lambda < 0 {
+		panic("stats: Poisson with negative lambda")
+	}
+	if lambda == 0 {
+		return 0
+	}
+	if lambda > 500 {
+		n := r.Norm(lambda, math.Sqrt(lambda))
+		if n < 0 {
+			return 0
+		}
+		return int(n + 0.5)
+	}
+	// Knuth's algorithm.
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// WeightedMean returns the weighted mean of xs with weights ws.
+// It panics if the slices differ in length and returns 0 when the total
+// weight is zero.
+func WeightedMean(xs, ws []float64) float64 {
+	if len(xs) != len(ws) {
+		panic("stats: WeightedMean length mismatch")
+	}
+	var sum, wsum float64
+	for i, x := range xs {
+		sum += x * ws[i]
+		wsum += ws[i]
+	}
+	if wsum == 0 {
+		return 0
+	}
+	return sum / wsum
+}
+
+// StdDev returns the sample standard deviation of xs (n-1 denominator),
+// or 0 when fewer than two samples are provided.
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Interval is a symmetric confidence interval around a point estimate.
+type Interval struct {
+	Point float64
+	Lo    float64
+	Hi    float64
+}
+
+// Contains reports whether v lies within the interval.
+func (iv Interval) Contains(v float64) bool {
+	return v >= iv.Lo && v <= iv.Hi
+}
+
+// Width returns the full width of the interval.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// PoissonCI returns the approximate 95% confidence interval for a rate
+// estimated from an observed Poisson count k over an exposure e
+// (rate = k/e). It uses the normal approximation k ± 1.96*sqrt(k), with
+// a floor so that a zero count still yields a non-degenerate interval.
+func PoissonCI(k int, exposure float64) Interval {
+	if exposure <= 0 {
+		panic("stats: PoissonCI with non-positive exposure")
+	}
+	rate := float64(k) / exposure
+	half := 1.96 * math.Sqrt(float64(k)) / exposure
+	if k == 0 {
+		half = 3.0 / exposure // rule of three upper bound
+	}
+	lo := rate - half
+	if lo < 0 {
+		lo = 0
+	}
+	return Interval{Point: rate, Lo: lo, Hi: rate + half}
+}
+
+// BinomialCI returns the approximate 95% confidence interval for a
+// proportion estimated from k successes in n trials (Wald interval with a
+// small-sample floor). It is used for SFI-measured AVFs.
+func BinomialCI(k, n int) Interval {
+	if n <= 0 {
+		panic("stats: BinomialCI with non-positive n")
+	}
+	p := float64(k) / float64(n)
+	half := 1.96 * math.Sqrt(p*(1-p)/float64(n))
+	if k == 0 || k == n {
+		half = 3.0 / float64(n)
+	}
+	lo := p - half
+	if lo < 0 {
+		lo = 0
+	}
+	hi := p + half
+	if hi > 1 {
+		hi = 1
+	}
+	return Interval{Point: p, Lo: lo, Hi: hi}
+}

@@ -1,0 +1,228 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Fork(1)
+	c2 := parent.Fork(2)
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("forked streams with different labels should differ")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64MeanRoughlyHalf(t *testing.T) {
+	r := New(11)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean of uniforms = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) covered %d values, want 7", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := New(9)
+	for _, lambda := range []float64{0.5, 4, 50, 1000} {
+		var sum float64
+		const n = 20000
+		for i := 0; i < n; i++ {
+			sum += float64(r.Poisson(lambda))
+		}
+		mean := sum / n
+		tol := 4 * math.Sqrt(lambda/n) * math.Sqrt(lambda) // ~4 sigma of the mean
+		if tol < 0.05 {
+			tol = 0.05
+		}
+		if math.Abs(mean-lambda) > tol+0.05*lambda {
+			t.Errorf("Poisson(%v) sample mean %v too far off", lambda, mean)
+		}
+	}
+}
+
+func TestPoissonZero(t *testing.T) {
+	r := New(1)
+	if got := r.Poisson(0); got != 0 {
+		t.Fatalf("Poisson(0) = %d, want 0", got)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(13)
+	const n = 50000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Norm(10, 2)
+	}
+	if m := Mean(xs); math.Abs(m-10) > 0.05 {
+		t.Fatalf("norm mean = %v, want ~10", m)
+	}
+	if s := StdDev(xs); math.Abs(s-2) > 0.05 {
+		t.Fatalf("norm stddev = %v, want ~2", s)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(21)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestMeanAndWeightedMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v, want 2", got)
+	}
+	got := WeightedMean([]float64{1, 3}, []float64{1, 3})
+	if math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("WeightedMean = %v, want 2.5", got)
+	}
+	if got := WeightedMean(nil, nil); got != 0 {
+		t.Fatalf("WeightedMean(empty) = %v", got)
+	}
+}
+
+func TestStdDevSmall(t *testing.T) {
+	if got := StdDev([]float64{5}); got != 0 {
+		t.Fatalf("StdDev single = %v", got)
+	}
+	got := StdDev([]float64{2, 4})
+	if math.Abs(got-math.Sqrt2) > 1e-12 {
+		t.Fatalf("StdDev = %v, want sqrt(2)", got)
+	}
+}
+
+func TestPoissonCI(t *testing.T) {
+	iv := PoissonCI(100, 10)
+	if iv.Point != 10 {
+		t.Fatalf("point = %v, want 10", iv.Point)
+	}
+	if !iv.Contains(10) {
+		t.Fatal("interval should contain its own point")
+	}
+	if iv.Lo >= iv.Hi {
+		t.Fatal("degenerate interval")
+	}
+	zero := PoissonCI(0, 10)
+	if zero.Point != 0 || zero.Hi <= 0 {
+		t.Fatalf("zero-count interval wrong: %+v", zero)
+	}
+}
+
+func TestBinomialCI(t *testing.T) {
+	iv := BinomialCI(50, 100)
+	if math.Abs(iv.Point-0.5) > 1e-12 {
+		t.Fatalf("point = %v", iv.Point)
+	}
+	if iv.Lo < 0 || iv.Hi > 1 {
+		t.Fatalf("interval out of [0,1]: %+v", iv)
+	}
+	all := BinomialCI(10, 10)
+	if all.Hi != 1 {
+		t.Fatalf("k==n interval should cap at 1: %+v", all)
+	}
+}
+
+// Property: Bool(p) empirical frequency tracks p.
+func TestBoolFrequency(t *testing.T) {
+	r := New(99)
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		hits := 0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			if r.Bool(p) {
+				hits++
+			}
+		}
+		f := float64(hits) / n
+		if math.Abs(f-p) > 0.02 {
+			t.Errorf("Bool(%v) frequency = %v", p, f)
+		}
+	}
+}
+
+// Property-based: Range always lands inside [lo, hi).
+func TestRangeProperty(t *testing.T) {
+	r := New(123)
+	f := func(a, b uint16) bool {
+		lo, hi := float64(a), float64(a)+float64(b)+1
+		v := r.Range(lo, hi)
+		return v >= lo && v < hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+package tinycore
+
+import (
+	"fmt"
+
+	"seqavf/internal/ace"
+	"seqavf/internal/core"
+	"seqavf/internal/uarch"
+)
+
+// BindInputs maps an ACE report measured on the performance model
+// (internal/uarch) onto tinycore's structure ports — step 4 of the
+// paper's tool flow ("Map ACE structure bits to RTL bit names").
+//
+// The binding is conservative in rate: the performance model retires
+// roughly one instruction per cycle while tinycore takes three, so the
+// per-cycle ACE rates applied to the netlist are upper bounds on the
+// netlist's own traffic.
+func BindInputs(rep *ace.Report) (*core.Inputs, error) {
+	in := core.NewInputs()
+	bindR := func(dst core.StructPort, srcKey string) error {
+		v, ok := rep.ReadPorts[srcKey]
+		if !ok {
+			return fmt.Errorf("tinycore: report lacks read port %s", srcKey)
+		}
+		in.ReadPorts[dst] = v
+		return nil
+	}
+	bindW := func(dst core.StructPort, srcKey string) error {
+		v, ok := rep.WritePorts[srcKey]
+		if !ok {
+			return fmt.Errorf("tinycore: report lacks write port %s", srcKey)
+		}
+		in.WritePorts[dst] = v
+		return nil
+	}
+	for _, b := range []struct {
+		dst core.StructPort
+		src string
+		rd  bool
+	}{
+		{core.StructPort{Struct: StructRegFile, Port: "rd0"}, uarch.StructRegFile + ".rd0", true},
+		{core.StructPort{Struct: StructRegFile, Port: "rd1"}, uarch.StructRegFile + ".rd1", true},
+		{core.StructPort{Struct: StructRegFile, Port: "wr0"}, uarch.StructRegFile + ".wr0", false},
+		// The instruction memory read port carries one fetch per
+		// instruction: the fetch-queue drain rate.
+		{core.StructPort{Struct: StructIMem, Port: "fetch"}, uarch.StructFetchQ + ".drain", true},
+		{core.StructPort{Struct: StructDMem, Port: "ld"}, uarch.StructDCache + ".ld", true},
+		{core.StructPort{Struct: StructDMem, Port: "st"}, uarch.StructDCache + ".st", false},
+	} {
+		var err error
+		if b.rd {
+			err = bindR(b.dst, b.src)
+		} else {
+			err = bindW(b.dst, b.src)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	in.StructAVF[StructRegFile] = rep.StructAVF[uarch.StructRegFile]
+	in.StructAVF[StructIMem] = rep.StructAVF[uarch.StructFetchQ]
+	in.StructAVF[StructDMem] = rep.StructAVF[uarch.StructDCache]
+	return in, nil
+}

@@ -1,0 +1,277 @@
+// Package tinycore is the gate-level ("RTL") implementation of the shared
+// ISA, hand-built as a netlist. It is the design on which the brute-force
+// statistical fault injection baseline runs, and the design SART's
+// estimates are validated against: the ACE performance model
+// (internal/uarch) measures port AVFs for the same machine.
+//
+// The core is a multicycle machine with a three-state FSM:
+//
+//	F (0): IR <- imem[PC]
+//	D (1): A <- rf[ra], B <- rf[rb], IMMR/UIMR <- decoded immediates
+//	X (2): execute, memory access, register writeback, PC update, OUT
+//
+// Retention registers (IR, A, B, ...) recirculate through explicit muxes,
+// so the extracted node graph contains the feedback loops §4.3 of the
+// paper is about: SART treats those bits as loop-boundary nodes.
+package tinycore
+
+import (
+	"fmt"
+
+	"seqavf/internal/isa"
+	"seqavf/internal/netlist"
+	"seqavf/internal/rtlsim"
+)
+
+// Structure names used in the netlist (bound to ACE measurements by
+// BindInputs).
+const (
+	StructIMem    = "IMem"
+	StructRegFile = "RegFile"
+	StructDMem    = "DMem"
+)
+
+// FubName is the single functional block of the core.
+const FubName = "CORE"
+
+// BuildDesign constructs the netlist for a core whose instruction memory
+// holds codeLen words. The program contents live in the behavioral IMem
+// model, not in the netlist, so one design serves every program of equal
+// or smaller length.
+func BuildDesign(codeLen int) *netlist.Design {
+	d := netlist.NewDesign("tinycore")
+	d.AddStructure(StructIMem, codeLen, 32)
+	d.AddStructure(StructRegFile, 16, 32)
+	d.AddStructure(StructDMem, 4096, 32)
+
+	m := d.AddModule("core")
+	b := netlist.Build(m)
+
+	// Constants.
+	c0 := b.Const("c0_2", 2, 0)
+	c1 := b.Const("c1_2", 2, 1)
+	c2 := b.Const("c2_2", 2, 2)
+	one32 := b.Const("one32", 32, 1)
+	zero20 := b.Const("zero20", 20, 0)
+	ones20 := b.Const("ones20", 20, 0xFFFFF)
+	c31 := b.Const("c31", 32, 31)
+	opConst := func(op isa.Op) string {
+		return b.Const(fmt.Sprintf("c_op_%s", op), 8, uint64(op))
+	}
+
+	// FSM state: F -> D -> X -> F.
+	b.M.Add(&netlist.Node{Name: "state", Kind: netlist.KindSeq, Width: 2, Inputs: []string{"state_next"}})
+	stF := b.C("stF", 1, netlist.OpEq, "state", c0)
+	stD := b.C("stD", 1, netlist.OpEq, "state", c1)
+	stX := b.C("stX", 1, netlist.OpEq, "state", c2)
+	// state_next = stF ? 1 : (stD ? 2 : 0)
+	b.Mux("state_nD", 2, stD, c0, c2)
+	b.Mux("state_next", 2, stF, "state_nD", c1)
+
+	// Program counter (feedback loop).
+	b.M.Add(&netlist.Node{Name: "pc", Kind: netlist.KindSeq, Width: 32, Inputs: []string{"pc_next"}})
+
+	// Fetch: IR latches in F.
+	fetched := b.SRead("imem_rd", 32, StructIMem, "fetch", "pc")
+	b.Mux("ir_next", 32, stF, "ir", fetched)
+	b.M.Add(&netlist.Node{Name: "ir", Kind: netlist.KindSeq, Width: 32, Inputs: []string{"ir_next"}})
+
+	// Decode fields.
+	op := b.Select("f_op", 8, "ir", 24)
+	rd := b.Select("f_rd", 4, "ir", 20)
+	ra := b.Select("f_ra", 4, "ir", 16)
+	rb := b.Select("f_rb", 4, "ir", 12)
+	imm12 := b.Select("f_imm", 12, "ir", 0)
+	sign := b.Select("f_sign", 1, "ir", 11)
+	b.Mux("immHi", 20, sign, zero20, ones20)
+	immS := b.C("immS", 32, netlist.OpConcat, imm12, "immHi")
+	immZ := b.C("immZ", 32, netlist.OpConcat, imm12, zero20)
+
+	// Per-opcode decode strobes.
+	is := make(map[isa.Op]string)
+	for _, o := range []isa.Op{
+		isa.NOP, isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.SHL,
+		isa.SHR, isa.MUL, isa.ADDI, isa.ANDI, isa.ORI, isa.XORI, isa.LUI,
+		isa.LD, isa.ST, isa.BEQ, isa.BNE, isa.JMP, isa.OUT, isa.HLT,
+	} {
+		is[o] = b.C(fmt.Sprintf("is_%s", o), 1, netlist.OpEq, op, opConst(o))
+	}
+
+	// Register file reads (combinational against current state; operands
+	// latch at the end of D).
+	rfa := b.SRead("rf_a", 32, StructRegFile, "rd0", ra)
+	rfb := b.SRead("rf_b", 32, StructRegFile, "rd1", rb)
+	b.Mux("a_next", 32, stD, "opA", rfa)
+	b.Mux("b_next", 32, stD, "opB", rfb)
+	b.M.Add(&netlist.Node{Name: "opA", Kind: netlist.KindSeq, Width: 32, Inputs: []string{"a_next"}})
+	b.M.Add(&netlist.Node{Name: "opB", Kind: netlist.KindSeq, Width: 32, Inputs: []string{"b_next"}})
+	b.Mux("imm_next", 32, stD, "immR", immS)
+	b.M.Add(&netlist.Node{Name: "immR", Kind: netlist.KindSeq, Width: 32, Inputs: []string{"imm_next"}})
+	b.Mux("uimm_next", 32, stD, "uimmR", immZ)
+	b.M.Add(&netlist.Node{Name: "uimmR", Kind: netlist.KindSeq, Width: 32, Inputs: []string{"uimm_next"}})
+
+	// Halted flag (sticky).
+	b.C("halt_now", 1, netlist.OpAnd, stX, is[isa.HLT])
+	b.C("halted_next", 1, netlist.OpOr, "halted", "halt_now")
+	b.M.Add(&netlist.Node{Name: "halted", Kind: netlist.KindSeq, Width: 1, Inputs: []string{"halted_next"}})
+	b.C("running", 1, netlist.OpNot, "halted")
+	xLive := b.C("x_live", 1, netlist.OpAnd, stX, "running")
+
+	// ALU.
+	amt := b.C("sh_amt", 32, netlist.OpAnd, "opB", c31)
+	b.C("alu_add", 32, netlist.OpAdd, "opA", "opB")
+	b.C("alu_sub", 32, netlist.OpSub, "opA", "opB")
+	b.C("alu_and", 32, netlist.OpAnd, "opA", "opB")
+	b.C("alu_or", 32, netlist.OpOr, "opA", "opB")
+	b.C("alu_xor", 32, netlist.OpXor, "opA", "opB")
+	b.C("alu_shl", 32, netlist.OpShl, "opA", amt)
+	b.C("alu_shr", 32, netlist.OpShr, "opA", amt)
+	b.C("alu_mul", 32, netlist.OpMul, "opA", "opB")
+	b.C("alu_addi", 32, netlist.OpAdd, "opA", "immR")
+	b.C("alu_andi", 32, netlist.OpAnd, "opA", "uimmR")
+	b.C("alu_ori", 32, netlist.OpOr, "opA", "uimmR")
+	b.C("alu_xori", 32, netlist.OpXor, "opA", "uimmR")
+	b.CP("alu_lui", 32, netlist.OpShlK, 12, "uimmR")
+
+	// Memory.
+	ea := b.C("mem_ea", 32, netlist.OpAdd, "opA", "immR")
+	ldval := b.SRead("dmem_rd", 32, StructDMem, "ld", ea)
+	b.C("st_en", 1, netlist.OpAnd, xLive, is[isa.ST])
+	b.SWrite("dmem_wr", StructDMem, "st", "opB", ea, "st_en")
+
+	// Writeback value mux tree.
+	wb := "alu_add"
+	for _, sel := range []struct {
+		op  isa.Op
+		val string
+	}{
+		{isa.SUB, "alu_sub"}, {isa.AND, "alu_and"}, {isa.OR, "alu_or"},
+		{isa.XOR, "alu_xor"}, {isa.SHL, "alu_shl"}, {isa.SHR, "alu_shr"},
+		{isa.MUL, "alu_mul"}, {isa.ADDI, "alu_addi"}, {isa.ANDI, "alu_andi"},
+		{isa.ORI, "alu_ori"}, {isa.XORI, "alu_xori"}, {isa.LUI, "alu_lui"},
+		{isa.LD, ldval},
+	} {
+		wb = b.Mux(fmt.Sprintf("wb_%s", sel.op), 32, is[sel.op], wb, sel.val)
+	}
+
+	// Writeback enable: X state, opcode writes a register, rd != 0.
+	writes := is[isa.ADD]
+	for _, o := range []isa.Op{
+		isa.SUB, isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR, isa.MUL,
+		isa.ADDI, isa.ANDI, isa.ORI, isa.XORI, isa.LUI, isa.LD,
+	} {
+		writes = b.C(fmt.Sprintf("wr_or_%s", o), 1, netlist.OpOr, writes, is[o])
+	}
+	rdnz := b.C("rd_nz", 1, netlist.OpRedOr, rd)
+	b.C("wb_en0", 1, netlist.OpAnd, xLive, writes)
+	wbEn := b.C("wb_en", 1, netlist.OpAnd, "wb_en0", rdnz)
+	b.SWrite("rf_wr", StructRegFile, "wr0", wb, rd, wbEn)
+
+	// Branch resolution and PC update.
+	aeqb := b.C("a_eq_b", 1, netlist.OpEq, "opA", "opB")
+	aneb := b.C("a_ne_b", 1, netlist.OpNot, aeqb)
+	b.C("tk_beq", 1, netlist.OpAnd, is[isa.BEQ], aeqb)
+	b.C("tk_bne", 1, netlist.OpAnd, is[isa.BNE], aneb)
+	b.C("tk_or", 1, netlist.OpOr, "tk_beq", "tk_bne")
+	taken := b.C("taken", 1, netlist.OpOr, "tk_or", is[isa.JMP])
+	pc1 := b.C("pc_plus1", 32, netlist.OpAdd, "pc", one32)
+	tgt := b.C("br_tgt", 32, netlist.OpAdd, pc1, "immR")
+	b.Mux("pc_x0", 32, taken, pc1, tgt)
+	// HLT (or halted) holds the PC.
+	b.C("pc_hold", 1, netlist.OpOr, is[isa.HLT], "halted")
+	b.Mux("pc_x", 32, "pc_hold", "pc_x0", "pc")
+	b.Mux("pc_next", 32, stX, "pc", "pc_x")
+
+	// Observation port: OUT emits A during X.
+	outValid := b.C("out_valid_c", 1, netlist.OpAnd, xLive, is[isa.OUT])
+	b.Out("out_valid", 1, outValid)
+	b.Out("out_data", 32, "opA")
+	b.Out("halted_o", 1, "halted")
+
+	d.AddFub(FubName, "core")
+	return d
+}
+
+// Machine is a runnable tinycore instance: netlist simulator plus the
+// behavioral structure models loaded with a program.
+type Machine struct {
+	Sim  *rtlsim.Sim
+	prog *isa.Program
+}
+
+// New builds, flattens and instantiates a machine for p.
+func New(p *isa.Program) (*Machine, error) {
+	d := BuildDesign(len(p.Code))
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("tinycore: %w", err)
+	}
+	fd, err := netlist.Flatten(d)
+	if err != nil {
+		return nil, fmt.Errorf("tinycore: %w", err)
+	}
+	words := make([]uint64, len(p.Code))
+	for i, in := range p.Code {
+		words[i] = uint64(in.Encode())
+	}
+	dmem := rtlsim.NewSparseMem(32)
+	for a, v := range p.Data {
+		dmem.Init(uint64(a), uint64(v))
+	}
+	sim, err := rtlsim.New(fd, map[string]rtlsim.StructSim{
+		StructIMem:    rtlsim.NewROM(words),
+		StructRegFile: rtlsim.NewRegArray(16, 32, true),
+		StructDMem:    dmem,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tinycore: %w", err)
+	}
+	return &Machine{Sim: sim, prog: p}, nil
+}
+
+// FlatDesign rebuilds the flattened netlist (for SART analysis of the
+// same design the machine simulates).
+func FlatDesign(codeLen int) (*netlist.FlatDesign, error) {
+	d := BuildDesign(codeLen)
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return netlist.Flatten(d)
+}
+
+// Step advances one clock.
+func (m *Machine) Step() { m.Sim.Step() }
+
+// Out samples the observation port for the current (settled) cycle.
+func (m *Machine) Out() (uint64, bool) {
+	v, _ := m.Sim.Value(FubName, "out_valid")
+	if v&1 == 0 {
+		return 0, false
+	}
+	data, _ := m.Sim.Value(FubName, "out_data")
+	return data, true
+}
+
+// Halted reports whether the core has executed HLT.
+func (m *Machine) Halted() bool {
+	v, _ := m.Sim.Value(FubName, "halted_o")
+	return v&1 == 1
+}
+
+// Clone deep-copies the machine.
+func (m *Machine) Clone() *Machine {
+	return &Machine{Sim: m.Sim.Clone(), prog: m.prog}
+}
+
+// Run executes up to maxCycles, collecting the output stream.
+func (m *Machine) Run(maxCycles int) (out []uint32, halted bool) {
+	for c := 0; c < maxCycles; c++ {
+		if v, ok := m.Out(); ok {
+			out = append(out, uint32(v))
+		}
+		if m.Halted() {
+			return out, true
+		}
+		m.Step()
+	}
+	return out, m.Halted()
+}

@@ -1,0 +1,237 @@
+package tinycore
+
+import (
+	"testing"
+
+	"seqavf/internal/core"
+	"seqavf/internal/isa"
+	"seqavf/internal/uarch"
+	"seqavf/internal/workload"
+)
+
+// runBoth executes p on the architectural reference and on the netlist
+// core and requires identical output streams.
+func runBoth(t *testing.T, p *isa.Program) {
+	t.Helper()
+	arch, err := isa.Exec(p, 0)
+	if err != nil {
+		t.Fatalf("%s: arch: %v", p.Name, err)
+	}
+	m, err := New(p)
+	if err != nil {
+		t.Fatalf("%s: tinycore: %v", p.Name, err)
+	}
+	budget := 3*len(arch.Trace) + 64
+	out, halted := m.Run(budget)
+	if halted != arch.Halted {
+		t.Fatalf("%s: halted = %v, arch %v (out %v vs %v)", p.Name, halted, arch.Halted, out, arch.Out)
+	}
+	if len(out) != len(arch.Out) {
+		t.Fatalf("%s: out lengths %d vs %d\n got %v\nwant %v", p.Name, len(out), len(arch.Out), out, arch.Out)
+	}
+	for i := range out {
+		if out[i] != arch.Out[i] {
+			t.Fatalf("%s: out[%d] = %#x, want %#x", p.Name, i, out[i], arch.Out[i])
+		}
+	}
+}
+
+func TestCoreALU(t *testing.T) {
+	b := isa.NewBuilder("alu")
+	b.Imm(isa.ADDI, 1, 0, 100)
+	b.Imm(isa.ADDI, 2, 0, 7)
+	b.R(isa.ADD, 3, 1, 2)
+	b.R(isa.SUB, 4, 1, 2)
+	b.R(isa.AND, 5, 1, 2)
+	b.R(isa.OR, 6, 1, 2)
+	b.R(isa.XOR, 7, 1, 2)
+	b.R(isa.MUL, 8, 1, 2)
+	b.Imm(isa.ADDI, 9, 0, 2)
+	b.R(isa.SHL, 10, 1, 9)
+	b.R(isa.SHR, 11, 1, 9)
+	b.Imm(isa.ANDI, 12, 1, 0x6C)
+	b.Imm(isa.ORI, 13, 1, 0x803) // zero-extended logical immediate
+	b.Imm(isa.XORI, 14, 1, 0xFFF)
+	b.Imm(isa.LUI, 15, 0, 0xABC)
+	for r := uint8(3); r <= 15; r++ {
+		b.Out(r)
+	}
+	b.Halt()
+	runBoth(t, b.MustBuild())
+}
+
+func TestCoreNegativeImmediates(t *testing.T) {
+	b := isa.NewBuilder("neg")
+	b.Imm(isa.ADDI, 1, 0, -5)
+	b.Imm(isa.ADDI, 2, 1, -100)
+	b.R(isa.SUB, 3, 0, 1) // 0 - (-5) = 5
+	b.Out(1)
+	b.Out(2)
+	b.Out(3)
+	b.Halt()
+	runBoth(t, b.MustBuild())
+}
+
+func TestCoreMemory(t *testing.T) {
+	b := isa.NewBuilder("mem")
+	b.SetData(10, 1234)
+	b.I(isa.LD, 1, 0, 0, 10)
+	b.Imm(isa.ADDI, 2, 0, 5)
+	b.I(isa.ST, 0, 2, 1, 20) // mem[25] = r1
+	b.I(isa.LD, 3, 2, 0, 20)
+	b.Out(1)
+	b.Out(3)
+	b.Halt()
+	runBoth(t, b.MustBuild())
+}
+
+func TestCoreBranches(t *testing.T) {
+	b := isa.NewBuilder("br")
+	b.Imm(isa.ADDI, 1, 0, 0)
+	b.Imm(isa.ADDI, 2, 0, 10)
+	b.Label("loop")
+	b.Imm(isa.ADDI, 1, 1, 1)
+	b.Branch(isa.BNE, 1, 2, "loop")
+	b.Out(1)
+	b.Branch(isa.BEQ, 1, 2, "skip")
+	b.Out(2) // must be skipped
+	b.Label("skip")
+	b.Jump("end")
+	b.Out(2) // must be skipped
+	b.Label("end")
+	b.Out(1)
+	b.Halt()
+	runBoth(t, b.MustBuild())
+}
+
+func TestCoreR0Writes(t *testing.T) {
+	b := isa.NewBuilder("r0w")
+	b.Imm(isa.ADDI, 0, 0, 77) // discarded
+	b.Out(0)
+	b.Imm(isa.ADDI, 1, 0, 3)
+	b.R(isa.ADD, 0, 1, 1) // discarded
+	b.Out(0)
+	b.Halt()
+	runBoth(t, b.MustBuild())
+}
+
+func TestCoreRunsWorkloads(t *testing.T) {
+	progs := []*isa.Program{
+		workload.Lattice(5),
+		workload.MD5Like(20),
+	}
+	progs = append(progs, workload.Suite(3, 17)...)
+	for _, p := range progs {
+		runBoth(t, p)
+	}
+}
+
+func TestCoreCyclesPerInstruction(t *testing.T) {
+	p := isa.NewBuilder("cpi").
+		Imm(isa.ADDI, 1, 0, 1).
+		Imm(isa.ADDI, 2, 0, 2).
+		Out(1).
+		Halt().MustBuild()
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, halted := m.Run(1000)
+	if !halted {
+		t.Fatal("did not halt")
+	}
+	// 4 instructions x 3 states each, plus the halt flag edge.
+	if c := m.Sim.Cycle(); c < 12 || c > 16 {
+		t.Fatalf("cycle count = %d, want ~12", c)
+	}
+}
+
+func TestCoreDesignIsAnalyzable(t *testing.T) {
+	fd, err := FlatDesign(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd.NumNodes() < 50 {
+		t.Fatalf("suspiciously small design: %d nodes", fd.NumNodes())
+	}
+	seq := 0
+	for _, f := range fd.Fubs {
+		for _, n := range f.Nodes {
+			if n.Kind.String() == "seq" {
+				seq += n.Width
+			}
+		}
+	}
+	// PC(32) + IR(32) + state(2) + A/B/IMMR/UIMR(128) + halted(1).
+	if seq != 195 {
+		t.Fatalf("sequential bits = %d, want 195", seq)
+	}
+}
+
+func TestMachineClone(t *testing.T) {
+	p := workload.MD5Like(5)
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		m.Step()
+	}
+	c := m.Clone()
+	if c.Sim.Hash() != m.Sim.Hash() {
+		t.Fatal("clone hash differs")
+	}
+	m.Step()
+	if c.Sim.Cycle() == m.Sim.Cycle() {
+		t.Fatal("clone shares cycle state")
+	}
+}
+
+// TestCoreFuzzRandomPrograms cross-validates the netlist core against the
+// architectural reference over a population of generated programs with
+// varied instruction mixes — the reproduction's RTL-vs-spec regression.
+func TestCoreFuzzRandomPrograms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz population skipped in -short")
+	}
+	for seed := uint64(100); seed < 120; seed++ {
+		cfg := workload.DefaultSynth("fuzz", seed)
+		cfg.Iterations = 8
+		cfg.BodyLen = 10
+		cfg.MemFrac = float64(seed%5) * 0.2
+		cfg.SkipFrac = float64(seed%3) * 0.08
+		cfg.DeadFrac = float64(seed%4) * 0.1
+		runBoth(t, workload.Synthetic(cfg))
+	}
+}
+
+// TestCoreServerKernels runs the pointer-chase and transaction kernels on
+// the netlist.
+func TestCoreServerKernels(t *testing.T) {
+	runBoth(t, workload.PointerChase(8, 2))
+	runBoth(t, workload.TransactionMix(8, 10))
+}
+
+func TestBindInputsRejectsIncompleteReport(t *testing.T) {
+	perf, err := uarch.Run(workload.MD5Like(10), uarch.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	delete(perf.Report.ReadPorts, "RegFile.rd0")
+	if _, err := BindInputs(perf.Report); err == nil {
+		t.Fatal("incomplete report accepted")
+	}
+	perf2, _ := uarch.Run(workload.MD5Like(10), uarch.DefaultConfig())
+	in, err := BindInputs(perf2.Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range []string{"rd0", "rd1"} {
+		if _, ok := in.ReadPorts[core.StructPort{Struct: StructRegFile, Port: sp}]; !ok {
+			t.Fatalf("missing bound port %s", sp)
+		}
+	}
+	if in.StructAVF[StructRegFile] == 0 {
+		t.Fatal("struct AVF not bound")
+	}
+}

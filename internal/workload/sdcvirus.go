@@ -1,0 +1,59 @@
+package workload
+
+import "seqavf/internal/isa"
+
+// SDCVirus builds a worst-case vulnerability workload modeled on the
+// paper's SER-model-validation application (ref [8], "SDC Virus: An
+// Application for SER Model Validation"): code constructed so that as
+// much machine state as possible is architecturally required at all
+// times, maximizing AVF and therefore the measurable SDC rate under a
+// beam.
+//
+// Every general register stays live across iterations (each is read and
+// folded into a checksum chain before being rewritten), a memory region
+// is kept continuously live (each word stored is reloaded a lap later),
+// and the checksum is emitted every iteration so no work is dynamically
+// dead.
+func SDCVirus(iters int) *isa.Program {
+	if iters < 1 {
+		iters = 1
+	}
+	b := isa.NewBuilder("sdcvirus")
+	const (
+		regLo, regHi = 1, 11 // live data registers
+		rSum         = 12
+		rCnt         = 13
+		rLim         = 14
+		bufLen       = 16
+	)
+	for i := uint32(0); i < bufLen; i++ {
+		b.SetData(i, 0xA5A5+i)
+	}
+	for r := uint8(regLo); r <= regHi; r++ {
+		b.Imm(isa.ADDI, r, 0, int32(r)*37)
+	}
+	b.Imm(isa.ADDI, rCnt, 0, 0)
+	b.LoadConst(rLim, uint32(iters))
+	b.Label("lap")
+	// Fold every live register into the checksum, then refresh it from
+	// its neighbor so the whole register file stays architecturally
+	// required.
+	b.R(isa.XOR, rSum, rSum, uint8(regLo))
+	for r := uint8(regLo); r < regHi; r++ {
+		b.R(isa.XOR, rSum, rSum, r+1)
+		b.R(isa.ADD, r, r, r+1)
+	}
+	b.Imm(isa.ADDI, regHi, regHi, 1)
+	// Memory liveness: reload the word stored on the previous lap, fold
+	// it in, store the fresh checksum for the next lap.
+	b.Imm(isa.ANDI, 15, rCnt, bufLen-1)
+	b.I(isa.LD, regLo, 15, 0, 0)
+	b.R(isa.XOR, rSum, rSum, regLo)
+	b.I(isa.ST, 0, 15, rSum, 0)
+	// Observable every iteration: nothing is dead.
+	b.Out(rSum)
+	b.Imm(isa.ADDI, rCnt, rCnt, 1)
+	b.Branch(isa.BNE, rCnt, rLim, "lap")
+	b.Halt()
+	return b.MustBuild()
+}

@@ -1,0 +1,378 @@
+// Package workload generates the instruction-level workloads that drive
+// the ACE performance model and the gate-level core.
+//
+// Two named kernels mirror the workloads the paper beam-tested (§6.2):
+//
+//   - Lattice: particle positions on a 2D lattice with inter-particle
+//     forces (load-heavy stencil compute);
+//   - MD5Like: MD5-style register-only mixing rounds — like the paper's
+//     modified MD5Sum, memory accesses are removed so the kernel performs
+//     the same calculations without being a true hash.
+//
+// Synthetic generates parameterized workloads (instruction mix, dead-code
+// fraction, memory footprint) and Suite builds the many-workload
+// population standing in for the paper's 547-trace server suite.
+package workload
+
+import (
+	"fmt"
+
+	"seqavf/internal/isa"
+	"seqavf/internal/stats"
+)
+
+// Lattice builds the 2D lattice-force kernel over an n x n grid
+// (n >= 3). The paper modified its 3D version to 2D for beam testing; we
+// generate the 2D form directly. Interior cells average their four
+// neighbors, subtract the center (a discrete Laplacian "force"), store
+// the result to a second buffer and fold it into a checksum that is
+// emitted as program output.
+func Lattice(n int) *isa.Program {
+	if n < 3 {
+		n = 3
+	}
+	b := isa.NewBuilder(fmt.Sprintf("lattice%d", n))
+	cells := uint32(n * n)
+	rng := stats.New(uint64(n) * 0x9E37)
+	for i := uint32(0); i < cells; i++ {
+		b.SetData(i, uint32(rng.Uint64()&0xFFFF))
+	}
+	const (
+		rI     = 1  // cell index
+		rLim   = 2  // loop limit
+		rSum   = 3  // checksum
+		rC     = 4  // center
+		rE     = 5  // east
+		rW     = 6  // west
+		rN     = 7  // north
+		rS     = 8  // south
+		rAcc   = 9  // accumulator
+		rGrid  = 10 // n
+		rBase2 = 11 // output buffer base
+		rAddr  = 12 // scratch address
+		rTwo   = 13 // shift amount
+	)
+	b.LoadConst(rGrid, uint32(n))
+	b.LoadConst(rBase2, cells)
+	b.Imm(isa.ADDI, rTwo, 0, 2)
+	b.LoadConst(rI, uint32(n+1))         // first interior cell
+	b.LoadConst(rLim, cells-uint32(n)-1) // last interior cell + 1
+	b.Imm(isa.ADDI, rSum, 0, 0)
+	b.Label("loop")
+	b.I(isa.LD, rC, rI, 0, 0)
+	b.I(isa.LD, rE, rI, 0, 1)
+	b.I(isa.LD, rW, rI, 0, -1)
+	b.R(isa.ADD, rAddr, rI, rGrid)
+	b.I(isa.LD, rS, rAddr, 0, 0)
+	b.R(isa.SUB, rAddr, rI, rGrid)
+	b.I(isa.LD, rN, rAddr, 0, 0)
+	b.R(isa.ADD, rAcc, rE, rW)
+	b.R(isa.ADD, rAcc, rAcc, rN)
+	b.R(isa.ADD, rAcc, rAcc, rS)
+	b.R(isa.SHR, rAcc, rAcc, rTwo) // neighbor average
+	b.R(isa.SUB, rAcc, rAcc, rC)   // force term
+	b.R(isa.ADD, rAddr, rI, rBase2)
+	b.I(isa.ST, 0, rAddr, rAcc, 0)
+	b.R(isa.XOR, rSum, rSum, rAcc)
+	b.Imm(isa.ADDI, rI, rI, 1)
+	b.Branch(isa.BNE, rI, rLim, "loop")
+	// Read-back pass: fold the stored forces into the checksum so the
+	// stores are architecturally required (ACE), as in the real kernel
+	// where the force buffer feeds the next timestep.
+	b.LoadConst(rI, cells+uint32(n)+1)
+	b.LoadConst(rLim, 2*cells-uint32(n)-1)
+	b.Label("verify")
+	b.I(isa.LD, rC, rI, 0, 0)
+	b.R(isa.XOR, rSum, rSum, rC)
+	b.Imm(isa.ADDI, rI, rI, 1)
+	b.Branch(isa.BNE, rI, rLim, "verify")
+	b.Out(rSum)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// MD5Like builds the register-only MD5-style mixing kernel: the paper's
+// modified MD5Sum with memory accesses removed ("it does all the same
+// calculations" without computing a true hash). rounds is the number of
+// mixing rounds (>= 1).
+func MD5Like(rounds int) *isa.Program {
+	if rounds < 1 {
+		rounds = 1
+	}
+	b := isa.NewBuilder(fmt.Sprintf("md5like%d", rounds))
+	const (
+		rA, rB, rC, rD = 1, 2, 3, 4
+		rK             = 5  // evolving message/constant word
+		rCnt           = 6  // round counter
+		rLim           = 7  // rounds
+		rF             = 8  // F function value
+		rT             = 9  // temp
+		rOnes          = 10 // 0xFFFFFFFF
+		rMulK          = 11 // multiplicative constant
+		rSh            = 12 // rotate amount
+		rShC           = 13 // 32 - rotate amount
+		rOne           = 14
+	)
+	b.Imm(isa.ADDI, rOne, 0, 1)
+	b.R(isa.SUB, rOnes, 0, rOne) // 0 - 1 = all ones
+	b.LoadConst(rA, 0x674523)
+	b.LoadConst(rB, 0xEFCDAB)
+	b.LoadConst(rC, 0x98BADC)
+	b.LoadConst(rD, 0x103254)
+	b.LoadConst(rK, 0xD76AA4)
+	b.LoadConst(rMulK, 0x010193) // small odd multiplier
+	b.Imm(isa.ADDI, rCnt, 0, 0)
+	b.LoadConst(rLim, uint32(rounds))
+	b.Imm(isa.ADDI, rSh, 0, 7)
+	b.LoadConst(rShC, 25)
+	b.Label("round")
+	// F = (B & C) | (~B & D)
+	b.R(isa.AND, rF, rB, rC)
+	b.R(isa.XOR, rT, rB, rOnes) // ~B
+	b.R(isa.AND, rT, rT, rD)
+	b.R(isa.OR, rF, rF, rT)
+	// A = B + rotl(A + F + K, s)
+	b.R(isa.ADD, rT, rA, rF)
+	b.R(isa.ADD, rT, rT, rK)
+	b.R(isa.SHL, rF, rT, rSh)
+	b.R(isa.SHR, rT, rT, rShC)
+	b.R(isa.OR, rT, rT, rF)
+	b.R(isa.ADD, rT, rT, rB)
+	// Rotate the working registers: A<-D, D<-C, C<-B, B<-T.
+	b.R(isa.OR, rF, rA, 0) // save old A (dead after this round -> un-ACE mix)
+	b.R(isa.OR, rA, rD, 0)
+	b.R(isa.OR, rD, rC, 0)
+	b.R(isa.OR, rC, rB, 0)
+	b.R(isa.OR, rB, rT, 0)
+	// Evolve the message word.
+	b.R(isa.MUL, rK, rK, rMulK)
+	b.Imm(isa.ADDI, rK, rK, 0x357)
+	b.Imm(isa.ADDI, rCnt, rCnt, 1)
+	b.Branch(isa.BNE, rCnt, rLim, "round")
+	b.Out(rA)
+	b.Out(rB)
+	b.Out(rC)
+	b.Out(rD)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// PointerChase builds a serial linked-list traversal: each load's result
+// is the next load's address (no memory-level parallelism, load-use
+// stalls every iteration). nodes is the list length; laps the number of
+// traversals. It models the pointer-heavy server codes of the paper's
+// trace suite.
+func PointerChase(nodes, laps int) *isa.Program {
+	if nodes < 2 {
+		nodes = 2
+	}
+	if laps < 1 {
+		laps = 1
+	}
+	b := isa.NewBuilder(fmt.Sprintf("pchase%dx%d", nodes, laps))
+	// Build a shuffled singly linked ring: mem[i] -> next index.
+	rng := stats.New(uint64(nodes)*31 + uint64(laps))
+	perm := rng.Perm(nodes)
+	for i := 0; i < nodes; i++ {
+		b.SetData(uint32(perm[i]), uint32(perm[(i+1)%nodes]))
+	}
+	const (
+		rPtr, rSum, rLap, rLim, rStart = 1, 2, 3, 4, 5
+	)
+	b.LoadConst(rStart, uint32(perm[0]))
+	b.R(isa.OR, rPtr, rStart, 0)
+	b.Imm(isa.ADDI, rLap, 0, 0)
+	b.LoadConst(rLim, uint32(laps*nodes))
+	b.Label("chase")
+	b.I(isa.LD, rPtr, rPtr, 0, 0) // ptr = mem[ptr]: serial dependence
+	b.R(isa.ADD, rSum, rSum, rPtr)
+	b.Imm(isa.ADDI, rLap, rLap, 1)
+	b.Branch(isa.BNE, rLap, rLim, "chase")
+	b.Out(rSum)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// TransactionMix builds a transaction-processing-like kernel: each
+// "transaction" hashes a key, reads a record, branches on its contents,
+// updates it and writes it back, emitting a running commit checksum. It
+// models the branchy read-modify-write server workloads of the paper's
+// suite.
+func TransactionMix(records, txns int) *isa.Program {
+	if records < 4 {
+		records = 4
+	}
+	if txns < 1 {
+		txns = 1
+	}
+	b := isa.NewBuilder(fmt.Sprintf("txn%dx%d", records, txns))
+	rng := stats.New(uint64(records)*977 + uint64(txns))
+	for i := 0; i < records; i++ {
+		b.SetData(uint32(i), uint32(rng.Uint64()&0xFFFF))
+	}
+	const (
+		rKey, rRec, rVal, rTx, rLim = 1, 2, 3, 4, 5
+		rMask, rSum, rMul, rOne     = 6, 7, 8, 9
+	)
+	b.LoadConst(rMask, uint32(records-1)) // records must be power of two
+	b.LoadConst(rMul, 0x9E37)
+	b.Imm(isa.ADDI, rOne, 0, 1)
+	b.Imm(isa.ADDI, rKey, 0, 17)
+	b.Imm(isa.ADDI, rTx, 0, 0)
+	b.LoadConst(rLim, uint32(txns))
+	b.Label("txn")
+	// Hash the key into a record index.
+	b.R(isa.MUL, rKey, rKey, rMul)
+	b.Imm(isa.ADDI, rKey, rKey, 0x71)
+	b.R(isa.AND, rRec, rKey, rMask)
+	b.I(isa.LD, rVal, rRec, 0, 0)
+	// Branch on record contents: even records credit, odd ones debit.
+	b.Imm(isa.ANDI, rSum, rVal, 1)
+	b.Branch(isa.BNE, rSum, 0, "debit")
+	b.Imm(isa.ADDI, rVal, rVal, 7)
+	b.Jump("commit")
+	b.Label("debit")
+	b.R(isa.SUB, rVal, rVal, rOne)
+	b.Label("commit")
+	b.I(isa.ST, 0, rRec, rVal, 0)
+	b.R(isa.XOR, rSum, rSum, rVal)
+	b.Out(rSum)
+	b.Imm(isa.ADDI, rTx, rTx, 1)
+	b.Branch(isa.BNE, rTx, rLim, "txn")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// Extended returns the full workload population: the named beam kernels,
+// the server-style kernels, and a synthetic suite.
+func Extended(synthCount int, seed uint64) []*isa.Program {
+	progs := []*isa.Program{
+		Lattice(12), MD5Like(200), PointerChase(32, 8), TransactionMix(16, 96),
+	}
+	progs = append(progs, Suite(synthCount, seed)...)
+	return progs
+}
+
+// SynthConfig parameterizes a generated workload.
+type SynthConfig struct {
+	Name string
+	Seed uint64
+	// Iterations of the main loop.
+	Iterations int
+	// BodyLen is the number of generated body instructions per iteration.
+	BodyLen int
+	// MemFrac is the fraction of body slots that access memory.
+	MemFrac float64
+	// StoreFrac is the fraction of memory slots that are stores.
+	StoreFrac float64
+	// DeadFrac is the fraction of body slots writing registers that are
+	// never consumed (dynamically dead code -> un-ACE).
+	DeadFrac float64
+	// SkipFrac is the fraction of slots preceded by a conditional
+	// forward skip (exercises branch logic).
+	SkipFrac float64
+	// Footprint is the data-memory working-set size in words.
+	Footprint int
+}
+
+// DefaultSynth returns a balanced configuration.
+func DefaultSynth(name string, seed uint64) SynthConfig {
+	return SynthConfig{
+		Name:       name,
+		Seed:       seed,
+		Iterations: 64,
+		BodyLen:    24,
+		MemFrac:    0.25,
+		StoreFrac:  0.4,
+		DeadFrac:   0.15,
+		SkipFrac:   0.08,
+		Footprint:  64,
+	}
+}
+
+// Synthetic generates a terminating workload per cfg. Registers r1..r8
+// carry live data, r13/r14 receive dead writes, r9 is the loop counter,
+// r10 its limit, r11 the memory base cursor, r12 scratch.
+func Synthetic(cfg SynthConfig) *isa.Program {
+	rng := stats.New(cfg.Seed)
+	b := isa.NewBuilder(cfg.Name)
+	if cfg.Footprint < 4 {
+		cfg.Footprint = 4
+	}
+	for i := 0; i < cfg.Footprint; i++ {
+		b.SetData(uint32(i), uint32(rng.Uint64()))
+	}
+	const (
+		liveLo, liveHi = 1, 8
+		rCnt, rLim     = 9, 10
+		rBase          = 11
+		rScratch       = 12
+		deadLo, deadHi = 13, 14
+	)
+	live := func() uint8 { return uint8(liveLo + rng.Intn(liveHi-liveLo+1)) }
+	dead := func() uint8 { return uint8(deadLo + rng.Intn(deadHi-deadLo+1)) }
+	for r := uint8(liveLo); r <= liveHi; r++ {
+		b.Imm(isa.ADDI, r, 0, int32(rng.Intn(512)))
+	}
+	b.Imm(isa.ADDI, rCnt, 0, 0)
+	b.LoadConst(rLim, uint32(cfg.Iterations))
+	b.Imm(isa.ADDI, rBase, 0, 0)
+	b.Label("loop")
+	alu := []isa.Op{isa.ADD, isa.SUB, isa.XOR, isa.AND, isa.OR, isa.MUL}
+	for s := 0; s < cfg.BodyLen; s++ {
+		if rng.Bool(cfg.SkipFrac) {
+			// Conditional forward skip over the next instruction.
+			b.I(isa.BEQ, 0, live(), live(), 1)
+		}
+		switch {
+		case rng.Bool(cfg.MemFrac):
+			off := int32(rng.Intn(cfg.Footprint))
+			if rng.Bool(cfg.StoreFrac) {
+				b.I(isa.ST, 0, rBase, live(), off)
+			} else {
+				b.I(isa.LD, live(), rBase, 0, off)
+			}
+		case rng.Bool(cfg.DeadFrac):
+			b.R(alu[rng.Intn(len(alu))], dead(), live(), live())
+		default:
+			b.R(alu[rng.Intn(len(alu))], live(), live(), live())
+		}
+	}
+	// Fold the live registers into a checksum and emit it each iteration.
+	b.R(isa.XOR, rScratch, 1, 2)
+	for r := uint8(3); r <= liveHi; r++ {
+		b.R(isa.XOR, rScratch, rScratch, r)
+	}
+	b.Out(rScratch)
+	b.Imm(isa.ADDI, rCnt, rCnt, 1)
+	b.Branch(isa.BNE, rCnt, rLim, "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// Suite generates n synthetic workloads with varied instruction mixes,
+// standing in for the paper's 547-workload server suite.
+func Suite(n int, seed uint64) []*isa.Program {
+	rng := stats.New(seed)
+	progs := make([]*isa.Program, 0, n)
+	for i := 0; i < n; i++ {
+		cfg := DefaultSynth(fmt.Sprintf("synth%03d", i), rng.Uint64())
+		cfg.Iterations = 32 + rng.Intn(96)
+		cfg.BodyLen = 12 + rng.Intn(28)
+		cfg.MemFrac = rng.Range(0.05, 0.45)
+		cfg.StoreFrac = rng.Range(0.2, 0.6)
+		cfg.DeadFrac = rng.Range(0.0, 0.35)
+		cfg.SkipFrac = rng.Range(0.0, 0.15)
+		cfg.Footprint = 16 << rng.Intn(4)
+		progs = append(progs, Synthetic(cfg))
+	}
+	return progs
+}
+
+// Standard returns the named kernels plus a small synthetic population —
+// the default workload set for the experiments.
+func Standard(synthCount int, seed uint64) []*isa.Program {
+	progs := []*isa.Program{Lattice(12), MD5Like(200)}
+	progs = append(progs, Suite(synthCount, seed)...)
+	return progs
+}

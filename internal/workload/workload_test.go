@@ -1,0 +1,304 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"seqavf/internal/isa"
+)
+
+func TestLatticeTerminatesAndOutputs(t *testing.T) {
+	for _, n := range []int{3, 6, 12} {
+		p := Lattice(n)
+		res, err := isa.Exec(p, 0)
+		if err != nil {
+			t.Fatalf("lattice %d: %v", n, err)
+		}
+		if !res.Halted {
+			t.Fatalf("lattice %d did not halt", n)
+		}
+		if len(res.Out) != 1 {
+			t.Fatalf("lattice %d out = %v", n, res.Out)
+		}
+		// The kernel must actually store results to the second buffer.
+		stored := 0
+		for a := range res.Mem {
+			if a >= uint32(n*n) {
+				stored++
+			}
+		}
+		if stored == 0 {
+			t.Fatalf("lattice %d stored nothing", n)
+		}
+	}
+}
+
+func TestLatticeDeterministic(t *testing.T) {
+	a, _ := isa.Exec(Lattice(8), 0)
+	b, _ := isa.Exec(Lattice(8), 0)
+	if a.Out[0] != b.Out[0] {
+		t.Fatal("lattice not deterministic")
+	}
+}
+
+func TestMD5LikeMixes(t *testing.T) {
+	p := MD5Like(100)
+	res, err := isa.Exec(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted || len(res.Out) != 4 {
+		t.Fatalf("halted=%v out=%v", res.Halted, res.Out)
+	}
+	// Different round counts give different digests.
+	res2, _ := isa.Exec(MD5Like(101), 0)
+	same := 0
+	for i := range res.Out {
+		if res.Out[i] == res2.Out[i] {
+			same++
+		}
+	}
+	if same == 4 {
+		t.Fatal("digest did not change with round count")
+	}
+	// No memory traffic in the register-only kernel.
+	for i, te := range res.Trace {
+		if te.Instr.IsMem() {
+			t.Fatalf("md5-like performed memory access at %d: %v", i, te.Instr)
+		}
+	}
+}
+
+func TestSyntheticTerminates(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		cfg := DefaultSynth("s", seed)
+		p := Synthetic(cfg)
+		res, err := isa.Exec(p, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Halted {
+			t.Fatalf("seed %d did not halt", seed)
+		}
+		if len(res.Out) != cfg.Iterations {
+			t.Fatalf("seed %d: %d outputs, want %d", seed, len(res.Out), cfg.Iterations)
+		}
+	}
+}
+
+func TestSyntheticRespectsMix(t *testing.T) {
+	cfg := DefaultSynth("memheavy", 3)
+	cfg.MemFrac = 0.9
+	p := Synthetic(cfg)
+	res, err := isa.Exec(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := 0
+	for _, te := range res.Trace {
+		if te.Instr.IsMem() {
+			mem++
+		}
+	}
+	frac := float64(mem) / float64(len(res.Trace))
+	if frac < 0.4 {
+		t.Fatalf("memory fraction = %v, want heavy", frac)
+	}
+
+	cfg2 := DefaultSynth("nomem", 3)
+	cfg2.MemFrac = 0
+	res2, err := isa.Exec(Synthetic(cfg2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, te := range res2.Trace {
+		if te.Instr.IsMem() {
+			t.Fatal("MemFrac=0 workload accessed memory")
+		}
+	}
+}
+
+func TestSuiteVariety(t *testing.T) {
+	progs := Suite(8, 99)
+	if len(progs) != 8 {
+		t.Fatalf("suite size = %d", len(progs))
+	}
+	names := make(map[string]bool)
+	lens := make(map[int]bool)
+	for _, p := range progs {
+		if names[p.Name] {
+			t.Fatalf("duplicate workload name %s", p.Name)
+		}
+		names[p.Name] = true
+		lens[len(p.Code)] = true
+		res, err := isa.Exec(p, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if !res.Halted {
+			t.Fatalf("%s did not halt", p.Name)
+		}
+	}
+	if len(lens) < 3 {
+		t.Fatalf("suite lacks variety: %d distinct code sizes", len(lens))
+	}
+}
+
+func TestStandardIncludesNamedKernels(t *testing.T) {
+	progs := Standard(3, 1)
+	if len(progs) != 5 {
+		t.Fatalf("standard set size = %d", len(progs))
+	}
+	if progs[0].Name != "lattice12" || progs[1].Name != "md5like200" {
+		t.Fatalf("named kernels missing: %s %s", progs[0].Name, progs[1].Name)
+	}
+}
+
+func TestSuiteDeterministicAcrossCalls(t *testing.T) {
+	a := Suite(3, 5)
+	b := Suite(3, 5)
+	for i := range a {
+		if len(a[i].Code) != len(b[i].Code) {
+			t.Fatal("suite generation not deterministic")
+		}
+		for j := range a[i].Code {
+			if a[i].Code[j] != b[i].Code[j] {
+				t.Fatal("instruction mismatch")
+			}
+		}
+	}
+}
+
+func TestPointerChase(t *testing.T) {
+	p := PointerChase(16, 4)
+	res, err := isa.Exec(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted || len(res.Out) != 1 {
+		t.Fatalf("halted=%v out=%v", res.Halted, res.Out)
+	}
+	// Every loop iteration is a dependent load.
+	loads := 0
+	for _, te := range res.Trace {
+		if te.Instr.Op == isa.LD {
+			loads++
+		}
+	}
+	if loads != 16*4 {
+		t.Fatalf("loads = %d, want 64", loads)
+	}
+	// The ring visits every node: the traversal covers all addresses.
+	seen := make(map[uint32]bool)
+	for _, te := range res.Trace {
+		if te.Instr.Op == isa.LD {
+			seen[te.Addr] = true
+		}
+	}
+	if len(seen) != 16 {
+		t.Fatalf("ring visited %d nodes, want 16", len(seen))
+	}
+}
+
+func TestTransactionMix(t *testing.T) {
+	p := TransactionMix(16, 40)
+	res, err := isa.Exec(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted || len(res.Out) != 40 {
+		t.Fatalf("halted=%v outs=%d", res.Halted, len(res.Out))
+	}
+	// Transactions perform read-modify-write pairs and branch both ways.
+	var lds, sts, takenBr, notTaken int
+	for _, te := range res.Trace {
+		switch {
+		case te.Instr.Op == isa.LD:
+			lds++
+		case te.Instr.Op == isa.ST:
+			sts++
+		case te.Instr.Op == isa.BNE && te.Instr.Imm != 0:
+			if te.Taken {
+				takenBr++
+			} else {
+				notTaken++
+			}
+		}
+	}
+	if lds != 40 || sts != 40 {
+		t.Fatalf("ld/st = %d/%d, want 40/40", lds, sts)
+	}
+	if takenBr == 0 || notTaken == 0 {
+		t.Fatalf("branch outcomes unbalanced: %d taken, %d not", takenBr, notTaken)
+	}
+}
+
+func TestExtendedPopulation(t *testing.T) {
+	progs := Extended(2, 9)
+	if len(progs) != 6 {
+		t.Fatalf("extended size = %d", len(progs))
+	}
+	for _, p := range progs {
+		res, err := isa.Exec(p, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if !res.Halted {
+			t.Fatalf("%s did not halt", p.Name)
+		}
+	}
+}
+
+func TestSDCVirusMaximizesVulnerability(t *testing.T) {
+	p := SDCVirus(64)
+	res, err := isa.Exec(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted || len(res.Out) != 64 {
+		t.Fatalf("halted=%v outs=%d", res.Halted, len(res.Out))
+	}
+	// Virtually nothing is dynamically dead.
+	flags := isa.ACEFlags(res.Trace, res.Halted)
+	ace := 0
+	for _, f := range flags {
+		if f {
+			ace++
+		}
+	}
+	frac := float64(ace) / float64(len(flags))
+	if frac < 0.9 {
+		t.Fatalf("SDC virus ACE fraction = %v, want > 0.9", frac)
+	}
+}
+
+// TestKernelsDisassembleAndReassemble: the generated kernels round-trip
+// through the assembly text format with identical behavior.
+func TestKernelsDisassembleAndReassemble(t *testing.T) {
+	for _, p := range []*isa.Program{Lattice(5), MD5Like(15), TransactionMix(8, 6), SDCVirus(8)} {
+		var sb strings.Builder
+		if err := isa.WriteAsm(&sb, p); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		p2, err := isa.ParseAsm(p.Name, strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("%s: reassembly: %v", p.Name, err)
+		}
+		a, err := isa.Exec(p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := isa.Exec(p2, 0)
+		if err != nil {
+			t.Fatalf("%s: reassembled exec: %v", p.Name, err)
+		}
+		if len(a.Out) != len(b.Out) {
+			t.Fatalf("%s: outputs differ in length", p.Name)
+		}
+		for i := range a.Out {
+			if a.Out[i] != b.Out[i] {
+				t.Fatalf("%s: out[%d] = %d vs %d", p.Name, i, a.Out[i], b.Out[i])
+			}
+		}
+	}
+}

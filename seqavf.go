@@ -1,0 +1,178 @@
+// Package seqavf computes the architectural vulnerability factor (AVF) of
+// every sequential bit in a processor design analytically, without RTL
+// simulation — a from-scratch implementation of Raasch, Biswas, Stephan,
+// Racunas and Emer, "A Fast and Accurate Analytical Technique to Compute
+// the AVF of Sequential Bits in a Processor" (MICRO-48, 2015).
+//
+// This package is the public facade: it re-exports the stable API from
+// the internal packages so downstream users have a single import. The
+// pipeline is:
+//
+//  1. Describe (or parse) a netlist: FUB modules of sequential and
+//     combinational nodes plus structure read/write ports (Design,
+//     ParseNetlist, Build* helpers).
+//  2. Flatten it and extract the bit-level node graph (Flatten, BuildGraph).
+//  3. Obtain port AVFs: either measured by the bundled ACE-instrumented
+//     performance model (RunPerfModel over Workload programs) or supplied
+//     directly (Inputs).
+//  4. Run SART (NewAnalyzer + Solve / SolvePartitioned) to resolve a
+//     closed-form AVF equation and value for every bit.
+//  5. Optionally validate with statistical fault injection (RunSFI) or
+//     compute SER/FIT and beam correlations (the ser package via
+//     internal/experiments).
+//
+// See README.md for a quickstart and DESIGN.md / EXPERIMENTS.md for the
+// paper reproduction details.
+package seqavf
+
+import (
+	"io"
+
+	"seqavf/internal/ace"
+	"seqavf/internal/core"
+	"seqavf/internal/graph"
+	"seqavf/internal/isa"
+	"seqavf/internal/netlist"
+	"seqavf/internal/rtlsim"
+	"seqavf/internal/sfi"
+	"seqavf/internal/uarch"
+	"seqavf/internal/workload"
+)
+
+// Netlist construction and processing.
+type (
+	// Design is a hierarchical netlist: modules, structures, FUB
+	// instances and interconnect.
+	Design = netlist.Design
+	// Module is a named collection of nodes and sub-instances.
+	Module = netlist.Module
+	// Node is one word-level netlist element.
+	Node = netlist.Node
+	// Builder offers terse module-construction helpers.
+	Builder = netlist.Builder
+	// FlatDesign is the hierarchy-free form SART analyzes.
+	FlatDesign = netlist.FlatDesign
+	// Graph is the bit-level dependency graph extracted from a FlatDesign.
+	Graph = graph.Graph
+	// VertexID indexes one bit in a Graph.
+	VertexID = graph.VertexID
+)
+
+// SART analysis.
+type (
+	// Analyzer binds a Graph to SART options.
+	Analyzer = core.Analyzer
+	// Options tune loop/pseudo pAVFs, control-register detection, and
+	// the relaxation.
+	Options = core.Options
+	// Inputs carries measured port pAVFs and structure AVFs.
+	Inputs = core.Inputs
+	// StructPort names one structure port.
+	StructPort = core.StructPort
+	// Result holds per-bit closed forms and resolved AVFs.
+	Result = core.Result
+	// Summary aggregates design-wide statistics.
+	Summary = core.Summary
+	// FubStat summarizes one FUB (one bar of the paper's Figure 9).
+	FubStat = core.FubStat
+)
+
+// Performance-model measurement.
+type (
+	// Program is an assembled workload for the bundled ISA.
+	Program = isa.Program
+	// PerfConfig sets the performance-model geometry.
+	PerfConfig = uarch.Config
+	// PerfResult carries the ACE measurements of one run.
+	PerfResult = uarch.Result
+	// ACEReport is the measured structure/port AVF table.
+	ACEReport = ace.Report
+)
+
+// Fault injection.
+type (
+	// SFIConfig tunes a fault-injection campaign.
+	SFIConfig = sfi.Config
+	// SFIResult is a completed campaign.
+	SFIResult = sfi.Result
+	// SFIObservation names the compared output ports.
+	SFIObservation = sfi.Observation
+	// Sim is the cycle-accurate netlist simulator.
+	Sim = rtlsim.Sim
+)
+
+// NewDesign returns an empty netlist design.
+func NewDesign(name string) *Design { return netlist.NewDesign(name) }
+
+// Build wraps a module in construction helpers.
+func Build(m *Module) *Builder { return netlist.Build(m) }
+
+// ParseNetlist reads the textual netlist format.
+func ParseNetlist(r io.Reader) (*Design, error) { return netlist.Parse(r) }
+
+// WriteNetlist serializes a design in the textual format.
+func WriteNetlist(w io.Writer, d *Design) error { return netlist.Write(w, d) }
+
+// Flatten removes all module hierarchy.
+func Flatten(d *Design) (*FlatDesign, error) { return netlist.Flatten(d) }
+
+// BuildGraph extracts the bit-level node graph.
+func BuildGraph(fd *FlatDesign) (*Graph, error) { return graph.Build(fd) }
+
+// DefaultOptions returns the paper's operating point (loop pAVF 0.3,
+// 20 relaxation iterations, cfg_ control-register detection).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// NewAnalyzer prepares a graph for SART analysis.
+func NewAnalyzer(g *Graph, opts Options) (*Analyzer, error) { return core.NewAnalyzer(g, opts) }
+
+// NewInputs returns empty measurement tables.
+func NewInputs() *Inputs { return core.NewInputs() }
+
+// DefaultPerfConfig returns the bundled performance-model geometry.
+func DefaultPerfConfig() PerfConfig { return uarch.DefaultConfig() }
+
+// RunPerfModel executes a workload on the ACE-instrumented performance
+// model, producing structure AVFs and port pAVFs.
+func RunPerfModel(p *Program, cfg PerfConfig) (*PerfResult, error) { return uarch.Run(p, cfg) }
+
+// Workloads.
+
+// LatticeWorkload builds the 2D lattice-force kernel (§6.2).
+func LatticeWorkload(n int) *Program { return workload.Lattice(n) }
+
+// MD5Workload builds the register-only MD5-style kernel (§6.2).
+func MD5Workload(rounds int) *Program { return workload.MD5Like(rounds) }
+
+// SyntheticSuite generates n parameterized workloads.
+func SyntheticSuite(n int, seed uint64) []*Program { return workload.Suite(n, seed) }
+
+// PointerChaseWorkload builds the serial linked-list traversal kernel.
+func PointerChaseWorkload(nodes, laps int) *Program { return workload.PointerChase(nodes, laps) }
+
+// TransactionWorkload builds the transaction-processing-like kernel.
+func TransactionWorkload(records, txns int) *Program { return workload.TransactionMix(records, txns) }
+
+// SDCVirusWorkload builds the worst-case-vulnerability kernel (the
+// paper's SER-model-validation application, ref [8]).
+func SDCVirusWorkload(iters int) *Program { return workload.SDCVirus(iters) }
+
+// ParseAsm assembles a program from the textual assembly format.
+func ParseAsm(name string, r io.Reader) (*Program, error) { return isa.ParseAsm(name, r) }
+
+// WriteAsm disassembles a program into the textual assembly format.
+func WriteAsm(w io.Writer, p *Program) error { return isa.WriteAsm(w, p) }
+
+// NewSim instantiates the cycle-accurate simulator for a flattened design
+// with behavioral structure models.
+func NewSim(fd *FlatDesign, structs map[string]rtlsim.StructSim) (*Sim, error) {
+	return rtlsim.New(fd, structs)
+}
+
+// RunSFI executes a statistical fault injection campaign (Equation 2).
+func RunSFI(sim *Sim, obs SFIObservation, cfg SFIConfig) (*SFIResult, error) {
+	return sfi.Run(sim, obs, cfg)
+}
+
+// DefaultSFIConfig returns a small but meaningful campaign configuration.
+func DefaultSFIConfig() SFIConfig { return sfi.DefaultConfig() }
