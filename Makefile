@@ -1,0 +1,26 @@
+# Developer entry points. `make ci` is the tier-1 gate recorded in
+# ROADMAP.md: vet, build, and the full test suite under the race
+# detector must all pass before a change lands.
+
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+ci: vet build race

@@ -4,11 +4,17 @@
 // standalone tool. The text output doubles as a sartool pAVF table when
 // filtered; -json emits the full report.
 //
+// Observability: -metrics FILE writes a JSON snapshot (cycles simulated,
+// ACE reads/writes tallied, instructions retired/sec, per-run phase
+// spans, run manifest); -trace prints phase spans to stderr; -pprof ADDR
+// serves net/http/pprof.
+//
 // Usage:
 //
 //	acerun -workload lattice
 //	acerun -workload md5 -json
 //	acerun -workload suite -n 8 -seed 42        # suite average
+//	acerun -workload md5 -metrics ace.json -trace
 package main
 
 import (
@@ -17,36 +23,53 @@ import (
 	"fmt"
 	"os"
 	"sort"
-	"strings"
 
+	"seqavf/cmd/internal/cliutil"
 	"seqavf/internal/ace"
-	"seqavf/internal/isa"
+	"seqavf/internal/obs"
 	"seqavf/internal/uarch"
 	"seqavf/internal/workload"
 )
 
 func main() {
-	wl := flag.String("workload", "lattice", "lattice, md5, pchase, txn, virus, synth, or suite")
+	wl := flag.String("workload", "lattice", cliutil.WorkloadNames+", or suite")
 	file := flag.String("file", "", "assemble and run a program file instead of a named workload")
 	n := flag.Int("n", 8, "suite size (workload=suite)")
 	seed := flag.Uint64("seed", 1, "generator seed")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	ob := cliutil.ObsFlags()
 	flag.Parse()
 
-	if *file != "" {
-		*wl = "file:" + *file
+	reg := ob.Start("acerun")
+	err := run(reg, *wl, *file, *n, *seed, *jsonOut)
+	if err == nil {
+		err = ob.Finish()
 	}
-	if err := run(*wl, *n, *seed, *jsonOut); err != nil {
-		fmt.Fprintf(os.Stderr, "acerun: %v\n", err)
-		os.Exit(1)
-	}
+	cliutil.Exit("acerun", err)
 }
 
-func run(wl string, n int, seed uint64, jsonOut bool) error {
+func run(reg *obs.Registry, wl, file string, n int, seed uint64, jsonOut bool) error {
+	reg.SetManifest("workload", wl)
+	reg.SetManifest("seed", seed)
+	cfg := uarch.DefaultConfig()
+	cfg.Obs = reg
+
 	var rep *ace.Report
 	var label string
-	cfg := uarch.DefaultConfig()
-	single := func(p *isa.Program) error {
+	if wl == "suite" && file == "" {
+		reg.SetManifest("suite_size", n)
+		_, avg, err := uarch.RunSuite(workload.Suite(n, seed), cfg)
+		if err != nil {
+			return err
+		}
+		rep = avg
+		label = fmt.Sprintf("average of %d synthetic workloads (seed %d)", n, seed)
+	} else {
+		p, err := cliutil.LoadProgram(wl, file, seed, cliutil.WorkloadSizes{})
+		if err != nil {
+			return err
+		}
+		reg.SetManifest("program", p.Name)
 		res, err := uarch.Run(p, cfg)
 		if err != nil {
 			return err
@@ -54,59 +77,6 @@ func run(wl string, n int, seed uint64, jsonOut bool) error {
 		rep = res.Report
 		label = fmt.Sprintf("%s: %d instrs, %d cycles, IPC %.3f, ACE fraction %.3f",
 			p.Name, res.Instrs, res.Cycles, res.IPC, res.ACEInstrFraction)
-		return nil
-	}
-	if path, ok := strings.CutPrefix(wl, "file:"); ok {
-		f, err := os.Open(path)
-		if err != nil {
-			return err
-		}
-		p, err := isa.ParseAsm(path, f)
-		f.Close()
-		if err != nil {
-			return err
-		}
-		if err := single(p); err != nil {
-			return err
-		}
-		wl = "" // handled; skip the named-workload switch
-	}
-	switch wl {
-	case "":
-		// Program file already executed above.
-	case "lattice":
-		if err := single(workload.Lattice(12)); err != nil {
-			return err
-		}
-	case "md5":
-		if err := single(workload.MD5Like(200)); err != nil {
-			return err
-		}
-	case "pchase":
-		if err := single(workload.PointerChase(32, 8)); err != nil {
-			return err
-		}
-	case "txn":
-		if err := single(workload.TransactionMix(16, 96)); err != nil {
-			return err
-		}
-	case "virus":
-		if err := single(workload.SDCVirus(128)); err != nil {
-			return err
-		}
-	case "synth":
-		if err := single(workload.Synthetic(workload.DefaultSynth("synth", seed))); err != nil {
-			return err
-		}
-	case "suite":
-		_, avg, err := uarch.RunSuite(workload.Suite(n, seed), cfg)
-		if err != nil {
-			return err
-		}
-		rep = avg
-		label = fmt.Sprintf("average of %d synthetic workloads (seed %d)", n, seed)
-	default:
-		return fmt.Errorf("unknown workload %q", wl)
 	}
 
 	if jsonOut {

@@ -2,6 +2,10 @@
 // netlist (and optionally its port-AVF binding table) in the textual
 // formats consumed by sartool.
 //
+// Observability: -metrics FILE writes a JSON snapshot (generation phase
+// spans, perf-model counters when -pavf is used, run manifest); -trace
+// prints phase spans to stderr; -pprof ADDR serves net/http/pprof.
+//
 // Usage:
 //
 //	designgen -seed 2015 -o design.nl -pavf pavf.txt
@@ -12,11 +16,12 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
 
+	"seqavf/cmd/internal/cliutil"
 	"seqavf/internal/design"
 	"seqavf/internal/graph"
 	"seqavf/internal/netlist"
+	"seqavf/internal/obs"
 	"seqavf/internal/uarch"
 	"seqavf/internal/workload"
 )
@@ -27,21 +32,28 @@ func main() {
 	out := flag.String("o", "", "netlist output file (default stdout)")
 	pavf := flag.String("pavf", "", "also write a pAVF table measured on the Lattice workload")
 	stats := flag.Bool("stats", false, "print bit-graph statistics to stderr")
+	ob := cliutil.ObsFlags()
 	flag.Parse()
 
-	if err := run(*seed, *fubs, *out, *pavf, *stats); err != nil {
-		fmt.Fprintf(os.Stderr, "designgen: %v\n", err)
-		os.Exit(1)
+	reg := ob.Start("designgen")
+	err := run(reg, *seed, *fubs, *out, *pavf, *stats)
+	if err == nil {
+		err = ob.Finish()
 	}
+	cliutil.Exit("designgen", err)
 }
 
-func run(seed uint64, fubs int, out, pavfPath string, stats bool) error {
+func run(reg *obs.Registry, seed uint64, fubs int, out, pavfPath string, stats bool) error {
+	reg.SetManifest("seed", seed)
+	reg.SetManifest("fubs", fubs)
+	gsp := reg.StartSpan("generate")
 	cfg := design.DefaultConfig(seed)
 	cfg.NumFubs = fubs
 	gen, err := design.Generate(cfg)
 	if err != nil {
 		return err
 	}
+	gsp.End()
 	var w io.Writer = os.Stdout
 	if out != "" {
 		f, err := os.Create(out)
@@ -54,10 +66,13 @@ func run(seed uint64, fubs int, out, pavfPath string, stats bool) error {
 	if err := netlist.Write(w, gen.Design); err != nil {
 		return err
 	}
+	fsp := reg.StartSpan("flatten")
 	fd, err := netlist.Flatten(gen.Design)
 	if err != nil {
 		return err
 	}
+	fsp.SetAttr("nodes", fd.NumNodes())
+	fsp.End()
 	fmt.Fprintf(os.Stderr, "designgen: %d FUBs, %d structures, %d flat nodes\n",
 		len(gen.Design.Fubs), len(gen.Design.Structures), fd.NumNodes())
 	if stats {
@@ -71,7 +86,10 @@ func run(seed uint64, fubs int, out, pavfPath string, stats bool) error {
 	if pavfPath == "" {
 		return nil
 	}
-	perf, err := uarch.Run(workload.Lattice(12), uarch.DefaultConfig())
+	psp := reg.StartSpan("measure_pavf")
+	ucfg := uarch.DefaultConfig()
+	ucfg.Obs = reg
+	perf, err := uarch.Run(workload.Lattice(12), ucfg)
 	if err != nil {
 		return err
 	}
@@ -79,26 +97,16 @@ func run(seed uint64, fubs int, out, pavfPath string, stats bool) error {
 	if err != nil {
 		return err
 	}
+	psp.End()
 	f, err := os.Create(pavfPath)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	// Stable output order.
-	var lines []string
-	for sp, v := range in.ReadPorts {
-		lines = append(lines, fmt.Sprintf("R %s %.6f", sp, v))
+	n, err := cliutil.WritePAVF(f, in)
+	if err != nil {
+		return err
 	}
-	for sp, v := range in.WritePorts {
-		lines = append(lines, fmt.Sprintf("W %s %.6f", sp, v))
-	}
-	for s, v := range in.StructAVF {
-		lines = append(lines, fmt.Sprintf("S %s %.6f", s, v))
-	}
-	sort.Strings(lines)
-	for _, l := range lines {
-		fmt.Fprintln(f, l)
-	}
-	fmt.Fprintf(os.Stderr, "designgen: wrote %d pAVF entries to %s\n", len(lines), pavfPath)
+	fmt.Fprintf(os.Stderr, "designgen: wrote %d pAVF entries to %s\n", n, pavfPath)
 	return nil
 }

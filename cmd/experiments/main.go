@@ -1,19 +1,29 @@
 // Command experiments regenerates the paper's tables and figures
 // (see DESIGN.md's experiment index and EXPERIMENTS.md for the results).
 //
+// Observability: -metrics FILE writes a JSON snapshot with a root span per
+// experiment (wall-clock per figure/table), the aggregated solver and
+// model counters, and a run manifest; -trace prints spans to stderr;
+// -pprof ADDR serves net/http/pprof — handy because -exp all runs for a
+// while.
+//
 // Usage:
 //
 //	experiments -exp all
 //	experiments -exp fig8|fig9|fig10|convergence|table1|validate|symbolic
 //	experiments -exp fig9 -seed 7 -suite 20
+//	experiments -exp all -metrics exp.json -pprof localhost:6060
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"seqavf/cmd/internal/cliutil"
 	"seqavf/internal/experiments"
+	"seqavf/internal/obs"
 )
 
 func main() {
@@ -22,15 +32,32 @@ func main() {
 	suite := flag.Int("suite", 12, "synthetic workloads beyond the named kernels")
 	inject := flag.Int("inject", 4, "SFI injections per bit (validate)")
 	valprog := flag.String("workload", "md5", "validation workload: md5 or lattice")
+	ob := cliutil.ObsFlags()
 	flag.Parse()
 
-	if err := run(*exp, *seed, *suite, *inject, *valprog); err != nil {
-		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-		os.Exit(1)
+	reg := ob.Start("experiments")
+	err := run(reg, *exp, *seed, *suite, *inject, *valprog)
+	if ob.Trace {
+		reg.WritePhaseSummary(os.Stderr)
 	}
+	if err == nil {
+		err = ob.Finish()
+	}
+	cliutil.Exit("experiments", err)
 }
 
-func run(exp string, seed uint64, suite, inject int, valprog string) error {
+// textReport is the shape every experiment result shares.
+type textReport interface {
+	WriteText(w io.Writer)
+}
+
+func run(reg *obs.Registry, exp string, seed uint64, suite, inject int, valprog string) error {
+	reg.SetManifest("exp", exp)
+	reg.SetManifest("seed", seed)
+	reg.SetManifest("suite", suite)
+	reg.SetManifest("injections_per_bit", inject)
+	reg.SetManifest("workload", valprog)
+
 	w := os.Stdout
 	needEnv := map[string]bool{
 		"fig8": true, "fig9": true, "fig10": true,
@@ -39,121 +66,53 @@ func run(exp string, seed uint64, suite, inject int, valprog string) error {
 	var env *experiments.Env
 	if needEnv[exp] {
 		fmt.Fprintf(w, "setting up: XeonLike design (seed %d), %d+2 workloads on the ACE model...\n", seed, suite)
+		ssp := reg.StartSpan("setup")
 		cfg := experiments.SetupConfig{Seed: seed, SuiteSize: suite}
 		var err error
 		env, err = experiments.Setup(cfg)
 		if err != nil {
 			return err
 		}
+		ssp.End()
 		fmt.Fprintf(w, "ready: %d FUBs, %d structures, %d graph bits\n\n",
 			len(env.Gen.Design.Fubs), len(env.Gen.Design.Structures), env.Analyzer.G.NumVerts())
 	}
 
-	do := func(name string) bool { return exp == name || exp == "all" }
-
-	if do("table1") {
-		r, err := experiments.Table1()
+	table := []struct {
+		name string
+		run  func() (textReport, error)
+	}{
+		{"table1", func() (textReport, error) { return experiments.Table1() }},
+		{"fig8", func() (textReport, error) { return experiments.Figure8(env, nil) }},
+		{"fig9", func() (textReport, error) { return experiments.Figure9(env) }},
+		{"convergence", func() (textReport, error) { return experiments.Convergence(env) }},
+		{"fig10", func() (textReport, error) { return experiments.Figure10(env) }},
+		{"validate", func() (textReport, error) { return experiments.Validate(valprog, inject) }},
+		{"scaling", func() (textReport, error) { return experiments.ConvergenceScaling(nil) }},
+		{"loopchar", func() (textReport, error) { return experiments.LoopChar(valprog, 2, inject) }},
+		{"protection", func() (textReport, error) { return experiments.Protection(seed, nil) }},
+		{"hardening", func() (textReport, error) { return experiments.Hardening(env, nil) }},
+		{"exhaustive", func() (textReport, error) { return experiments.Exhaustive(nil) }},
+		{"variation", func() (textReport, error) { return experiments.Variation(env, 10) }},
+		{"symbolic", func() (textReport, error) { return experiments.Symbolic(env) }},
+	}
+	known := exp == "all"
+	for _, e := range table {
+		if exp != e.name && exp != "all" {
+			continue
+		}
+		known = true
+		sp := reg.StartSpan(e.name)
+		r, err := e.run()
+		sp.End()
 		if err != nil {
 			return err
 		}
 		r.WriteText(w)
 		fmt.Fprintln(w)
 	}
-	if do("fig8") {
-		r, err := experiments.Figure8(env, nil)
-		if err != nil {
-			return err
-		}
-		r.WriteText(w)
-		fmt.Fprintln(w)
-	}
-	if do("fig9") {
-		r, err := experiments.Figure9(env)
-		if err != nil {
-			return err
-		}
-		r.WriteText(w)
-		fmt.Fprintln(w)
-	}
-	if do("convergence") {
-		r, err := experiments.Convergence(env)
-		if err != nil {
-			return err
-		}
-		r.WriteText(w)
-		fmt.Fprintln(w)
-	}
-	if do("fig10") {
-		r, err := experiments.Figure10(env)
-		if err != nil {
-			return err
-		}
-		r.WriteText(w)
-		fmt.Fprintln(w)
-	}
-	if do("validate") {
-		r, err := experiments.Validate(valprog, inject)
-		if err != nil {
-			return err
-		}
-		r.WriteText(w)
-		fmt.Fprintln(w)
-	}
-	if do("scaling") {
-		r, err := experiments.ConvergenceScaling(nil)
-		if err != nil {
-			return err
-		}
-		r.WriteText(w)
-		fmt.Fprintln(w)
-	}
-	if do("loopchar") {
-		r, err := experiments.LoopChar(valprog, 2, inject)
-		if err != nil {
-			return err
-		}
-		r.WriteText(w)
-		fmt.Fprintln(w)
-	}
-	if do("protection") {
-		r, err := experiments.Protection(seed, nil)
-		if err != nil {
-			return err
-		}
-		r.WriteText(w)
-		fmt.Fprintln(w)
-	}
-	if do("hardening") {
-		r, err := experiments.Hardening(env, nil)
-		if err != nil {
-			return err
-		}
-		r.WriteText(w)
-		fmt.Fprintln(w)
-	}
-	if do("exhaustive") {
-		r, err := experiments.Exhaustive(nil)
-		if err != nil {
-			return err
-		}
-		r.WriteText(w)
-		fmt.Fprintln(w)
-	}
-	if do("variation") {
-		r, err := experiments.Variation(env, 10)
-		if err != nil {
-			return err
-		}
-		r.WriteText(w)
-		fmt.Fprintln(w)
-	}
-	if do("symbolic") {
-		r, err := experiments.Symbolic(env)
-		if err != nil {
-			return err
-		}
-		r.WriteText(w)
-		fmt.Fprintln(w)
+	if !known {
+		return fmt.Errorf("unknown experiment %q", exp)
 	}
 	return nil
 }

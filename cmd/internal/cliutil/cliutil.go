@@ -1,0 +1,81 @@
+// Package cliutil factors the boilerplate shared by the seqavf command
+// line tools: uniform error exits, the observability flag trio
+// (-metrics/-trace/-pprof), pAVF-table I/O, and named-workload loading.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registered on the default mux served by -pprof
+	"os"
+
+	"seqavf/internal/obs"
+)
+
+// Exit prints "tool: err" to stderr and exits 1 when err is non-nil, and
+// does nothing otherwise — the shared error-exit tail of every main.
+func Exit(tool string, err error) {
+	if err == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(1)
+}
+
+// Obs carries the shared observability flags. Register with ObsFlags
+// before flag.Parse, then Start after it; call Finish (usually deferred
+// via Exit) once the run completes to flush -metrics.
+type Obs struct {
+	// Metrics is the -metrics destination: a JSON snapshot of all
+	// counters, gauges, histograms, phase spans, and the run manifest.
+	Metrics string
+	// Trace enables live span printing to stderr (-trace).
+	Trace bool
+	// Pprof is the -pprof listen address for net/http/pprof.
+	Pprof string
+	// Reg is the registry created by Start.
+	Reg *obs.Registry
+}
+
+// ObsFlags registers -metrics, -trace, and -pprof on the default FlagSet.
+func ObsFlags() *Obs {
+	o := &Obs{}
+	flag.StringVar(&o.Metrics, "metrics", "", "write a JSON metrics snapshot (counters, phase timings, manifest) to this file")
+	flag.BoolVar(&o.Trace, "trace", false, "print phase spans to stderr as they finish")
+	flag.StringVar(&o.Pprof, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	return o
+}
+
+// Start creates the run's registry, seeds its manifest with the tool name
+// and argv, attaches the -trace sink, and starts the -pprof server. The
+// returned registry is never nil; pass it into the pipelines' Obs options.
+func (o *Obs) Start(tool string) *obs.Registry {
+	o.Reg = obs.New()
+	o.Reg.SetManifest("tool", tool)
+	o.Reg.SetManifest("argv", os.Args[1:])
+	if o.Trace {
+		o.Reg.SetSink(obs.NewTextSink(os.Stderr))
+	}
+	if o.Pprof != "" {
+		go func() {
+			if err := http.ListenAndServe(o.Pprof, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: pprof server: %v\n", tool, err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "%s: pprof at http://%s/debug/pprof/\n", tool, o.Pprof)
+	}
+	return o.Reg
+}
+
+// Finish flushes the -metrics snapshot (a no-op without -metrics or
+// before Start).
+func (o *Obs) Finish() error {
+	if o.Reg == nil || o.Metrics == "" {
+		return nil
+	}
+	if err := o.Reg.WriteFile(o.Metrics); err != nil {
+		return fmt.Errorf("writing -metrics: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package cliutil
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"seqavf/internal/core"
+)
+
+// ReadPAVF parses the line-oriented pAVF table consumed by sartool and
+// produced by acerun/designgen:
+//
+//	R <Struct>.<port> <pAVF_R>
+//	W <Struct>.<port> <pAVF_W>
+//	S <Struct> <structure AVF>
+//
+// Blank lines and #-comments are skipped.
+func ReadPAVF(path string) (*core.Inputs, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	in := core.NewInputs()
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s:%d: want '<R|W|S> <name> <value>'", path, lineNo)
+		}
+		v, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad value %q", path, lineNo, fields[2])
+		}
+		switch fields[0] {
+		case "R", "W":
+			st, port, ok := strings.Cut(fields[1], ".")
+			if !ok {
+				return nil, fmt.Errorf("%s:%d: port %q not Struct.port", path, lineNo, fields[1])
+			}
+			sp := core.StructPort{Struct: st, Port: port}
+			if fields[0] == "R" {
+				in.ReadPorts[sp] = v
+			} else {
+				in.WritePorts[sp] = v
+			}
+		case "S":
+			in.StructAVF[fields[1]] = v
+		default:
+			return nil, fmt.Errorf("%s:%d: unknown record %q", path, lineNo, fields[0])
+		}
+	}
+	return in, sc.Err()
+}
+
+// WritePAVF renders in as a sorted pAVF table in the ReadPAVF format.
+func WritePAVF(w io.Writer, in *core.Inputs) (int, error) {
+	lines := make([]string, 0, len(in.ReadPorts)+len(in.WritePorts)+len(in.StructAVF))
+	for sp, v := range in.ReadPorts {
+		lines = append(lines, fmt.Sprintf("R %s %.6f", sp, v))
+	}
+	for sp, v := range in.WritePorts {
+		lines = append(lines, fmt.Sprintf("W %s %.6f", sp, v))
+	}
+	for s, v := range in.StructAVF {
+		lines = append(lines, fmt.Sprintf("S %s %.6f", s, v))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return 0, err
+		}
+	}
+	return len(lines), nil
+}

@@ -1,0 +1,66 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"seqavf/internal/core"
+)
+
+func TestPAVFRoundTrip(t *testing.T) {
+	in := core.NewInputs()
+	in.ReadPorts[core.StructPort{Struct: "ROB", Port: "rd0"}] = 0.25
+	in.WritePorts[core.StructPort{Struct: "ROB", Port: "wr0"}] = 0.125
+	in.StructAVF["ROB"] = 0.5
+
+	var sb strings.Builder
+	n, err := WritePAVF(&sb, in)
+	if err != nil {
+		t.Fatalf("WritePAVF: %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("WritePAVF wrote %d lines, want 3", n)
+	}
+	path := filepath.Join(t.TempDir(), "pavf.txt")
+	if err := os.WriteFile(path, []byte("# comment\n\n"+sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPAVF(path)
+	if err != nil {
+		t.Fatalf("ReadPAVF: %v", err)
+	}
+	if v := got.ReadPorts[core.StructPort{Struct: "ROB", Port: "rd0"}]; v != 0.25 {
+		t.Errorf("read port = %v, want 0.25", v)
+	}
+	if v := got.WritePorts[core.StructPort{Struct: "ROB", Port: "wr0"}]; v != 0.125 {
+		t.Errorf("write port = %v, want 0.125", v)
+	}
+	if v := got.StructAVF["ROB"]; v != 0.5 {
+		t.Errorf("struct AVF = %v, want 0.5", v)
+	}
+}
+
+func TestReadPAVFErrors(t *testing.T) {
+	for name, body := range map[string]string{
+		"short line": "R only\n",
+		"bad value":  "R ROB.rd0 zero\n",
+		"bad port":   "R ROBrd0 0.5\n",
+		"bad record": "X ROB.rd0 0.5\n",
+	} {
+		path := filepath.Join(t.TempDir(), "bad.txt")
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadPAVF(path); err == nil {
+			t.Errorf("%s: ReadPAVF accepted %q", name, body)
+		}
+	}
+}
+
+func TestLoadProgramUnknown(t *testing.T) {
+	if _, err := LoadProgram("nope", "", 1, WorkloadSizes{}); err == nil {
+		t.Error("LoadProgram accepted unknown workload")
+	}
+}

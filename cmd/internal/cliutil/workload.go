@@ -1,0 +1,56 @@
+package cliutil
+
+import (
+	"fmt"
+	"os"
+
+	"seqavf/internal/isa"
+	"seqavf/internal/workload"
+)
+
+// WorkloadSizes tunes named-workload program lengths; zero fields use the
+// defaults below. sfirun passes smaller sizes because netlist simulation
+// is orders of magnitude slower than the performance model.
+type WorkloadSizes struct {
+	Lattice int // lattice grid size (default 12)
+	MD5     int // md5-like block count (default 200)
+}
+
+// WorkloadNames lists the named workloads LoadProgram accepts.
+const WorkloadNames = "lattice, md5, pchase, txn, virus, or synth"
+
+// LoadProgram resolves the shared -workload/-file selection of acerun and
+// sfirun: a program file is assembled when file is non-empty, otherwise
+// name picks a generated workload.
+func LoadProgram(name, file string, seed uint64, sz WorkloadSizes) (*isa.Program, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return isa.ParseAsm(file, f)
+	}
+	if sz.Lattice <= 0 {
+		sz.Lattice = 12
+	}
+	if sz.MD5 <= 0 {
+		sz.MD5 = 200
+	}
+	switch name {
+	case "lattice":
+		return workload.Lattice(sz.Lattice), nil
+	case "md5":
+		return workload.MD5Like(sz.MD5), nil
+	case "pchase":
+		return workload.PointerChase(32, 8), nil
+	case "txn":
+		return workload.TransactionMix(16, 96), nil
+	case "virus":
+		return workload.SDCVirus(128), nil
+	case "synth":
+		return workload.Synthetic(workload.DefaultSynth("synth", seed)), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q (want %s)", name, WorkloadNames)
+	}
+}

@@ -8,11 +8,18 @@
 //	W <Struct>.<port> <pAVF_W>
 //	S <Struct> <structure AVF>
 //
+// Observability: -metrics FILE writes a JSON snapshot with solver
+// counters, phase timings (graph/env/fwd/bwd, per-iteration relaxation
+// spans under -partitioned), and a self-describing run manifest; -trace
+// prints phase spans live and a phase-timing summary at exit; -pprof ADDR
+// serves net/http/pprof.
+//
 // Usage:
 //
 //	sartool -netlist design.nl -pavf pavf.txt -summary
 //	sartool -netlist design.nl -pavf pavf.txt -nodes -equations
 //	sartool -netlist design.nl -pavf pavf.txt -partitioned -loop 0.3
+//	sartool -netlist design.nl -pavf pavf.txt -metrics out.json -trace
 package main
 
 import (
@@ -22,12 +29,13 @@ import (
 	"io"
 	"os"
 	"sort"
-	"strconv"
 	"strings"
 
+	"seqavf/cmd/internal/cliutil"
 	"seqavf/internal/core"
 	"seqavf/internal/graph"
 	"seqavf/internal/netlist"
+	"seqavf/internal/obs"
 )
 
 func main() {
@@ -42,19 +50,34 @@ func main() {
 	equations := flag.Bool("equations", false, "print closed-form equations with -nodes")
 	jsonOut := flag.Bool("json", false, "emit the full result as JSON instead of text")
 	top := flag.Int("top", 0, "print the N most vulnerable sequential nodes with their pAVF contributors")
+	ob := cliutil.ObsFlags()
 	flag.Parse()
 
 	if *nl == "" || *pavfPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*nl, *pavfPath, *loop, *pseudo, *partitioned, *iterations, *summary, *nodes, *equations, *jsonOut, *top); err != nil {
-		fmt.Fprintf(os.Stderr, "sartool: %v\n", err)
-		os.Exit(1)
+	reg := ob.Start("sartool")
+	err := run(reg, *nl, *pavfPath, *loop, *pseudo, *partitioned, *iterations, *summary, *nodes, *equations, *jsonOut, *top)
+	if ob.Trace {
+		reg.WritePhaseSummary(os.Stderr)
 	}
+	if err == nil {
+		err = ob.Finish()
+	}
+	cliutil.Exit("sartool", err)
 }
 
-func run(nlPath, pavfPath string, loop, pseudo float64, partitioned bool, iterations int, summary, nodes, equations, jsonOut bool, top int) error {
+func run(reg *obs.Registry, nlPath, pavfPath string, loop, pseudo float64, partitioned bool, iterations int, summary, nodes, equations, jsonOut bool, top int) error {
+	reg.SetManifest("netlist", nlPath)
+	reg.SetManifest("pavf", pavfPath)
+	reg.SetManifest("loop_pavf", loop)
+	reg.SetManifest("pseudo_pavf", pseudo)
+	reg.SetManifest("partitioned", partitioned)
+	reg.SetManifest("iteration_bound", iterations)
+
+	lsp := reg.StartSpan("load")
+	psp := lsp.Child("parse")
 	f, err := os.Open(nlPath)
 	if err != nil {
 		return err
@@ -67,26 +90,36 @@ func run(nlPath, pavfPath string, loop, pseudo float64, partitioned bool, iterat
 	if err := d.Validate(); err != nil {
 		return err
 	}
+	psp.End()
+	fsp := lsp.Child("flatten")
 	fd, err := netlist.Flatten(d)
 	if err != nil {
 		return err
 	}
+	fsp.End()
+	gsp := lsp.Child("graph")
 	g, err := graph.Build(fd)
 	if err != nil {
 		return err
 	}
+	gsp.SetAttr("vertices", g.NumVerts())
+	gsp.End()
+	asp := lsp.Child("analyzer")
 	opts := core.DefaultOptions()
 	opts.LoopPAVF = loop
 	opts.PseudoPAVF = pseudo
 	opts.Iterations = iterations
+	opts.Obs = reg
 	a, err := core.NewAnalyzer(g, opts)
 	if err != nil {
 		return err
 	}
-	in, err := readPAVF(pavfPath)
+	asp.End()
+	in, err := cliutil.ReadPAVF(pavfPath)
 	if err != nil {
 		return err
 	}
+	lsp.End()
 	var res *core.Result
 	if partitioned {
 		res, err = a.SolvePartitioned(in)
@@ -96,6 +129,8 @@ func run(nlPath, pavfPath string, loop, pseudo float64, partitioned bool, iterat
 	if err != nil {
 		return err
 	}
+	reg.SetManifest("iterations", res.Iterations)
+	reg.SetManifest("converged", res.Converged)
 
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
@@ -198,47 +233,4 @@ func writeTop(w io.Writer, g *graph.Graph, res *core.Result, top int) {
 			fmt.Fprintln(w)
 		}
 	}
-}
-
-func readPAVF(path string) (*core.Inputs, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	in := core.NewInputs()
-	sc := bufio.NewScanner(f)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		fields := strings.Fields(sc.Text())
-		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
-			continue
-		}
-		if len(fields) != 3 {
-			return nil, fmt.Errorf("%s:%d: want '<R|W|S> <name> <value>'", path, lineNo)
-		}
-		v, err := strconv.ParseFloat(fields[2], 64)
-		if err != nil {
-			return nil, fmt.Errorf("%s:%d: bad value %q", path, lineNo, fields[2])
-		}
-		switch fields[0] {
-		case "R", "W":
-			st, port, ok := strings.Cut(fields[1], ".")
-			if !ok {
-				return nil, fmt.Errorf("%s:%d: port %q not Struct.port", path, lineNo, fields[1])
-			}
-			sp := core.StructPort{Struct: st, Port: port}
-			if fields[0] == "R" {
-				in.ReadPorts[sp] = v
-			} else {
-				in.WritePorts[sp] = v
-			}
-		case "S":
-			in.StructAVF[fields[1]] = v
-		default:
-			return nil, fmt.Errorf("%s:%d: unknown record %q", path, lineNo, fields[0])
-		}
-	}
-	return in, sc.Err()
 }

@@ -2,66 +2,59 @@
 // tinycore netlist CPU executing a named workload — the brute-force
 // baseline of §3.1.
 //
+// Observability: -metrics FILE writes a JSON snapshot (injections run,
+// error/unknown/masked tallies, simulated cycles, node evaluations,
+// sims/sec, campaign phase spans, run manifest); -trace prints phase
+// spans to stderr; -pprof ADDR serves net/http/pprof.
+//
 // Usage:
 //
 //	sfirun -workload md5 -inject 6 -window 2000
 //	sfirun -workload lattice -inject 2
+//	sfirun -workload md5 -metrics sfi.json -pprof localhost:6060
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
 	"time"
 
-	"seqavf/internal/isa"
+	"seqavf/cmd/internal/cliutil"
+	"seqavf/internal/obs"
 	"seqavf/internal/sfi"
 	"seqavf/internal/tinycore"
-	"seqavf/internal/workload"
 )
 
 func main() {
-	wl := flag.String("workload", "md5", "workload: md5, lattice, or synth")
+	wl := flag.String("workload", "md5", cliutil.WorkloadNames)
 	file := flag.String("file", "", "assemble and run a program file instead of a named workload")
 	inject := flag.Int("inject", 4, "injections per sequential bit")
 	window := flag.Int("window", 2000, "propagation window (cycles)")
 	seed := flag.Uint64("seed", 1, "campaign seed")
 	workers := flag.Int("workers", 1, "parallel workers")
+	ob := cliutil.ObsFlags()
 	flag.Parse()
 
-	if err := run(*wl, *file, *inject, *window, *seed, *workers); err != nil {
-		fmt.Fprintf(os.Stderr, "sfirun: %v\n", err)
-		os.Exit(1)
+	reg := ob.Start("sfirun")
+	err := run(reg, *wl, *file, *inject, *window, *seed, *workers)
+	if err == nil {
+		err = ob.Finish()
 	}
+	cliutil.Exit("sfirun", err)
 }
 
-func run(wl, file string, inject, window int, seed uint64, workers int) error {
-	var p *isa.Program
-	if file != "" {
-		f, err := os.Open(file)
-		if err != nil {
-			return err
-		}
-		var perr error
-		p, perr = isa.ParseAsm(file, f)
-		f.Close()
-		if perr != nil {
-			return perr
-		}
-		wl = "(file)"
+func run(reg *obs.Registry, wl, file string, inject, window int, seed uint64, workers int) error {
+	// Netlist simulation is orders of magnitude slower than the perf
+	// model, so the named workloads shrink (lattice 6, md5 60 blocks).
+	p, err := cliutil.LoadProgram(wl, file, seed, cliutil.WorkloadSizes{Lattice: 6, MD5: 60})
+	if err != nil {
+		return err
 	}
-	switch wl {
-	case "(file)":
-		// already assembled
-	case "md5":
-		p = workload.MD5Like(60)
-	case "lattice":
-		p = workload.Lattice(6)
-	case "synth":
-		p = workload.Synthetic(workload.DefaultSynth("synth", seed))
-	default:
-		return fmt.Errorf("unknown workload %q", wl)
-	}
+	reg.SetManifest("workload", p.Name)
+	reg.SetManifest("seed", seed)
+	reg.SetManifest("injections_per_bit", inject)
+	reg.SetManifest("window", window)
+	reg.SetManifest("workers", workers)
 	m, err := tinycore.New(p)
 	if err != nil {
 		return err
@@ -71,6 +64,7 @@ func run(wl, file string, inject, window int, seed uint64, workers int) error {
 	cfg.Window = window
 	cfg.Seed = seed
 	cfg.Workers = workers
+	cfg.Obs = reg
 
 	start := time.Now()
 	res, err := sfi.Run(m.Sim, sfi.Observation{
@@ -80,6 +74,7 @@ func run(wl, file string, inject, window int, seed uint64, workers int) error {
 		return err
 	}
 	elapsed := time.Since(start)
+	reg.SetManifest("golden_cycles", res.GoldenCycles)
 
 	fmt.Printf("workload %s: golden run %d cycles\n", p.Name, res.GoldenCycles)
 	fmt.Printf("%-16s %-6s %-8s %-8s %-8s %-8s %-8s\n",

@@ -60,8 +60,12 @@ func (m *Model) Finish(endCycle uint64) *Report {
 			key := name + "." + p.Name
 			if p.Dir == DirRead {
 				r.ReadPorts[key] = p.PAVF(endCycle)
+				r.ReadEvents += p.Events
+				r.ACEReads += p.ACE
 			} else {
 				r.WritePorts[key] = p.PAVF(endCycle)
+				r.WriteEvents += p.Events
+				r.ACEWrites += p.ACE
 			}
 		}
 	}
@@ -69,6 +73,8 @@ func (m *Model) Finish(endCycle uint64) *Report {
 		h := m.hd1s[name]
 		r.StructAVF[name] = h.AVF(endCycle)
 		r.StructBits[name] = h.Bits()
+		r.Lookups += h.lookups
+		r.ACELookups += h.aceLookups
 	}
 	return r
 }
@@ -84,6 +90,15 @@ type Report struct {
 	StructBits map[string]int
 	ReadPorts  map[string]float64
 	WritePorts map[string]float64
+	// Event tallies for telemetry: total port events across all
+	// lifetime-tracked structures, the ACE subset of each, and HD1
+	// tag-array probes. Average sums them (totals over the suite).
+	ReadEvents  uint64
+	WriteEvents uint64
+	ACEReads    uint64
+	ACEWrites   uint64
+	Lookups     uint64
+	ACELookups  uint64
 }
 
 // StructNames returns structure names in lexical order.
@@ -128,6 +143,12 @@ func Average(reports []*Report) (*Report, error) {
 	n := float64(len(reports))
 	for _, r := range reports {
 		out.Cycles += r.Cycles
+		out.ReadEvents += r.ReadEvents
+		out.WriteEvents += r.WriteEvents
+		out.ACEReads += r.ACEReads
+		out.ACEWrites += r.ACEWrites
+		out.Lookups += r.Lookups
+		out.ACELookups += r.ACELookups
 		for k, v := range r.StructAVF {
 			out.StructAVF[k] += v / n
 			out.StructBits[k] = r.StructBits[k]

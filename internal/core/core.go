@@ -29,6 +29,7 @@ import (
 
 	"seqavf/internal/graph"
 	"seqavf/internal/netlist"
+	"seqavf/internal/obs"
 	"seqavf/internal/pavf"
 )
 
@@ -70,6 +71,11 @@ type Options struct {
 	// walks (§5.2 notes partitioning exists "to parallelize the task").
 	// 0 or 1 runs serially; results are identical either way.
 	Workers int
+	// Obs receives solver telemetry: phase spans (env/fwd/bwd/finish,
+	// per-iteration relaxation spans) and walk counters (vertices visited,
+	// union ops, top-set short-circuits). nil disables instrumentation at
+	// the cost of one nil check per phase.
+	Obs *obs.Registry
 }
 
 // DefaultOptions returns the paper's operating point.

@@ -8,6 +8,7 @@ import (
 
 	"seqavf/internal/graph"
 	"seqavf/internal/netlist"
+	"seqavf/internal/obs"
 )
 
 func mustAnalyze(t *testing.T, d *netlist.Design, opts Options) *Analyzer {
@@ -753,4 +754,108 @@ func TestPseudoOverrides(t *testing.T) {
 	approx(t, r.AVF[vtx(t, a, "F", "qa")], 0.05, "qa")
 	// qb: fwd 0.5 (default), bwd 0.10 (override) -> 0.10.
 	approx(t, r.AVF[vtx(t, a, "F", "qb")], 0.10, "qb")
+}
+
+// TestSolveObservability runs both solvers with a wired obs.Registry and
+// asserts the expected phase spans and non-zero walk counters land in the
+// snapshot — the contract the CLIs' -metrics/-trace flags rely on.
+func TestSolveObservability(t *testing.T) {
+	a, in := multiFubDesign(t)
+	reg := obs.New()
+	opts := a.Opts
+	opts.Obs = reg
+	a2, err := NewAnalyzer(a.G, opts)
+	if err != nil {
+		t.Fatalf("NewAnalyzer: %v", err)
+	}
+	if _, err := a2.Solve(in); err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	part, err := a2.SolvePartitioned(in)
+	if err != nil {
+		t.Fatalf("SolvePartitioned: %v", err)
+	}
+
+	snap := reg.Snapshot()
+	if len(snap.Spans) != 2 {
+		t.Fatalf("root spans = %d, want 2 (solve + solve_partitioned)", len(snap.Spans))
+	}
+	phases := func(s []obs.SpanSnapshot) map[string]int {
+		out := make(map[string]int)
+		for _, c := range s {
+			out[c.Name]++
+		}
+		return out
+	}
+	mono := snap.Spans[0]
+	if mono.Name != "solve" {
+		t.Fatalf("first root = %q, want solve", mono.Name)
+	}
+	mp := phases(mono.Children)
+	for _, want := range []string{"env", "fwd", "bwd", "finish"} {
+		if mp[want] != 1 {
+			t.Fatalf("solve phases = %v, missing %q", mp, want)
+		}
+	}
+	partSpan := snap.Spans[1]
+	if partSpan.Name != "solve_partitioned" {
+		t.Fatalf("second root = %q, want solve_partitioned", partSpan.Name)
+	}
+	pp := phases(partSpan.Children)
+	if pp["iteration"] != part.Iterations {
+		t.Fatalf("iteration spans = %d, want %d", pp["iteration"], part.Iterations)
+	}
+	if pp["env"] != 1 || pp["finish"] != 1 {
+		t.Fatalf("partitioned phases = %v", pp)
+	}
+	// Convergence trace folded into iteration span attributes.
+	var sawTrace bool
+	for _, c := range partSpan.Children {
+		if c.Name == "iteration" {
+			if _, ok := c.Attrs["max_delta"]; !ok {
+				t.Fatalf("iteration span missing max_delta: %v", c.Attrs)
+			}
+			if _, ok := c.Attrs["fub_avg_pavf"]; ok {
+				sawTrace = true
+			}
+		}
+	}
+	if !sawTrace {
+		t.Fatal("no iteration span carries fub_avg_pavf")
+	}
+
+	for _, name := range []string{
+		"core.fwd_vertices", "core.bwd_vertices", "core.union_ops", "core.iterations",
+	} {
+		if snap.Counters[name] <= 0 {
+			t.Fatalf("counter %s = %d, want > 0 (all: %v)", name, snap.Counters[name], snap.Counters)
+		}
+	}
+	if snap.Counters["core.solves"] != 2 {
+		t.Fatalf("core.solves = %d, want 2", snap.Counters["core.solves"])
+	}
+	if h := snap.Histograms["core.iter_delta"]; h.Count != uint64(part.Iterations) {
+		t.Fatalf("iter_delta observations = %d, want %d", h.Count, part.Iterations)
+	}
+}
+
+// TestMaxAbsDiffMismatched is the guard against comparing results of
+// differing vertex counts: NaN, not a panic.
+func TestMaxAbsDiffMismatched(t *testing.T) {
+	a, in := multiFubDesign(t)
+	r1, err := a.Solve(in)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	b, in2 := figure7(t)
+	r2, err := b.Solve(in2)
+	if err != nil {
+		t.Fatalf("Solve fig7: %v", err)
+	}
+	if d := MaxAbsDiff(r1, r2); !math.IsNaN(d) {
+		t.Fatalf("MaxAbsDiff over mismatched results = %v, want NaN", d)
+	}
+	if d := MaxAbsDiff(r1, r1); d != 0 {
+		t.Fatalf("self diff = %v, want 0", d)
+	}
 }

@@ -22,12 +22,21 @@ import (
 // this entry point is operational fidelity (bounded per-FUB memory) plus
 // the per-iteration convergence trace the paper plots.
 func (a *Analyzer) SolvePartitioned(in *Inputs) (*Result, error) {
+	reg := a.Opts.Obs
+	sp := reg.StartSpan("solve_partitioned")
+	defer sp.End()
+	esp := sp.Child("env")
 	env, err := a.buildEnv(in)
+	esp.End()
 	if err != nil {
 		return nil, err
 	}
 	n := a.G.NumVerts()
+	sp.SetAttr("vertices", n)
+	sp.SetAttr("fubs", len(a.G.FubNames))
+	tsp := sp.Child("local_topos")
 	fwdTopo, bwdTopo, err := a.localTopos()
+	tsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -48,21 +57,26 @@ func (a *Analyzer) SolvePartitioned(in *Inputs) (*Result, error) {
 
 	r := &Result{Analyzer: a, Inputs: in, Env: env}
 	numFubs := len(a.G.FubNames)
+	var ws walkStats
+	var wsMu sync.Mutex
 	iter := 0
 	for iter = 1; iter <= a.Opts.Iterations; iter++ {
+		isp := sp.Child("iteration")
+		isp.SetAttr("iter", iter)
 		// One down-walk and one up-walk per FUB, Jacobi style: cross-FUB
 		// contributions come from the previous iteration's merge. Each
 		// FUB touches only its own vertices, so the walks parallelize
 		// across FUBs (§5.2: partitioning exists partly "to parallelize
-		// the task"); results are identical to the serial schedule.
-		walkFub := func(f int) {
+		// the task"); results are identical to the serial schedule. Walk
+		// tallies accumulate per worker and merge once per iteration.
+		walkFub := func(f int, st *walkStats) {
 			for _, v := range fwdTopo[f] {
-				fwdCur[v] = a.fwdUnionLocal(v, int32(f), fwdCur, fwdPrev, fwdPrevKnown)
+				fwdCur[v] = a.fwdUnionLocal(v, int32(f), fwdCur, fwdPrev, fwdPrevKnown, st)
 			}
 			lt := bwdTopo[f]
 			for i := len(lt) - 1; i >= 0; i-- {
 				v := lt[i]
-				bwdCur[v], bwdCurKnown[v] = a.bwdUnionLocal(v, int32(f), bwdCur, bwdCurKnown, bwdPrev, bwdPrevKnown)
+				bwdCur[v], bwdCurKnown[v] = a.bwdUnionLocal(v, int32(f), bwdCur, bwdCurKnown, bwdPrev, bwdPrevKnown, st)
 			}
 		}
 		if a.Opts.Workers > 1 {
@@ -72,9 +86,13 @@ func (a *Analyzer) SolvePartitioned(in *Inputs) (*Result, error) {
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
+					var st walkStats
 					for f := range work {
-						walkFub(f)
+						walkFub(f, &st)
 					}
+					wsMu.Lock()
+					ws.merge(&st)
+					wsMu.Unlock()
 				}()
 			}
 			for f := 0; f < numFubs; f++ {
@@ -84,7 +102,7 @@ func (a *Analyzer) SolvePartitioned(in *Inputs) (*Result, error) {
 			wg.Wait()
 		} else {
 			for f := 0; f < numFubs; f++ {
-				walkFub(f)
+				walkFub(f, &ws)
 			}
 		}
 		// Merge step: publish this iteration's values as the FUBIO tables
@@ -113,6 +131,13 @@ func (a *Analyzer) SolvePartitioned(in *Inputs) (*Result, error) {
 			}
 		}
 		r.Trace = append(r.Trace, avg)
+		// The convergence diagnostic folds into the span: max per-vertex
+		// delta plus the per-FUB average sequential pAVFs the paper plots.
+		isp.SetAttr("max_delta", maxDelta)
+		isp.SetAttr("fub_avg_pavf", avg)
+		isp.End()
+		reg.Histogram("core.iter_delta").Observe(maxDelta)
+		reg.Gauge("core.max_delta").Set(maxDelta)
 		if maxDelta <= a.Opts.Epsilon {
 			r.Converged = true
 			break
@@ -121,10 +146,17 @@ func (a *Analyzer) SolvePartitioned(in *Inputs) (*Result, error) {
 	if iter > a.Opts.Iterations {
 		iter = a.Opts.Iterations
 	}
+	nsp := sp.Child("finish")
 	fin := a.finish(in, env, fwdCur, bwdCur, bwdCurKnown)
+	nsp.End()
 	fin.Iterations = iter
 	fin.Converged = r.Converged
 	fin.Trace = r.Trace
+	ws.record(reg)
+	reg.Counter("core.iterations").Add(int64(iter))
+	reg.Counter("core.solves").Inc()
+	sp.SetAttr("iterations", iter)
+	sp.SetAttr("converged", fin.Converged)
 	return fin, nil
 }
 
@@ -158,7 +190,8 @@ func (a *Analyzer) vertexValue(v graph.VertexID, fwd, bwd pavf.Set, bwdKnown boo
 
 // fwdUnionLocal is fwdUnion with cross-FUB predecessors read from the
 // previous iteration's merged state.
-func (a *Analyzer) fwdUnionLocal(v graph.VertexID, fub int32, cur, prev []pavf.Set, prevKnown []bool) pavf.Set {
+func (a *Analyzer) fwdUnionLocal(v graph.VertexID, fub int32, cur, prev []pavf.Set, prevKnown []bool, st *walkStats) pavf.Set {
+	st.fwdVerts++
 	var acc pavf.Set
 	for _, p := range a.G.Preds(v) {
 		var contrib pavf.Set
@@ -172,8 +205,10 @@ func (a *Analyzer) fwdUnionLocal(v graph.VertexID, fub int32, cur, prev []pavf.S
 		default:
 			contrib = pavf.TopSet()
 		}
+		st.unionOps++
 		acc = acc.Union(contrib)
 		if acc.HasTop() {
+			st.topShorts++
 			return acc
 		}
 	}
@@ -182,7 +217,8 @@ func (a *Analyzer) fwdUnionLocal(v graph.VertexID, fub int32, cur, prev []pavf.S
 
 // bwdUnionLocal is bwdUnion with cross-FUB successors read from the
 // previous iteration's merged state.
-func (a *Analyzer) bwdUnionLocal(v graph.VertexID, fub int32, cur []pavf.Set, curKnown []bool, prev []pavf.Set, prevKnown []bool) (pavf.Set, bool) {
+func (a *Analyzer) bwdUnionLocal(v graph.VertexID, fub int32, cur []pavf.Set, curKnown []bool, prev []pavf.Set, prevKnown []bool, st *walkStats) (pavf.Set, bool) {
+	st.bwdVerts++
 	succs := a.G.Succs(v)
 	if len(succs) == 0 {
 		return pavf.Set{}, false
@@ -204,8 +240,10 @@ func (a *Analyzer) bwdUnionLocal(v graph.VertexID, fub int32, cur []pavf.Set, cu
 		default:
 			contrib = pavf.TopSet()
 		}
+		st.unionOps++
 		acc = acc.Union(contrib)
 		if acc.HasTop() {
+			st.topShorts++
 			return acc, true
 		}
 	}

@@ -6,8 +6,36 @@ import (
 
 	"seqavf/internal/graph"
 	"seqavf/internal/netlist"
+	"seqavf/internal/obs"
 	"seqavf/internal/pavf"
 )
+
+// walkStats accumulates hot-loop counters locally (no atomics in the
+// per-vertex path) and publishes them to the registry once per phase.
+type walkStats struct {
+	fwdVerts  int64 // vertices visited by forward walks
+	bwdVerts  int64 // vertices visited by backward walks
+	unionOps  int64 // pairwise set unions performed
+	topShorts int64 // unions short-circuited by a ⊤ collapse
+}
+
+func (w *walkStats) merge(o *walkStats) {
+	w.fwdVerts += o.fwdVerts
+	w.bwdVerts += o.bwdVerts
+	w.unionOps += o.unionOps
+	w.topShorts += o.topShorts
+}
+
+// record adds the accumulated tallies to the solver counters.
+func (w *walkStats) record(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("core.fwd_vertices").Add(w.fwdVerts)
+	reg.Counter("core.bwd_vertices").Add(w.bwdVerts)
+	reg.Counter("core.union_ops").Add(w.unionOps)
+	reg.Counter("core.top_shortcircuits").Add(w.topShorts)
+}
 
 // Result holds the outcome of one SART run: a closed-form AVF equation per
 // bit vertex plus the environment built from the supplied measurements.
@@ -39,41 +67,60 @@ type Result struct {
 // MIN are monotone, this is the limit the paper's walk-based relaxation
 // converges to; walks "can be done in any order" (§4.1.2).
 func (a *Analyzer) Solve(in *Inputs) (*Result, error) {
+	sp := a.Opts.Obs.StartSpan("solve")
+	defer sp.End()
+	esp := sp.Child("env")
 	env, err := a.buildEnv(in)
+	esp.End()
 	if err != nil {
 		return nil, err
 	}
 	n := a.G.NumVerts()
+	sp.SetAttr("vertices", n)
 	fwd := make([]pavf.Set, n)
 	bwd := make([]pavf.Set, n)
 	bwdKnown := make([]bool, n)
+	var ws walkStats
 
 	// Forward: topological order guarantees preds are final.
+	fsp := sp.Child("fwd")
 	for _, v := range a.topo {
 		fwd[v] = a.fwdUnion(v, func(p graph.VertexID) (pavf.Set, bool) {
 			return fwd[p], true
-		})
+		}, &ws)
 	}
+	fsp.SetAttr("vertices", len(a.topo))
+	fsp.End()
 	// Backward: reverse order over non-bwd-fixed vertices.
+	bsp := sp.Child("bwd")
 	bwdTopo, err := a.G.TopoOrder(func(v graph.VertexID) bool { return a.bwdFixed[v] })
 	if err != nil {
+		bsp.End()
 		return nil, fmt.Errorf("core: backward order: %w", err)
 	}
 	for i := len(bwdTopo) - 1; i >= 0; i-- {
 		v := bwdTopo[i]
 		bwd[v], bwdKnown[v] = a.bwdUnion(v, func(s graph.VertexID) (pavf.Set, bool) {
 			return bwd[s], bwdKnown[s]
-		})
+		}, &ws)
 	}
+	bsp.SetAttr("vertices", len(bwdTopo))
+	bsp.End()
+	nsp := sp.Child("finish")
 	r := a.finish(in, env, fwd, bwd, bwdKnown)
+	nsp.End()
 	r.Iterations = 1
 	r.Converged = true
+	ws.record(a.Opts.Obs)
+	a.Opts.Obs.Counter("core.solves").Inc()
 	return r, nil
 }
 
 // fwdUnion computes the forward value of a non-fwd-fixed vertex from its
-// predecessors' contributions; get returns a pred's computed set.
-func (a *Analyzer) fwdUnion(v graph.VertexID, get func(graph.VertexID) (pavf.Set, bool)) pavf.Set {
+// predecessors' contributions; get returns a pred's computed set. Walk
+// tallies accumulate into st.
+func (a *Analyzer) fwdUnion(v graph.VertexID, get func(graph.VertexID) (pavf.Set, bool), st *walkStats) pavf.Set {
+	st.fwdVerts++
 	var acc pavf.Set
 	for _, p := range a.G.Preds(v) {
 		var contrib pavf.Set
@@ -87,8 +134,10 @@ func (a *Analyzer) fwdUnion(v graph.VertexID, get func(graph.VertexID) (pavf.Set
 				contrib = set
 			}
 		}
+		st.unionOps++
 		acc = acc.Union(contrib)
 		if acc.HasTop() {
+			st.topShorts++
 			return acc
 		}
 	}
@@ -97,8 +146,10 @@ func (a *Analyzer) fwdUnion(v graph.VertexID, get func(graph.VertexID) (pavf.Set
 
 // bwdUnion computes the backward value of a non-bwd-fixed vertex from its
 // successors' contributions. known is false when the vertex has no
-// successors at all (a dangling node keeps its conservative 1.0).
-func (a *Analyzer) bwdUnion(v graph.VertexID, get func(graph.VertexID) (pavf.Set, bool)) (pavf.Set, bool) {
+// successors at all (a dangling node keeps its conservative 1.0). Walk
+// tallies accumulate into st.
+func (a *Analyzer) bwdUnion(v graph.VertexID, get func(graph.VertexID) (pavf.Set, bool), st *walkStats) (pavf.Set, bool) {
+	st.bwdVerts++
 	succs := a.G.Succs(v)
 	if len(succs) == 0 {
 		return pavf.Set{}, false
@@ -116,8 +167,10 @@ func (a *Analyzer) bwdUnion(v graph.VertexID, get func(graph.VertexID) (pavf.Set
 				contrib = set
 			}
 		}
+		st.unionOps++
 		acc = acc.Union(contrib)
 		if acc.HasTop() {
+			st.topShorts++
 			return acc, true
 		}
 	}
@@ -396,8 +449,14 @@ func (r *Result) SeqAVFByNode() map[string]float64 {
 
 // MaxAbsDiff returns the largest absolute per-vertex AVF difference
 // between two results over the same analyzer (used to verify that the
-// partitioned relaxation converges to the monolithic fixpoint).
+// partitioned relaxation converges to the monolithic fixpoint). Results
+// with differing vertex counts are incomparable: MaxAbsDiff returns NaN
+// instead of indexing out of range. Callers comparing against a tolerance
+// must check math.IsNaN explicitly — any comparison with NaN is false.
 func MaxAbsDiff(a, b *Result) float64 {
+	if len(a.AVF) != len(b.AVF) {
+		return math.NaN()
+	}
 	max := 0.0
 	for v := range a.AVF {
 		d := math.Abs(a.AVF[v] - b.AVF[v])

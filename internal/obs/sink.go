@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Sink receives live telemetry events. Implementations must be safe for
+// concurrent use: span ends can arrive from parallel workers.
+type Sink interface {
+	// SpanEnd is called exactly once when a span ends.
+	SpanEnd(sp *Span)
+}
+
+// TextSink prints one human-readable line per finished span, indented by
+// nesting depth — the -trace view of a run.
+type TextSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewTextSink returns a TextSink writing to w.
+func NewTextSink(w io.Writer) *TextSink { return &TextSink{w: w} }
+
+func (t *TextSink) SpanEnd(sp *Span) {
+	line := fmt.Sprintf("trace: %*s%-24s %10s%s",
+		2*sp.Depth(), "", sp.Name(), sp.Duration().Round(time.Microsecond), formatAttrs(sp.Attrs()))
+	t.mu.Lock()
+	fmt.Fprintln(t.w, line)
+	t.mu.Unlock()
+}
+
+// JSONLSink emits one JSON object per finished span (JSON-lines), suitable
+// for machine consumption or appending to a trace log.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONLSink returns a JSONLSink writing to w.
+func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{enc: json.NewEncoder(w)} }
+
+func (j *JSONLSink) SpanEnd(sp *Span) {
+	ev := struct {
+		Span       string         `json:"span"`
+		DurationMS float64        `json:"duration_ms"`
+		Attrs      map[string]any `json:"attrs,omitempty"`
+	}{
+		Span:       sp.Path(),
+		DurationMS: float64(sp.Duration()) / float64(time.Millisecond),
+		Attrs:      sp.Attrs(),
+	}
+	j.mu.Lock()
+	j.enc.Encode(ev) //nolint:errcheck // best-effort live emission
+	j.mu.Unlock()
+}
+
+// Discard is a sink that drops every event (useful to exercise sink code
+// paths at zero output cost).
+var Discard Sink = discardSink{}
+
+type discardSink struct{}
+
+func (discardSink) SpanEnd(*Span) {}

@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span measures one phase of work: a named wall-clock interval with
+// attributes and child spans. Spans form a tree rooted at
+// Registry.StartSpan; nesting is explicit via Child, so concurrent
+// pipelines cannot mis-parent each other. All methods are safe on a nil
+// *Span, which lets instrumented code run un-wired:
+//
+//	sp := reg.StartSpan("solve") // reg may be nil
+//	defer sp.End()
+//	fwd := sp.Child("fwd")
+//	... forward fixpoint ...
+//	fwd.SetAttr("vertices", n)
+//	fwd.End()
+type Span struct {
+	reg    *Registry
+	parent *Span
+	name   string
+	start  time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	attrs    map[string]any
+	children []*Span
+}
+
+// StartSpan opens a root span. Returns nil (a no-op span) on a nil
+// registry.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	sp := &Span{reg: r, name: name, start: time.Now()}
+	r.mu.Lock()
+	r.roots = append(r.roots, sp)
+	r.mu.Unlock()
+	return sp
+}
+
+// Child opens a nested span. Safe on nil (returns nil).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{reg: s.reg, parent: s, name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// SetAttr attaches a key/value attribute. Safe on nil.
+func (s *Span) SetAttr(key string, v any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]any)
+	}
+	s.attrs[key] = v
+	s.mu.Unlock()
+}
+
+// End closes the span (idempotent) and notifies the registry's sink. Safe
+// on nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	first := s.end.IsZero()
+	if first {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+	if !first {
+		return
+	}
+	if sink := s.reg.currentSink(); sink != nil {
+		sink.SpanEnd(s)
+	}
+}
+
+// Name returns the span name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Path returns the slash-joined span path from its root, e.g. "solve/fwd".
+func (s *Span) Path() string {
+	if s == nil {
+		return ""
+	}
+	if s.parent == nil {
+		return s.name
+	}
+	return s.parent.Path() + "/" + s.name
+}
+
+// Depth returns the nesting depth (0 for roots and nil).
+func (s *Span) Depth() int {
+	d := 0
+	for s != nil && s.parent != nil {
+		d++
+		s = s.parent
+	}
+	return d
+}
+
+// Duration returns the elapsed time: end-start once ended, time since
+// start while running, 0 on nil.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.end.IsZero() {
+		return time.Since(s.start)
+	}
+	return s.end.Sub(s.start)
+}
+
+// Running reports whether the span has not yet ended (false on nil).
+func (s *Span) Running() bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.end.IsZero()
+}
+
+// Attrs returns a copy of the span's attributes (nil when none).
+func (s *Span) Attrs() map[string]any {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.attrs) == 0 {
+		return nil
+	}
+	out := make(map[string]any, len(s.attrs))
+	for k, v := range s.attrs {
+		out[k] = v
+	}
+	return out
+}
+
+// SpanSnapshot is the JSON form of a span subtree.
+type SpanSnapshot struct {
+	Name       string         `json:"name"`
+	DurationMS float64        `json:"duration_ms"`
+	Running    bool           `json:"running,omitempty"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []SpanSnapshot `json:"children,omitempty"`
+}
+
+func (s *Span) snapshot() SpanSnapshot {
+	s.mu.Lock()
+	snap := SpanSnapshot{
+		Name:    s.name,
+		Running: s.end.IsZero(),
+	}
+	if snap.Running {
+		snap.DurationMS = float64(time.Since(s.start)) / float64(time.Millisecond)
+	} else {
+		snap.DurationMS = float64(s.end.Sub(s.start)) / float64(time.Millisecond)
+	}
+	if len(s.attrs) > 0 {
+		snap.Attrs = make(map[string]any, len(s.attrs))
+		for k, v := range s.attrs {
+			snap.Attrs[k] = v
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		snap.Children = append(snap.Children, c.snapshot())
+	}
+	return snap
+}
+
+// WritePhaseSummary renders every root span tree as an indented
+// phase-timing table — the run-over-run solver-regression view sartool
+// prints under -trace.
+func (r *Registry) WritePhaseSummary(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	roots := append([]*Span(nil), r.roots...)
+	r.mu.Unlock()
+	if len(roots) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "phase timings:\n")
+	for _, sp := range roots {
+		writeSpanSummary(w, sp.snapshot(), 0)
+	}
+}
+
+func writeSpanSummary(w io.Writer, s SpanSnapshot, depth int) {
+	state := ""
+	if s.Running {
+		state = " (running)"
+	}
+	fmt.Fprintf(w, "  %-*s%-*s %10.3fms%s%s\n",
+		2*depth, "", 24-2*depth, s.Name, s.DurationMS, state, formatAttrs(s.Attrs))
+	for _, c := range s.Children {
+		writeSpanSummary(w, c, depth+1)
+	}
+}
+
+// formatAttrs renders scalar attributes as " k=v" pairs in key order;
+// slice/map attributes (e.g. per-FUB traces) are elided with their length.
+func formatAttrs(attrs map[string]any) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, k := range sortedNames(attrs) {
+		switch v := attrs[k].(type) {
+		case []float64:
+			fmt.Fprintf(&b, " %s=[%d]", k, len(v))
+		case float64:
+			fmt.Fprintf(&b, " %s=%.4g", k, v)
+		default:
+			fmt.Fprintf(&b, " %s=%v", k, v)
+		}
+	}
+	return b.String()
+}

@@ -69,6 +69,10 @@ type Sim struct {
 
 	vals  []uint64 // current settled values (seq nodes: state)
 	cycle uint64
+	// evals counts combinational node evaluations since construction —
+	// the simulator's unit of work for telemetry (Clone inherits the
+	// running total; see Evals).
+	evals uint64
 
 	index map[string]int32 // "fub/node" -> index
 }
@@ -242,8 +246,19 @@ func (s *Sim) Reset() {
 // Cycle returns the current cycle count.
 func (s *Sim) Cycle() uint64 { return s.cycle }
 
+// Evals returns the cumulative combinational node evaluations performed
+// by this Sim instance (every settle evaluates NumEvalNodes nodes). A
+// Clone starts from the parent's running total, so campaign-level tallies
+// should derive work from cycles x NumEvalNodes instead of summing clones.
+func (s *Sim) Evals() uint64 { return s.evals }
+
+// NumEvalNodes returns the number of nodes evaluated per settled cycle —
+// the per-cycle work factor telemetry multiplies simulated cycles by.
+func (s *Sim) NumEvalNodes() int { return len(s.order) }
+
 // settle evaluates all combinational logic against current state.
 func (s *Sim) settle() {
+	s.evals += uint64(len(s.order))
 	for _, i := range s.order {
 		sn := &s.nodes[i]
 		switch sn.kind {

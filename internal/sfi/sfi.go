@@ -18,7 +18,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
+	"seqavf/internal/obs"
 	"seqavf/internal/rtlsim"
 	"seqavf/internal/stats"
 )
@@ -63,6 +65,10 @@ type Config struct {
 	// (#sequentials x #cycles simulations, §3.1). Only feasible for small
 	// designs and short programs; InjectionsPerBit is ignored.
 	Exhaustive bool
+	// Obs receives campaign telemetry: golden/inject spans, injection and
+	// outcome counters, simulated-cycle and node-eval tallies, and
+	// sims-per-second gauges. nil disables it.
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns a small but meaningful campaign.
@@ -187,14 +193,22 @@ func (g *golden) eventsIn(from uint64) []obsEvent {
 
 // Run executes a campaign against the machine state in sim (typically a
 // freshly constructed design with its program loaded, at cycle 0).
-func Run(sim *rtlsim.Sim, obs Observation, cfg Config) (*Result, error) {
+func Run(sim *rtlsim.Sim, obsPoints Observation, cfg Config) (*Result, error) {
 	if (cfg.InjectionsPerBit <= 0 && !cfg.Exhaustive) || cfg.MaxCycles <= 0 || cfg.SnapshotEvery <= 0 {
 		return nil, fmt.Errorf("sfi: invalid config %+v", cfg)
 	}
-	g, err := runGolden(sim, obs, cfg)
+	reg := cfg.Obs
+	sp := reg.StartSpan("sfi.campaign")
+	defer sp.End()
+	start := time.Now()
+	gsp := sp.Child("golden")
+	g, err := runGolden(sim, obsPoints, cfg)
 	if err != nil {
+		gsp.End()
 		return nil, err
 	}
+	gsp.SetAttr("cycles", g.end)
+	gsp.End()
 	if g.end < 2 {
 		return nil, fmt.Errorf("sfi: golden run too short (%d cycles)", g.end)
 	}
@@ -209,6 +223,9 @@ func Run(sim *rtlsim.Sim, obs Observation, cfg Config) (*Result, error) {
 	results := make([]NodeResult, len(sites))
 	cycleCounts := make([]uint64, len(sites))
 	errs := make([]error, len(sites))
+	isp := sp.Child("inject")
+	isp.SetAttr("sites", len(sites))
+	isp.SetAttr("workers", cfg.Workers)
 
 	runSite := func(si int) {
 		site := sites[si]
@@ -217,7 +234,7 @@ func Run(sim *rtlsim.Sim, obs Observation, cfg Config) (*Result, error) {
 		rng := stats.New(cfg.Seed ^ nameHash(site.Fub+"/"+site.Node))
 		nr := NodeResult{Fub: site.Fub, Node: site.Node, Width: site.Width}
 		inject := func(bit int, c uint64) bool {
-			outcome, cycles, err := injectOne(g, obs, cfg, site, bit, c)
+			outcome, cycles, err := injectOne(g, obsPoints, cfg, site, bit, c)
 			if err != nil {
 				errs[si] = err
 				return false
@@ -274,6 +291,7 @@ func Run(sim *rtlsim.Sim, obs Observation, cfg Config) (*Result, error) {
 			runSite(si)
 		}
 	}
+	isp.End()
 	for si := range sites {
 		if errs[si] != nil {
 			return nil, errs[si]
@@ -285,6 +303,23 @@ func Run(sim *rtlsim.Sim, obs Observation, cfg Config) (*Result, error) {
 		res.Unknown += nr.Unknown
 		res.Masked += nr.Masked
 		res.Nodes = append(res.Nodes, nr)
+	}
+	if reg != nil {
+		reg.Counter("sfi.campaigns").Inc()
+		reg.Counter("sfi.injections").Add(int64(res.Injections))
+		reg.Counter("sfi.errors").Add(int64(res.Errors))
+		reg.Counter("sfi.unknown").Add(int64(res.Unknown))
+		reg.Counter("sfi.masked").Add(int64(res.Masked))
+		reg.Counter("sfi.sim_cycles").Add(int64(res.SimulatedCycles))
+		reg.Counter("rtlsim.cycles").Add(int64(res.SimulatedCycles + res.GoldenCycles))
+		evals := (res.SimulatedCycles + res.GoldenCycles) * uint64(sim.NumEvalNodes())
+		reg.Counter("rtlsim.node_evals").Add(int64(evals))
+		if elapsed := time.Since(start).Seconds(); elapsed > 0 {
+			reg.Gauge("sfi.sims_per_sec").Set(float64(res.Injections) / elapsed)
+			reg.Gauge("sfi.cycles_per_sec").Set(float64(res.SimulatedCycles) / elapsed)
+		}
+		sp.SetAttr("injections", res.Injections)
+		sp.SetAttr("avf", res.AVF())
 	}
 	return res, nil
 }

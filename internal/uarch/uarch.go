@@ -24,9 +24,11 @@ package uarch
 
 import (
 	"fmt"
+	"time"
 
 	"seqavf/internal/ace"
 	"seqavf/internal/isa"
+	"seqavf/internal/obs"
 )
 
 // Config sets the machine geometry and penalties.
@@ -51,6 +53,10 @@ type Config struct {
 	// ablation that quantifies how much field resolution buys.
 	WholeEntryIQ bool
 	MaxInstrs    int // trace budget (0 = isa.DefaultMaxSteps)
+	// Obs receives performance-model telemetry: per-run spans
+	// (arch_exec/replay/ace_finish), cycle and instruction counters, ACE
+	// read/write tallies, and retirement-rate gauges. nil disables it.
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns the geometry used throughout the experiments.
@@ -99,15 +105,24 @@ type Result struct {
 // Run executes p on the performance model and returns the ACE
 // measurements.
 func Run(p *isa.Program, cfg Config) (*Result, error) {
+	sp := cfg.Obs.StartSpan("uarch.run")
+	defer sp.End()
+	sp.SetAttr("program", p.Name)
+	start := time.Now()
 	maxSteps := cfg.MaxInstrs
 	if maxSteps <= 0 {
 		maxSteps = p.MaxCycles
 	}
+	asp := sp.Child("arch_exec")
 	arch, err := isa.Exec(p, maxSteps)
 	if err != nil {
+		asp.End()
 		return nil, fmt.Errorf("uarch: architectural run: %w", err)
 	}
 	flags := isa.ACEFlags(arch.Trace, arch.Halted)
+	asp.SetAttr("instrs", len(arch.Trace))
+	asp.End()
+	rsp := sp.Child("replay")
 
 	m := ace.NewModel()
 	fetchq := m.AddStructure(StructFetchQ, cfg.FetchQEntries, 32)
@@ -298,7 +313,11 @@ func Run(p *isa.Program, cfg Config) (*Result, error) {
 		cycle += 1 + pendingStall
 	}
 	endCycle := cycle + 4 // drain the pipeline
+	rsp.SetAttr("cycles", endCycle)
+	rsp.End()
+	fsp := sp.Child("ace_finish")
 	report := m.Finish(endCycle)
+	fsp.End()
 
 	res := &Result{
 		Program: p,
@@ -312,6 +331,22 @@ func Run(p *isa.Program, cfg Config) (*Result, error) {
 	}
 	if len(arch.Trace) > 0 {
 		res.ACEInstrFraction = float64(aceCount) / float64(len(arch.Trace))
+	}
+	if reg := cfg.Obs; reg != nil {
+		reg.Counter("uarch.runs").Inc()
+		reg.Counter("uarch.cycles").Add(int64(endCycle))
+		reg.Counter("uarch.instrs").Add(int64(len(arch.Trace)))
+		reg.Counter("uarch.ace_instrs").Add(int64(aceCount))
+		reg.Counter("ace.read_events").Add(int64(report.ReadEvents))
+		reg.Counter("ace.write_events").Add(int64(report.WriteEvents))
+		reg.Counter("ace.ace_reads").Add(int64(report.ACEReads))
+		reg.Counter("ace.ace_writes").Add(int64(report.ACEWrites))
+		reg.Counter("ace.tag_lookups").Add(int64(report.Lookups))
+		reg.Gauge("uarch.ipc").Set(res.IPC)
+		if elapsed := time.Since(start).Seconds(); elapsed > 0 {
+			reg.Gauge("uarch.instrs_per_sec").Set(float64(len(arch.Trace)) / elapsed)
+			reg.Gauge("uarch.cycles_per_sec").Set(float64(endCycle) / elapsed)
+		}
 	}
 	return res, nil
 }
