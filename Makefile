@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench ci
+.PHONY: all build vet test race bench fuzz-smoke ci
 
 all: build
 
@@ -23,4 +23,10 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
-ci: vet build race
+# Short coverage-guided runs of the native fuzz targets (Go allows one
+# -fuzz target per invocation, hence two).
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzParsePavfTable -fuzztime=10s ./cmd/internal/cliutil/
+	$(GO) test -run=^$$ -fuzz=FuzzCompilePlan -fuzztime=10s ./internal/sweep/
+
+ci: vet build race fuzz-smoke

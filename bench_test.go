@@ -8,6 +8,8 @@ package seqavf_test
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"sync"
 	"testing"
 
@@ -18,6 +20,8 @@ import (
 	"seqavf/internal/pavf"
 	"seqavf/internal/ser"
 	"seqavf/internal/sfi"
+	"seqavf/internal/stats"
+	"seqavf/internal/sweep"
 	"seqavf/internal/tinycore"
 	"seqavf/internal/uarch"
 	"seqavf/internal/workload"
@@ -320,5 +324,110 @@ func BenchmarkParallelPartitioned(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+var (
+	sweepOnce sync.Once
+	sweepAnl  *core.Analyzer
+	sweepRes  *core.Result
+	sweepWork []sweep.Workload
+	sweepErr  error
+)
+
+// sweepSetup solves tinycore once and synthesizes 32 workloads as seeded
+// perturbations of a measured run — the batch both sweep benchmarks share.
+func sweepSetup(b *testing.B) (*core.Analyzer, *core.Result, []sweep.Workload) {
+	b.Helper()
+	sweepOnce.Do(func() {
+		p := workload.MD5Like(40)
+		fd, err := tinycore.FlatDesign(len(p.Code))
+		if err != nil {
+			sweepErr = err
+			return
+		}
+		g, err := graph.Build(fd)
+		if err != nil {
+			sweepErr = err
+			return
+		}
+		sweepAnl, err = core.NewAnalyzer(g, core.DefaultOptions())
+		if err != nil {
+			sweepErr = err
+			return
+		}
+		perf, err := uarch.Run(p, uarch.DefaultConfig())
+		if err != nil {
+			sweepErr = err
+			return
+		}
+		base, err := tinycore.BindInputs(perf.Report)
+		if err != nil {
+			sweepErr = err
+			return
+		}
+		sweepRes, err = sweepAnl.Solve(base)
+		if err != nil {
+			sweepErr = err
+			return
+		}
+		for i := 0; i < 32; i++ {
+			rng := stats.New(uint64(1000 + i))
+			in := core.NewInputs()
+			jitter := func(v float64) float64 {
+				v += (rng.Float64() - 0.5) * 0.2
+				return math.Min(1, math.Max(0, v))
+			}
+			ports := func(dst, src map[core.StructPort]float64) {
+				keys := make([]core.StructPort, 0, len(src))
+				for sp := range src {
+					keys = append(keys, sp)
+				}
+				sort.Slice(keys, func(a, b int) bool {
+					return keys[a].Struct < keys[b].Struct ||
+						(keys[a].Struct == keys[b].Struct && keys[a].Port < keys[b].Port)
+				})
+				for _, sp := range keys {
+					dst[sp] = jitter(src[sp])
+				}
+			}
+			ports(in.ReadPorts, base.ReadPorts)
+			ports(in.WritePorts, base.WritePorts)
+			sweepWork = append(sweepWork, sweep.Workload{Name: fmt.Sprintf("w%02d", i), Inputs: in})
+		}
+	})
+	if sweepErr != nil {
+		b.Fatal(sweepErr)
+	}
+	return sweepAnl, sweepRes, sweepWork
+}
+
+// BenchmarkBatchSweep32 evaluates 32 workloads through the compiled plan
+// (internal/sweep): the compile-once / serve-many path of §5.1.
+func BenchmarkBatchSweep32(b *testing.B) {
+	_, res, ws := sweepSetup(b)
+	eng := sweep.New(sweep.Options{})
+	if _, err := eng.Plan(res); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Sweep(res, ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPerWorkloadSolve32 is the baseline the sweep engine replaces:
+// a full symbolic solve (walks and all) per workload.
+func BenchmarkPerWorkloadSolve32(b *testing.B) {
+	a, _, ws := sweepSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, w := range ws {
+			if _, err := a.Solve(w.Inputs); err != nil {
+				b.Fatal(err)
+			}
+		}
 	}
 }

@@ -1,0 +1,93 @@
+package cliutil
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"seqavf/internal/core"
+)
+
+// FuzzParsePavfTable throws arbitrary bytes at the pAVF table parser: it
+// must never panic, and any table it accepts must survive a
+// write/re-parse round trip with the same port keys and (up to the %.6f
+// rendering) the same values.
+func FuzzParsePavfTable(f *testing.F) {
+	f.Add("R IQ.rd 0.5\nW IQ.wr 0.25\nS IQ 0.9\n")
+	f.Add("# comment\n\nR A.b 1\n")
+	f.Add("R a.b.c -0.001\nS x NaN\nS y +Inf\n")
+	f.Add("R .p 0.5\nS # 2\n")
+	f.Add("bogus line\n")
+	f.Add("R noport 0.5\n")
+	f.Add("R a.b not-a-number\n")
+	f.Fuzz(func(t *testing.T, table string) {
+		in, err := ParsePAVF("fuzz", strings.NewReader(table))
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+		var buf bytes.Buffer
+		n, err := WritePAVF(&buf, in)
+		if err != nil {
+			t.Fatalf("WritePAVF failed on parsed inputs: %v", err)
+		}
+		if want := len(in.ReadPorts) + len(in.WritePorts) + len(in.StructAVF); n != want {
+			t.Fatalf("WritePAVF wrote %d lines for %d entries", n, want)
+		}
+		back, err := ParsePAVF("roundtrip", bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse of written table failed: %v\ntable:\n%s", err, buf.String())
+		}
+		comparePorts(t, "read", in.ReadPorts, back.ReadPorts)
+		comparePorts(t, "write", in.WritePorts, back.WritePorts)
+		if len(back.StructAVF) != len(in.StructAVF) {
+			t.Fatalf("struct AVFs: %d entries became %d", len(in.StructAVF), len(back.StructAVF))
+		}
+		for s, v := range in.StructAVF {
+			got, ok := back.StructAVF[s]
+			if !ok {
+				t.Fatalf("struct %q lost in round trip", s)
+			}
+			checkClose(t, "S "+s, v, got)
+		}
+	})
+}
+
+func comparePorts(t *testing.T, kind string, want, got map[core.StructPort]float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s ports: %d entries became %d", kind, len(want), len(got))
+	}
+	for sp, v := range want {
+		g, ok := got[sp]
+		if !ok {
+			t.Fatalf("%s port %v lost in round trip", kind, sp)
+		}
+		checkClose(t, kind+" "+sp.Struct+"."+sp.Port, v, g)
+	}
+}
+
+// checkClose compares a value against its %.6f-rendered round trip: six
+// fractional digits bound the absolute error for small magnitudes, and the
+// decimal expansion is relatively exact for large ones. NaN must stay NaN
+// and infinities must stay themselves.
+func checkClose(t *testing.T, what string, want, got float64) {
+	t.Helper()
+	switch {
+	case math.IsNaN(want):
+		if !math.IsNaN(got) {
+			t.Fatalf("%s: NaN became %v", what, got)
+		}
+	case math.IsInf(want, 0):
+		if got != want {
+			t.Fatalf("%s: %v became %v", what, want, got)
+		}
+	default:
+		if math.Abs(got-want) <= 5e-7 {
+			return
+		}
+		if rel := math.Abs(got-want) / math.Abs(want); rel > 1e-9 {
+			t.Fatalf("%s: %v became %v after round trip", what, want, got)
+		}
+	}
+}

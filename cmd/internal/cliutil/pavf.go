@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -12,22 +13,18 @@ import (
 	"seqavf/internal/core"
 )
 
-// ReadPAVF parses the line-oriented pAVF table consumed by sartool and
+// ParsePAVF parses the line-oriented pAVF table consumed by sartool and
 // produced by acerun/designgen:
 //
 //	R <Struct>.<port> <pAVF_R>
 //	W <Struct>.<port> <pAVF_W>
 //	S <Struct> <structure AVF>
 //
-// Blank lines and #-comments are skipped.
-func ReadPAVF(path string) (*core.Inputs, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
+// Blank lines and #-comments are skipped. name labels the source in error
+// messages.
+func ParsePAVF(name string, r io.Reader) (*core.Inputs, error) {
 	in := core.NewInputs()
-	sc := bufio.NewScanner(f)
+	sc := bufio.NewScanner(r)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -36,17 +33,17 @@ func ReadPAVF(path string) (*core.Inputs, error) {
 			continue
 		}
 		if len(fields) != 3 {
-			return nil, fmt.Errorf("%s:%d: want '<R|W|S> <name> <value>'", path, lineNo)
+			return nil, fmt.Errorf("%s:%d: want '<R|W|S> <name> <value>'", name, lineNo)
 		}
 		v, err := strconv.ParseFloat(fields[2], 64)
 		if err != nil {
-			return nil, fmt.Errorf("%s:%d: bad value %q", path, lineNo, fields[2])
+			return nil, fmt.Errorf("%s:%d: bad value %q", name, lineNo, fields[2])
 		}
 		switch fields[0] {
 		case "R", "W":
 			st, port, ok := strings.Cut(fields[1], ".")
 			if !ok {
-				return nil, fmt.Errorf("%s:%d: port %q not Struct.port", path, lineNo, fields[1])
+				return nil, fmt.Errorf("%s:%d: port %q not Struct.port", name, lineNo, fields[1])
 			}
 			sp := core.StructPort{Struct: st, Port: port}
 			if fields[0] == "R" {
@@ -57,13 +54,58 @@ func ReadPAVF(path string) (*core.Inputs, error) {
 		case "S":
 			in.StructAVF[fields[1]] = v
 		default:
-			return nil, fmt.Errorf("%s:%d: unknown record %q", path, lineNo, fields[0])
+			return nil, fmt.Errorf("%s:%d: unknown record %q", name, lineNo, fields[0])
 		}
 	}
 	return in, sc.Err()
 }
 
-// WritePAVF renders in as a sorted pAVF table in the ReadPAVF format.
+// ReadPAVF parses the pAVF table at path. See ParsePAVF for the format.
+func ReadPAVF(path string) (*core.Inputs, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParsePAVF(path, f)
+}
+
+// NamedInputs pairs a workload name with its parsed pAVF tables.
+type NamedInputs struct {
+	Name   string
+	Inputs *core.Inputs
+}
+
+// ReadPAVFDir parses every file in dir matching glob (filepath.Match
+// syntax) as a pAVF table, sorted by file name. The workload name is the
+// file base without its extension. An empty match set is an error — a
+// sweep over zero workloads is almost always a mistyped glob.
+func ReadPAVFDir(dir, glob string) ([]NamedInputs, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, glob))
+	if err != nil {
+		return nil, fmt.Errorf("bad glob %q: %w", glob, err)
+	}
+	sort.Strings(matches)
+	var out []NamedInputs
+	for _, path := range matches {
+		if fi, err := os.Stat(path); err != nil || fi.IsDir() {
+			continue
+		}
+		in, err := ReadPAVF(path)
+		if err != nil {
+			return nil, err
+		}
+		base := filepath.Base(path)
+		name := strings.TrimSuffix(base, filepath.Ext(base))
+		out = append(out, NamedInputs{Name: name, Inputs: in})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no pAVF tables match %s in %s", glob, dir)
+	}
+	return out, nil
+}
+
+// WritePAVF renders in as a sorted pAVF table in the ParsePAVF format.
 func WritePAVF(w io.Writer, in *core.Inputs) (int, error) {
 	lines := make([]string, 0, len(in.ReadPorts)+len(in.WritePorts)+len(in.StructAVF))
 	for sp, v := range in.ReadPorts {

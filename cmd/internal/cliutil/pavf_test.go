@@ -59,6 +59,44 @@ func TestReadPAVFErrors(t *testing.T) {
 	}
 }
 
+func TestReadPAVFDir(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Written out of sorted order on purpose; named after workloads.
+	write("zlib.pavf", "R IQ.rd 0.75\n")
+	write("bzip2.pavf", "R IQ.rd 0.25\n")
+	write("notes.txt", "not a pavf table\n")
+
+	got, err := ReadPAVFDir(dir, "*.pavf")
+	if err != nil {
+		t.Fatalf("ReadPAVFDir: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d workloads, want 2", len(got))
+	}
+	if got[0].Name != "bzip2" || got[1].Name != "zlib" {
+		t.Errorf("workloads not sorted by name: %q, %q", got[0].Name, got[1].Name)
+	}
+	sp := core.StructPort{Struct: "IQ", Port: "rd"}
+	if got[0].Inputs.ReadPorts[sp] != 0.25 || got[1].Inputs.ReadPorts[sp] != 0.75 {
+		t.Errorf("workload inputs mixed up: %v, %v",
+			got[0].Inputs.ReadPorts[sp], got[1].Inputs.ReadPorts[sp])
+	}
+
+	if _, err := ReadPAVFDir(dir, "*.nope"); err == nil {
+		t.Error("ReadPAVFDir accepted a glob matching nothing")
+	}
+	write("broken.pavf", "R malformed\n")
+	if _, err := ReadPAVFDir(dir, "*.pavf"); err == nil {
+		t.Error("ReadPAVFDir accepted a directory with a malformed table")
+	}
+}
+
 func TestLoadProgramUnknown(t *testing.T) {
 	if _, err := LoadProgram("nope", "", 1, WorkloadSizes{}); err == nil {
 		t.Error("LoadProgram accepted unknown workload")

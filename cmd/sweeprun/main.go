@@ -1,0 +1,172 @@
+// Command sweeprun evaluates a directory of per-workload pAVF tables
+// against one design in a single batch: the design is solved symbolically
+// once, compiled into a deduplicated evaluation plan, and every workload
+// is re-evaluated through the plan on a bounded worker pool — the
+// compile-once / serve-many workflow of the paper's §5.1.
+//
+// Output is one JSON document: plan statistics plus, per workload, the
+// design summary and (with -nodes) per-sequential-node seqAVFs.
+//
+// Usage:
+//
+//	sweeprun -netlist design.nl -pavfdir runs/ -out sweep.json
+//	sweeprun -netlist design.nl -pavfdir runs/ -glob 'spec*.pavf' -workers 8 -nodes
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"seqavf/cmd/internal/cliutil"
+	"seqavf/internal/core"
+	"seqavf/internal/graph"
+	"seqavf/internal/netlist"
+	"seqavf/internal/obs"
+	"seqavf/internal/sweep"
+)
+
+func main() {
+	nl := flag.String("netlist", "", "netlist file (required)")
+	dir := flag.String("pavfdir", "", "directory of per-workload pAVF tables (required)")
+	glob := flag.String("glob", "*.pavf", "file pattern selecting workload tables in -pavfdir")
+	workers := flag.Int("workers", 0, "evaluation workers (0 = all cores)")
+	chunk := flag.Int("chunk", 0, "workloads per worker claim (0 = auto)")
+	loop := flag.Float64("loop", 0.3, "loop-boundary pAVF")
+	pseudo := flag.Float64("pseudo", 0.2, "boundary pseudo-structure pAVF")
+	nodes := flag.Bool("nodes", false, "include per-sequential-node seqAVFs for each workload")
+	out := flag.String("out", "", "write the JSON report here instead of stdout")
+	ob := cliutil.ObsFlags()
+	flag.Parse()
+
+	if *nl == "" || *dir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	reg := ob.Start("sweeprun")
+	err := run(reg, *nl, *dir, *glob, *workers, *chunk, *loop, *pseudo, *nodes, *out)
+	if ob.Trace {
+		reg.WritePhaseSummary(os.Stderr)
+	}
+	if err == nil {
+		err = ob.Finish()
+	}
+	cliutil.Exit("sweeprun", err)
+}
+
+// report is the JSON document sweeprun emits.
+type report struct {
+	Design    string           `json:"design"`
+	Workloads int              `json:"workloads"`
+	Plan      sweep.Stats      `json:"plan"`
+	ElapsedMS float64          `json:"eval_elapsed_ms"`
+	PerSec    float64          `json:"workloads_per_sec"`
+	Results   []workloadReport `json:"results"`
+}
+
+type workloadReport struct {
+	Name    string             `json:"name"`
+	Summary core.Summary       `json:"summary"`
+	SeqAVF  map[string]float64 `json:"seqavf,omitempty"`
+}
+
+func run(reg *obs.Registry, nlPath, dir, glob string, workers, chunk int, loop, pseudo float64, nodes bool, out string) error {
+	reg.SetManifest("netlist", nlPath)
+	reg.SetManifest("pavfdir", dir)
+	reg.SetManifest("glob", glob)
+	reg.SetManifest("workers", workers)
+
+	lsp := reg.StartSpan("load")
+	f, err := os.Open(nlPath)
+	if err != nil {
+		return err
+	}
+	d, err := netlist.Parse(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	fd, err := netlist.Flatten(d)
+	if err != nil {
+		return err
+	}
+	g, err := graph.Build(fd)
+	if err != nil {
+		return err
+	}
+	opts := core.DefaultOptions()
+	opts.LoopPAVF = loop
+	opts.PseudoPAVF = pseudo
+	opts.Obs = reg
+	a, err := core.NewAnalyzer(g, opts)
+	if err != nil {
+		return err
+	}
+	named, err := cliutil.ReadPAVFDir(dir, glob)
+	if err != nil {
+		return err
+	}
+	lsp.SetAttr("workloads", len(named))
+	lsp.End()
+
+	// Solve once against the first workload; the sweep re-evaluates the
+	// resulting closed forms for every workload, including the first.
+	res, err := a.Solve(named[0].Inputs)
+	if err != nil {
+		return err
+	}
+	eng := sweep.New(sweep.Options{Workers: workers, ChunkSize: chunk, Obs: reg})
+	ws := make([]sweep.Workload, len(named))
+	for i, ni := range named {
+		ws[i] = sweep.Workload{Name: ni.Name, Inputs: ni.Inputs}
+	}
+	batch, err := eng.Sweep(res, ws)
+	if err != nil {
+		return err
+	}
+
+	rep := report{
+		Design:    d.Name,
+		Workloads: len(batch.Results),
+		Plan:      batch.Plan.Stats(),
+		ElapsedMS: float64(batch.Elapsed.Microseconds()) / 1e3,
+		PerSec:    batch.WorkloadsPerSec(),
+		Results:   make([]workloadReport, len(batch.Results)),
+	}
+	for i, r := range batch.Results {
+		wr := workloadReport{Name: batch.Names[i], Summary: r.Summarize()}
+		if nodes {
+			wr.SeqAVF = r.SeqAVFByNode()
+		}
+		rep.Results[i] = wr
+	}
+
+	w := os.Stdout
+	if out != "" {
+		g, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer g.Close()
+		w = g
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if out != "" {
+		fmt.Fprintf(os.Stderr, "sweeprun: %d workloads, %d unique subterms for %d equations, %.0f workloads/sec -> %s\n",
+			rep.Workloads, rep.Plan.UniqueSets, rep.Plan.Vertices, rep.PerSec, out)
+	}
+	return nil
+}

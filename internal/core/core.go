@@ -24,7 +24,9 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"strings"
 
 	"seqavf/internal/graph"
@@ -191,6 +193,8 @@ type Analyzer struct {
 	pseudoOut map[graph.VertexID]pavf.TermID // per unconsumed output port node
 
 	topo []graph.VertexID // topological order of normal vertices
+
+	fingerprint uint64 // design-identity hash, see Fingerprint
 }
 
 // NewAnalyzer prepares g for SART analysis.
@@ -221,11 +225,84 @@ func NewAnalyzer(g *graph.Graph, opts Options) (*Analyzer, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	a.topo = topo
+	a.fingerprint = a.computeFingerprint()
 	return a, nil
 }
 
 // Universe exposes the term universe (for formatting closed forms).
 func (a *Analyzer) Universe() *pavf.Universe { return a.universe }
+
+// Fingerprint is a stable hash of everything that determines the shape of
+// the closed-form equations: the design's vertices, their roles, the edge
+// structure, and the role-affecting options. Two analyzers with equal
+// fingerprints produce identical Exprs for any Inputs, so the fingerprint
+// keys compiled-plan caches (internal/sweep) and guards Reevaluate against
+// cross-design misuse.
+func (a *Analyzer) Fingerprint() uint64 { return a.fingerprint }
+
+func (a *Analyzer) computeFingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	wInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	wStr := func(s string) {
+		wInt(len(s))
+		h.Write([]byte(s))
+	}
+	wStr(a.G.Design.Name)
+	wInt(len(a.G.FubNames))
+	for _, f := range a.G.FubNames {
+		wStr(f)
+	}
+	for _, p := range a.Opts.ControlRegPrefixes {
+		wStr(p)
+	}
+	for _, c := range a.Opts.ControlRegClocks {
+		wStr(c)
+	}
+	n := a.G.NumVerts()
+	wInt(n)
+	for v := 0; v < n; v++ {
+		vx := &a.G.Verts[v]
+		wStr(vx.Node.Name)
+		wInt(int(vx.Fub))
+		wInt(int(vx.Bit))
+		wInt(int(vx.Node.Kind))
+		wInt(int(vx.Node.Class))
+		wInt(int(a.roles[v]))
+		for _, s := range a.G.Succs(graph.VertexID(v)) {
+			wInt(int(s))
+		}
+	}
+	return h.Sum64()
+}
+
+// BuildEnv maps Inputs onto the term universe, producing the numeric
+// environment the closed forms evaluate under. Exposed for the batch sweep
+// engine (internal/sweep), which re-evaluates compiled plans against many
+// environments without re-walking.
+func (a *Analyzer) BuildEnv(in *Inputs) (pavf.Env, error) { return a.buildEnv(in) }
+
+// CheckInputs verifies that in plausibly belongs to this design: every
+// structure port it names must exist in the analyzed graph. A table carrying
+// ports the design does not have was measured for (or bound to) a different
+// design; applying it silently would leave this design's own ports at their
+// defaults while the stray measurements are dropped on the floor.
+func (a *Analyzer) CheckInputs(in *Inputs) error {
+	for sp := range in.ReadPorts {
+		if _, ok := a.readTerm[sp]; !ok {
+			return fmt.Errorf("core: inputs reference read port %s, which design %q does not have", sp, a.G.Design.Name)
+		}
+	}
+	for sp := range in.WritePorts {
+		if _, ok := a.writeTerm[sp]; !ok {
+			return fmt.Errorf("core: inputs reference write port %s, which design %q does not have", sp, a.G.Design.Name)
+		}
+	}
+	return nil
+}
 
 // Role returns the role assigned to vertex v.
 func (a *Analyzer) Role(v graph.VertexID) Role { return a.roles[v] }

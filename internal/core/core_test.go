@@ -859,3 +859,48 @@ func TestMaxAbsDiffMismatched(t *testing.T) {
 		t.Fatalf("self diff = %v, want 0", d)
 	}
 }
+
+// TestReevaluateRejectsForeignInputs: re-evaluating closed forms against
+// inputs from a different design must fail loudly, not silently default
+// the stray ports.
+func TestReevaluateRejectsForeignInputs(t *testing.T) {
+	a, in := multiFubDesign(t)
+	r, err := a.Solve(in)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	_, fig7In := figure7(t)
+	err = r.Reevaluate(fig7In)
+	if err == nil {
+		t.Fatal("Reevaluate accepted inputs for a different design")
+	}
+	if !strings.Contains(err.Error(), "S1") {
+		t.Fatalf("error does not name a stray port: %v", err)
+	}
+	// The result is untouched by the rejected call and keeps working.
+	if err := r.Reevaluate(in); err != nil {
+		t.Fatalf("Reevaluate after rejection: %v", err)
+	}
+}
+
+// TestReevaluateRejectsMismatchedResult: a Result whose equation vector
+// no longer matches its analyzer's design (e.g. assembled by hand or
+// retargeted at another analyzer) must be refused.
+func TestReevaluateRejectsMismatchedResult(t *testing.T) {
+	a, in := multiFubDesign(t)
+	b, fig7In := figure7(t)
+	r2, err := b.Solve(fig7In)
+	if err != nil {
+		t.Fatalf("Solve fig7: %v", err)
+	}
+	// Retarget fig7's result at the multi-FUB analyzer: vertex counts
+	// disagree, so the shape check must fire before any evaluation.
+	r2.Analyzer = a
+	err = r2.Reevaluate(in)
+	if err == nil {
+		t.Fatal("Reevaluate accepted a result/analyzer vertex-count mismatch")
+	}
+	if !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

@@ -282,7 +282,19 @@ func (a *Analyzer) visited() []bool {
 // without re-walking the design (§5.1: "any subsequent sequential AVF
 // computation ... simply needs to generate new pAVFs from the ACE model
 // then plug those values into the closed form equations").
+//
+// It rejects inputs that were not measured for the solved design: a table
+// naming structure ports this design does not have would otherwise be
+// silently dropped while the design's own ports fell back to defaults,
+// producing AVFs for the wrong workload binding.
 func (r *Result) Reevaluate(in *Inputs) error {
+	if n := r.Analyzer.G.NumVerts(); len(r.Exprs) != n || len(r.AVF) != n {
+		return fmt.Errorf("core: result holds %d equations and %d AVFs but analyzer design %q has %d vertices (result/analyzer mismatch)",
+			len(r.Exprs), len(r.AVF), r.Analyzer.G.Design.Name, n)
+	}
+	if err := r.Analyzer.CheckInputs(in); err != nil {
+		return err
+	}
 	env, err := r.Analyzer.buildEnv(in)
 	if err != nil {
 		return err

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"seqavf/internal/core"
+	"seqavf/internal/graph"
+	"seqavf/internal/tinycore"
+	"seqavf/internal/uarch"
+	"seqavf/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden fixtures from current output")
+
+const goldenTol = 1e-9
+
+// TestTinycoreGoldenSeqAVF pins the end-to-end per-node seqAVF values for
+// tinycore running the MD5-like kernel. Any change to the walks, the
+// environment construction, the pAVF arithmetic, or the microarchitectural
+// model that moves a node by more than 1e-9 fails here; run with -update
+// to bless an intentional change.
+func TestTinycoreGoldenSeqAVF(t *testing.T) {
+	p := workload.MD5Like(60)
+	fd, err := tinycore.FlatDesign(len(p.Code))
+	if err != nil {
+		t.Fatalf("FlatDesign: %v", err)
+	}
+	g, err := graph.Build(fd)
+	if err != nil {
+		t.Fatalf("graph.Build: %v", err)
+	}
+	a, err := core.NewAnalyzer(g, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("NewAnalyzer: %v", err)
+	}
+	perf, err := uarch.Run(p, uarch.DefaultConfig())
+	if err != nil {
+		t.Fatalf("uarch.Run: %v", err)
+	}
+	in, err := tinycore.BindInputs(perf.Report)
+	if err != nil {
+		t.Fatalf("BindInputs: %v", err)
+	}
+	res, err := a.Solve(in)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	got := res.SeqAVFByNode()
+	if len(got) == 0 {
+		t.Fatal("no sequential nodes in tinycore result")
+	}
+
+	path := filepath.Join("testdata", "tinycore_md5_seqavf.golden")
+	if *updateGolden {
+		writeGolden(t, path, got)
+		t.Logf("rewrote %s with %d nodes", path, len(got))
+	}
+	want := readGolden(t, path)
+	if len(got) != len(want) {
+		t.Errorf("node count drifted: golden has %d, current run has %d", len(want), len(got))
+	}
+	for node, wv := range want {
+		gv, ok := got[node]
+		if !ok {
+			t.Errorf("node %s present in golden but missing from current run", node)
+			continue
+		}
+		if d := math.Abs(gv - wv); !(d <= goldenTol) {
+			t.Errorf("node %s drifted: golden %.12f, got %.12f (|d|=%.3e > %.0e)",
+				node, wv, gv, d, goldenTol)
+		}
+	}
+	for node := range got {
+		if _, ok := want[node]; !ok {
+			t.Errorf("node %s missing from golden (run with -update if intentional)", node)
+		}
+	}
+}
+
+func writeGolden(t *testing.T, path string, avf map[string]float64) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 0, len(avf))
+	for k := range avf {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString("# per-node seqAVF, tinycore + MD5Like(60), DefaultOptions\n")
+	sb.WriteString("# regenerate: go test ./internal/experiments/ -run TestTinycoreGoldenSeqAVF -update\n")
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s %.15g\n", k, avf[k])
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readGolden(t *testing.T, path string) map[string]float64 {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("golden fixture unreadable (run with -update to create): %v", err)
+	}
+	defer f.Close()
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		if len(fields) != 2 {
+			t.Fatalf("%s: malformed line %q", path, sc.Text())
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("%s: bad value in %q: %v", path, sc.Text(), err)
+		}
+		out[fields[0]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

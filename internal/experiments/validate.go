@@ -10,6 +10,7 @@ import (
 	"seqavf/internal/isa"
 	"seqavf/internal/netlist"
 	"seqavf/internal/sfi"
+	"seqavf/internal/sweep"
 	"seqavf/internal/tinycore"
 	"seqavf/internal/uarch"
 	"seqavf/internal/workload"
@@ -298,41 +299,81 @@ func (r *ValidateResult) WriteText(w io.Writer) {
 }
 
 // SymbolicResult compares full re-solves against closed-form
-// re-evaluation across the workload suite (§5.1's payoff).
+// re-evaluation across the workload suite (§5.1's payoff), both
+// per-workload (Result.Reevaluate) and batched through the compiled
+// sweep plan (internal/sweep).
 type SymbolicResult struct {
 	Workloads    []string
 	MaxDeviation float64
 	SolveTime    time.Duration
 	ReevalTime   time.Duration
+	// CompileTime is the one-off plan compilation; SweepTime is the batch
+	// evaluation of every workload through the plan.
+	CompileTime time.Duration
+	SweepTime   time.Duration
+	Plan        sweep.Stats
 }
 
-// Symbolic runs the study on the XeonLike environment.
+// Symbolic runs the study on the XeonLike environment: one solve against
+// the suite average yields closed forms that are re-evaluated for every
+// workload three ways (fresh solve, Reevaluate, batch sweep); any
+// disagreement shows up in MaxDeviation.
 func Symbolic(env *Env) (*SymbolicResult, error) {
 	out := &SymbolicResult{}
 	base, err := env.Analyzer.Solve(env.AvgInputs)
 	if err != nil {
 		return nil, err
 	}
+	ws := make([]sweep.Workload, 0, len(env.Workloads))
 	for _, name := range env.Workloads {
 		in, err := env.Gen.Inputs(env.Reports[name])
 		if err != nil {
 			return nil, err
 		}
-		t0 := time.Now()
-		fresh, err := env.Analyzer.Solve(in)
-		if err != nil {
+		ws = append(ws, sweep.Workload{Name: name, Inputs: in})
+		out.Workloads = append(out.Workloads, name)
+	}
+
+	// Reference: a full symbolic solve per workload.
+	fresh := make([]*core.Result, len(ws))
+	t0 := time.Now()
+	for i := range ws {
+		if fresh[i], err = env.Analyzer.Solve(ws[i].Inputs); err != nil {
 			return nil, err
 		}
-		out.SolveTime += time.Since(t0)
-		t0 = time.Now()
-		if err := base.Reevaluate(in); err != nil {
+	}
+	out.SolveTime = time.Since(t0)
+
+	// Per-workload closed-form re-evaluation.
+	t0 = time.Now()
+	for i := range ws {
+		if err := base.Reevaluate(ws[i].Inputs); err != nil {
 			return nil, err
 		}
-		out.ReevalTime += time.Since(t0)
-		if d := core.MaxAbsDiff(base, fresh); d > out.MaxDeviation {
+		if d := core.MaxAbsDiff(base, fresh[i]); d > out.MaxDeviation {
 			out.MaxDeviation = d
 		}
-		out.Workloads = append(out.Workloads, name)
+	}
+	out.ReevalTime = time.Since(t0)
+
+	// Batched sweep through the compiled plan.
+	eng := sweep.New(sweep.Options{})
+	t0 = time.Now()
+	plan, err := eng.Plan(base)
+	if err != nil {
+		return nil, err
+	}
+	out.CompileTime = time.Since(t0)
+	out.Plan = plan.Stats()
+	batch, err := eng.Sweep(base, ws)
+	if err != nil {
+		return nil, err
+	}
+	out.SweepTime = batch.Elapsed
+	for i := range ws {
+		if d := core.MaxAbsDiff(batch.Results[i], fresh[i]); d > out.MaxDeviation {
+			out.MaxDeviation = d
+		}
 	}
 	return out, nil
 }
@@ -344,7 +385,13 @@ func (r *SymbolicResult) WriteText(w io.Writer) {
 	fprintf(w, "max |AVF deviation|: %.2e\n", r.MaxDeviation)
 	fprintf(w, "full solves:         %v\n", r.SolveTime.Round(time.Microsecond))
 	fprintf(w, "closed-form evals:   %v\n", r.ReevalTime.Round(time.Microsecond))
+	fprintf(w, "plan compile:        %v (%d unique subterms for %d equations)\n",
+		r.CompileTime.Round(time.Microsecond), r.Plan.UniqueSets, r.Plan.Vertices)
+	fprintf(w, "batch sweep:         %v\n", r.SweepTime.Round(time.Microsecond))
 	if r.ReevalTime > 0 {
-		fprintf(w, "speedup:             %.1fx\n", float64(r.SolveTime)/float64(r.ReevalTime))
+		fprintf(w, "speedup (reeval):    %.1fx\n", float64(r.SolveTime)/float64(r.ReevalTime))
+	}
+	if r.SweepTime > 0 {
+		fprintf(w, "speedup (sweep):     %.1fx\n", float64(r.SolveTime)/float64(r.SweepTime))
 	}
 }

@@ -1,0 +1,242 @@
+// Package graphtest generates seeded random multi-FUB designs for tests:
+// layered DAGs of combinational and sequential nodes with configurable FUB
+// count, fan-in/out, feedback-loop edges, control registers, debug taps,
+// structure ports, and cross-FUB wiring. Every knob the SART walks care
+// about (walk sources and sinks, loop-boundary cuts, stripped DFX logic,
+// boundary pseudo-structures) appears in generated designs, so property
+// tests over random seeds exercise the full role vocabulary.
+//
+// Generation is deterministic in Config (SplitMix64 streams from
+// internal/stats): the same Config always yields the same design, so a
+// failing seed reported by a property test reproduces exactly.
+package graphtest
+
+import (
+	"fmt"
+
+	"seqavf/internal/graph"
+	"seqavf/internal/netlist"
+	"seqavf/internal/stats"
+)
+
+// Config parameterizes the generator. Start from Default or Small.
+type Config struct {
+	Seed uint64
+	// Fubs is the FUB count; cross-FUB connects form a feed-forward DAG
+	// over them (values only flow from lower-indexed FUBs to higher).
+	Fubs int
+	// Layers and LayerNodes shape each FUB's DAG: Layers ranks of
+	// LayerNodes nodes, each drawing inputs from any earlier rank.
+	Layers     int
+	LayerNodes int
+	// FanIn bounds the inputs per combinational node (>= 1). Fan-out is
+	// emergent: every produced signal stays eligible as a later input.
+	FanIn int
+	// Width is the bit width of every signal.
+	Width int
+	// Reads / Writes count the structure read/write ports per FUB.
+	Reads, Writes int
+	// PSeq is the probability a layer node is registered (KindSeq).
+	PSeq float64
+	// PLoop is the per-layer probability of inserting an accumulator
+	// feedback loop (a sequential cycle — SART's §4.3 loop boundary).
+	PLoop float64
+	// PCtrl is the per-node probability of masking with a configuration
+	// control register.
+	PCtrl float64
+	// PDebug is the per-node probability of attaching a DFX debug tap.
+	PDebug float64
+	// PCross is the probability a FUB input port is driven by an earlier
+	// FUB's output; undriven inputs become boundary pseudo-structures.
+	PCross float64
+	// StructEntries sizes generated structures.
+	StructEntries int
+}
+
+// Default returns a mid-sized configuration (a few thousand bits).
+func Default(seed uint64) Config {
+	return Config{
+		Seed:          seed,
+		Fubs:          6,
+		Layers:        5,
+		LayerNodes:    4,
+		FanIn:         3,
+		Width:         8,
+		Reads:         2,
+		Writes:        2,
+		PSeq:          0.4,
+		PLoop:         0.3,
+		PCtrl:         0.1,
+		PDebug:        0.1,
+		PCross:        0.8,
+		StructEntries: 8,
+	}
+}
+
+// Small returns a tiny configuration for high-iteration property tests
+// (hundreds of bits; a full solve takes well under a millisecond).
+func Small(seed uint64) Config {
+	return Config{
+		Seed:          seed,
+		Fubs:          3,
+		Layers:        3,
+		LayerNodes:    2,
+		FanIn:         2,
+		Width:         3,
+		Reads:         1,
+		Writes:        1,
+		PSeq:          0.5,
+		PLoop:         0.35,
+		PCtrl:         0.15,
+		PDebug:        0.15,
+		PCross:        0.7,
+		StructEntries: 4,
+	}
+}
+
+// Design bundles a generated netlist with its flattened form and extracted
+// bit graph, ready to hand to core.NewAnalyzer.
+type Design struct {
+	Config  Config
+	Netlist *netlist.Design
+	Flat    *netlist.FlatDesign
+	Graph   *graph.Graph
+}
+
+// Generate builds, validates, flattens, and graph-extracts one random
+// design. Errors indicate an invalid Config, not an unlucky seed: every
+// reachable random choice produces a valid netlist.
+func Generate(cfg Config) (*Design, error) {
+	if cfg.Fubs < 1 || cfg.Layers < 1 || cfg.LayerNodes < 1 || cfg.FanIn < 1 ||
+		cfg.Width < 1 || cfg.Width > netlist.MaxWidth || cfg.Reads < 0 || cfg.Writes < 0 {
+		return nil, fmt.Errorf("graphtest: invalid config %+v", cfg)
+	}
+	if cfg.StructEntries < 1 {
+		cfg.StructEntries = 4
+	}
+	rng := stats.New(cfg.Seed)
+	d := netlist.NewDesign(fmt.Sprintf("graphtest_%d", cfg.Seed))
+
+	type outPort struct{ fub, port string }
+	var openOutputs []outPort
+	for fi := 0; fi < cfg.Fubs; fi++ {
+		fubName := fmt.Sprintf("F%02d", fi)
+		m := d.AddModule(fmt.Sprintf("m%02d", fi))
+		b := netlist.Build(m)
+		frng := rng.Fork(uint64(fi))
+
+		uid := 0
+		fresh := func(prefix string) string {
+			uid++
+			return fmt.Sprintf("%s_%d", prefix, uid)
+		}
+
+		// Sources: input ports plus structure read ports.
+		var pool []string
+		nIn := 1 + frng.Intn(2)
+		var inPorts []string
+		for k := 0; k < nIn; k++ {
+			p := b.In(fmt.Sprintf("in%d", k), cfg.Width)
+			inPorts = append(inPorts, p)
+			pool = append(pool, p)
+		}
+		for k := 0; k < cfg.Reads; k++ {
+			sname := fmt.Sprintf("G%02dR%d", fi, k)
+			d.AddStructure(sname, cfg.StructEntries, cfg.Width)
+			pool = append(pool, b.SRead(fresh("srd"), cfg.Width, sname, "rd"))
+		}
+
+		// Control registers, created lazily on first mask.
+		var ctrl string
+		ctrlOf := func() string {
+			if ctrl == "" {
+				ctrl = b.CtrlReg("cfg_mask", cfg.Width, "cfg_mask", uint64(frng.Intn(1<<uint(min(cfg.Width, 16)))))
+			}
+			return ctrl
+		}
+
+		pick := func() string { return pool[frng.Intn(len(pool))] }
+		combOps := []netlist.Op{netlist.OpXor, netlist.OpAnd, netlist.OpOr, netlist.OpAdd, netlist.OpNot, netlist.OpPass}
+		for l := 0; l < cfg.Layers; l++ {
+			// Feedback accumulator: a sequential loop cut by SART's
+			// loop-boundary injection.
+			if frng.Bool(cfg.PLoop) {
+				acc := fresh("acc")
+				nxt := fresh("accnext")
+				b.M.Add(&netlist.Node{Name: acc, Kind: netlist.KindSeq, Width: cfg.Width, Inputs: []string{nxt}})
+				b.C(nxt, cfg.Width, netlist.OpAdd, acc, pick())
+				pool = append(pool, b.C(fresh("mix"), cfg.Width, netlist.OpXor, acc, pick()))
+			}
+			for j := 0; j < cfg.LayerNodes; j++ {
+				op := combOps[frng.Intn(len(combOps))]
+				var inputs []string
+				switch op {
+				case netlist.OpNot, netlist.OpPass:
+					inputs = []string{pick()}
+				case netlist.OpAdd:
+					inputs = []string{pick(), pick()}
+				default:
+					n := 2 + frng.Intn(cfg.FanIn)
+					for i := 0; i < n; i++ {
+						inputs = append(inputs, pick())
+					}
+				}
+				sig := b.C(fmt.Sprintf("l%d_n%d", l, j), cfg.Width, op, inputs...)
+				if frng.Bool(cfg.PCtrl) {
+					sig = b.C(fresh("gate"), cfg.Width, netlist.OpAnd, sig, ctrlOf())
+				}
+				if frng.Bool(cfg.PDebug) {
+					b.M.Add(&netlist.Node{
+						Name: fresh("dbg"), Kind: netlist.KindSeq,
+						Width: cfg.Width, Inputs: []string{sig}, Class: netlist.ClassDebug,
+					})
+				}
+				if frng.Bool(cfg.PSeq) {
+					sig = b.Seq(fmt.Sprintf("l%d_q%d", l, j), cfg.Width, sig)
+				}
+				pool = append(pool, sig)
+			}
+		}
+
+		// Sinks: structure write ports and FUB outputs.
+		for k := 0; k < cfg.Writes; k++ {
+			sname := fmt.Sprintf("G%02dW%d", fi, k)
+			d.AddStructure(sname, cfg.StructEntries, cfg.Width)
+			b.SWrite(fresh("swr"), sname, "wr", pick())
+		}
+		nOut := 1 + frng.Intn(2)
+		var outs []string
+		for k := 0; k < nOut; k++ {
+			outs = append(outs, b.Out(fmt.Sprintf("out%d", k), cfg.Width, pick()))
+		}
+
+		d.AddFub(fubName, m.Name)
+		// Feed-forward cross-FUB wiring; undriven inputs stay boundary
+		// pseudo-structures.
+		if fi > 0 && len(openOutputs) > 0 {
+			for _, in := range inPorts {
+				if !frng.Bool(cfg.PCross) {
+					continue
+				}
+				src := openOutputs[frng.Intn(len(openOutputs))]
+				d.ConnectPorts(src.fub, src.port, fubName, in)
+			}
+		}
+		for _, p := range outs {
+			openOutputs = append(openOutputs, outPort{fub: fubName, port: p})
+		}
+	}
+
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("graphtest: generated netlist invalid: %w", err)
+	}
+	fd, err := netlist.Flatten(d)
+	if err != nil {
+		return nil, fmt.Errorf("graphtest: %w", err)
+	}
+	g, err := graph.Build(fd)
+	if err != nil {
+		return nil, fmt.Errorf("graphtest: %w", err)
+	}
+	return &Design{Config: cfg, Netlist: d, Flat: fd, Graph: g}, nil
+}

@@ -1,0 +1,60 @@
+package sweep
+
+import (
+	"testing"
+
+	"seqavf/internal/core"
+	"seqavf/internal/graph/graphtest"
+)
+
+// FuzzCompilePlan drives the generator -> solver -> plan compiler -> plan
+// evaluator chain from fuzzed seeds and shape knobs: no input may panic,
+// every generated design must compile into a plan, and plan evaluation
+// must stay bit-identical to Result.Reevaluate.
+func FuzzCompilePlan(f *testing.F) {
+	f.Add(uint64(0), uint64(1), uint8(2), uint8(2), uint8(2))
+	f.Add(uint64(42), uint64(7), uint8(1), uint8(1), uint8(1))
+	f.Add(uint64(12345), uint64(99), uint8(3), uint8(4), uint8(3))
+	f.Fuzz(func(t *testing.T, seed, inputSeed uint64, fubs, layers, width uint8) {
+		cfg := graphtest.Small(seed)
+		cfg.Fubs = 1 + int(fubs%3)
+		cfg.Layers = 1 + int(layers%4)
+		cfg.Width = 1 + int(width%4)
+		d, err := graphtest.Generate(cfg)
+		if err != nil {
+			t.Fatalf("Generate rejected a bounded config %+v: %v", cfg, err)
+		}
+		a, err := core.NewAnalyzer(d.Graph, core.DefaultOptions())
+		if err != nil {
+			t.Fatalf("NewAnalyzer: %v", err)
+		}
+		in := randomInputs(a, inputSeed)
+		res, err := a.Solve(in)
+		if err != nil {
+			t.Fatalf("Solve: %v", err)
+		}
+		p, err := Compile(res)
+		if err != nil {
+			t.Fatalf("Compile: %v", err)
+		}
+		if p.NumVerts() != a.G.NumVerts() {
+			t.Fatalf("plan covers %d of %d vertices", p.NumVerts(), a.G.NumVerts())
+		}
+		in2 := randomInputs(a, inputSeed^0x5bf03635)
+		got, err := p.Eval(in2, nil)
+		if err != nil {
+			t.Fatalf("Eval: %v", err)
+		}
+		if err := res.Reevaluate(in2); err != nil {
+			t.Fatalf("Reevaluate: %v", err)
+		}
+		for v := range got.AVF {
+			if got.AVF[v] != res.AVF[v] {
+				t.Fatalf("vertex %d: plan %v != reevaluate %v", v, got.AVF[v], res.AVF[v])
+			}
+			if !(got.AVF[v] >= 0 && got.AVF[v] <= 1) {
+				t.Fatalf("vertex %d: AVF %v out of [0,1]", v, got.AVF[v])
+			}
+		}
+	})
+}

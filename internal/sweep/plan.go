@@ -1,0 +1,201 @@
+// Package sweep is the workload sweep engine: the compile-once /
+// serve-many half of the paper's §5.1 symbolic-propagation claim, built
+// for batches.
+//
+// A solved core.Result carries one closed-form equation per bit vertex:
+// AVF = MIN(Union(forward terms), Union(backward terms)). Evaluating a new
+// workload therefore needs only a new term environment — no walks. But the
+// per-vertex equations are massively redundant: propagation copies the same
+// term sets down whole pipelines, so a design with hundreds of thousands of
+// bits typically resolves to a few hundred distinct sets. Compile flattens
+// the equations into a deduplicated plan — every distinct term set becomes
+// one shared subterm slot, evaluated once per workload — and Engine pushes
+// batches of workloads through compiled plans with a bounded worker pool,
+// per-shard chunking, and an LRU plan cache keyed by the analyzer's design
+// fingerprint.
+//
+// Numerically the plan is exact: subterm evaluation replays pavf.Set.Eval's
+// summation order (ascending TermID, capped at 1.0) and the final MIN
+// matches pavf.Expr.Eval, so plan results are bit-identical to
+// Result.Reevaluate and to a fresh Solve under the same inputs.
+package sweep
+
+import (
+	"fmt"
+
+	"seqavf/internal/core"
+	"seqavf/internal/pavf"
+)
+
+// Plan is a compiled, immutable evaluation plan for one design. It is safe
+// for concurrent Eval calls: evaluation writes only into caller-provided
+// or freshly allocated buffers.
+type Plan struct {
+	// Analyzer is the design the plan was compiled for; environments are
+	// built against its term universe.
+	Analyzer *core.Analyzer
+	// Fingerprint is Analyzer.Fingerprint(), the plan-cache key.
+	Fingerprint uint64
+
+	// exprs aliases the source result's closed forms (read-only), so
+	// per-workload Results can render equations and statistics.
+	exprs   []pavf.Expr
+	visited []bool
+
+	// The deduplicated set table in CSR form: set s covers
+	// setIDs[setOff[s]:setOff[s+1]], IDs ascending as in pavf.Set.
+	setOff []int32
+	setIDs []pavf.TermID
+	// fwdIdx/bwdIdx give each vertex's set slot per direction, or -1 when
+	// the walk never reached that side (conservative 1.0).
+	fwdIdx []int32
+	bwdIdx []int32
+}
+
+// Stats describes a compiled plan's shape.
+type Stats struct {
+	// Vertices is the number of bit equations the plan resolves.
+	Vertices int
+	// UniqueSets counts distinct term sets — the subterms evaluated once
+	// per workload.
+	UniqueSets int
+	// SetRefs counts per-vertex set references (known sides only);
+	// SetRefs/UniqueSets is the sharing factor the dedup exploits.
+	SetRefs int
+	// Terms is the total TermID count across unique sets.
+	Terms int
+}
+
+// Compile flattens res's closed-form equations into an evaluation plan.
+func Compile(res *core.Result) (*Plan, error) {
+	a := res.Analyzer
+	n := a.G.NumVerts()
+	if len(res.Exprs) != n {
+		return nil, fmt.Errorf("sweep: result has %d equations but design %q has %d vertices",
+			len(res.Exprs), a.G.Design.Name, n)
+	}
+	p := &Plan{
+		Analyzer:    a,
+		Fingerprint: a.Fingerprint(),
+		exprs:       res.Exprs,
+		visited:     res.Visited,
+		setOff:      []int32{0},
+		fwdIdx:      make([]int32, n),
+		bwdIdx:      make([]int32, n),
+	}
+	index := make(map[string]int32)
+	var key []byte
+	intern := func(s pavf.Set) int32 {
+		ids := s.IDs()
+		key = key[:0]
+		for _, id := range ids {
+			key = append(key, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+		}
+		if i, ok := index[string(key)]; ok {
+			return i
+		}
+		i := int32(len(p.setOff) - 1)
+		index[string(key)] = i
+		p.setIDs = append(p.setIDs, ids...)
+		p.setOff = append(p.setOff, int32(len(p.setIDs)))
+		return i
+	}
+	for v := 0; v < n; v++ {
+		x := &res.Exprs[v]
+		if x.KnownFwd {
+			p.fwdIdx[v] = intern(x.Fwd)
+		} else {
+			p.fwdIdx[v] = -1
+		}
+		if x.KnownBwd {
+			p.bwdIdx[v] = intern(x.Bwd)
+		} else {
+			p.bwdIdx[v] = -1
+		}
+	}
+	return p, nil
+}
+
+// NumVerts returns the number of bit equations in the plan.
+func (p *Plan) NumVerts() int { return len(p.fwdIdx) }
+
+// NumSets returns the number of deduplicated subterm sets.
+func (p *Plan) NumSets() int { return len(p.setOff) - 1 }
+
+// Stats summarizes the plan's shape.
+func (p *Plan) Stats() Stats {
+	st := Stats{
+		Vertices:   p.NumVerts(),
+		UniqueSets: p.NumSets(),
+		Terms:      len(p.setIDs),
+	}
+	for v := range p.fwdIdx {
+		if p.fwdIdx[v] >= 0 {
+			st.SetRefs++
+		}
+		if p.bwdIdx[v] >= 0 {
+			st.SetRefs++
+		}
+	}
+	return st
+}
+
+// evalEnv resolves every vertex AVF under env. scratch must have at least
+// NumSets entries; avf must have NumVerts entries. Subterm evaluation and
+// the final MIN replay pavf's arithmetic exactly (same order, same cap),
+// so results are bit-identical to Expr.Eval.
+func (p *Plan) evalEnv(env pavf.Env, scratch, avf []float64) {
+	for s := 0; s < len(p.setOff)-1; s++ {
+		sum := 0.0
+		for _, id := range p.setIDs[p.setOff[s]:p.setOff[s+1]] {
+			sum += env[id]
+			if sum >= 1 {
+				sum = 1
+				break
+			}
+		}
+		scratch[s] = sum
+	}
+	for v := range avf {
+		f, b := 1.0, 1.0
+		if i := p.fwdIdx[v]; i >= 0 {
+			f = scratch[i]
+		}
+		if i := p.bwdIdx[v]; i >= 0 {
+			b = scratch[i]
+		}
+		if b < f {
+			f = b
+		}
+		avf[v] = f
+	}
+}
+
+// Eval evaluates one workload through the plan, returning a full
+// core.Result (closed forms shared with the compiled source, AVF vector
+// fresh). scratch may be nil or a reusable buffer of at least NumSets
+// entries.
+func (p *Plan) Eval(in *core.Inputs, scratch []float64) (*core.Result, error) {
+	if err := p.Analyzer.CheckInputs(in); err != nil {
+		return nil, err
+	}
+	env, err := p.Analyzer.BuildEnv(in)
+	if err != nil {
+		return nil, err
+	}
+	if len(scratch) < p.NumSets() {
+		scratch = make([]float64, p.NumSets())
+	}
+	avf := make([]float64, p.NumVerts())
+	p.evalEnv(env, scratch, avf)
+	return &core.Result{
+		Analyzer:   p.Analyzer,
+		Inputs:     in,
+		Env:        env,
+		Exprs:      p.exprs,
+		AVF:        avf,
+		Visited:    p.visited,
+		Iterations: 1,
+		Converged:  true,
+	}, nil
+}

@@ -1,0 +1,95 @@
+package sweep
+
+import (
+	"testing"
+
+	"seqavf/internal/core"
+	"seqavf/internal/graph/graphtest"
+)
+
+// TestPropertyAllSolversAgree is the cross-implementation property test:
+// on 200 seeded random designs, the monolithic solver, the
+// FUB-partitioned relaxation, closed-form re-evaluation, and the compiled
+// sweep plan must produce the same AVF vector within 1e-9, and every AVF
+// must lie in [0,1]. Any divergence prints the offending seed, which
+// replays deterministically through graphtest.
+func TestPropertyAllSolversAgree(t *testing.T) {
+	const (
+		seeds = 200
+		tol   = 1e-9
+	)
+	eng := New(Options{Workers: 2, CacheSize: 4})
+	for seed := uint64(0); seed < seeds; seed++ {
+		cfg := graphtest.Small(seed)
+		d, err := graphtest.Generate(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: Generate: %v", seed, err)
+		}
+		a, err := core.NewAnalyzer(d.Graph, core.DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: NewAnalyzer: %v", seed, err)
+		}
+		in := randomInputs(a, seed^0xdeadbeef)
+
+		mono, err := a.Solve(in)
+		if err != nil {
+			t.Fatalf("seed %d: Solve: %v", seed, err)
+		}
+		for v, avf := range mono.AVF {
+			if !(avf >= 0 && avf <= 1) {
+				t.Fatalf("seed %d: vertex %d AVF %v out of [0,1]", seed, v, avf)
+			}
+		}
+
+		part, err := a.SolvePartitioned(in)
+		if err != nil {
+			t.Fatalf("seed %d: SolvePartitioned: %v", seed, err)
+		}
+		if !part.Converged {
+			t.Fatalf("seed %d: partitioned relaxation did not converge in %d iterations",
+				seed, part.Iterations)
+		}
+		if d := core.MaxAbsDiff(mono, part); !(d <= tol) {
+			t.Fatalf("seed %d: partitioned deviates from monolithic by %v (> %v)", seed, d, tol)
+		}
+
+		// Re-evaluate the monolithic closed forms against fresh inputs,
+		// then back, to exercise the Reevaluate path on this design.
+		in2 := randomInputs(a, seed^0xabcdef01)
+		if err := mono.Reevaluate(in2); err != nil {
+			t.Fatalf("seed %d: Reevaluate: %v", seed, err)
+		}
+		fresh2, err := a.Solve(in2)
+		if err != nil {
+			t.Fatalf("seed %d: Solve(in2): %v", seed, err)
+		}
+		if d := core.MaxAbsDiff(mono, fresh2); !(d <= tol) {
+			t.Fatalf("seed %d: Reevaluate deviates from fresh solve by %v (> %v)", seed, d, tol)
+		}
+
+		// Sweep both workloads through the compiled plan.
+		batch, err := eng.Sweep(fresh2, []Workload{
+			{Name: "w1", Inputs: in},
+			{Name: "w2", Inputs: in2},
+		})
+		if err != nil {
+			t.Fatalf("seed %d: Sweep: %v", seed, err)
+		}
+		if err := mono.Reevaluate(in); err != nil {
+			t.Fatalf("seed %d: Reevaluate(in): %v", seed, err)
+		}
+		if d := core.MaxAbsDiff(batch.Results[0], mono); !(d <= tol) {
+			t.Fatalf("seed %d: sweep(w1) deviates from closed forms by %v (> %v)", seed, d, tol)
+		}
+		if d := core.MaxAbsDiff(batch.Results[1], fresh2); !(d <= tol) {
+			t.Fatalf("seed %d: sweep(w2) deviates from fresh solve by %v (> %v)", seed, d, tol)
+		}
+		for i, r := range batch.Results {
+			for v, avf := range r.AVF {
+				if !(avf >= 0 && avf <= 1) {
+					t.Fatalf("seed %d: sweep workload %d vertex %d AVF %v out of [0,1]", seed, i, v, avf)
+				}
+			}
+		}
+	}
+}

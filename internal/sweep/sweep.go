@@ -1,0 +1,192 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seqavf/internal/core"
+	"seqavf/internal/obs"
+)
+
+// Options configure an Engine. The zero value is usable: all cores, auto
+// chunking, an 8-plan cache, no telemetry.
+type Options struct {
+	// Workers bounds the evaluation goroutines. 0 uses GOMAXPROCS; 1 runs
+	// serially. Results are identical either way.
+	Workers int
+	// ChunkSize is the number of workloads one worker claims at a time
+	// (the shard granularity). 0 picks a size that gives each worker ~4
+	// claims per batch, amortizing the claim overhead while keeping the
+	// tail balanced.
+	ChunkSize int
+	// CacheSize bounds the compiled-plan LRU (by design fingerprint).
+	// 0 means 8.
+	CacheSize int
+	// Obs receives engine telemetry: compile/eval spans, plan cache
+	// hit/miss counters, workload counters, and a workloads/sec gauge.
+	// nil disables instrumentation.
+	Obs *obs.Registry
+}
+
+// Engine evaluates batches of workloads through compiled plans. One Engine
+// serves any number of designs concurrently; plans are cached LRU by
+// design fingerprint.
+type Engine struct {
+	opts  Options
+	cache *planCache
+}
+
+// New returns an Engine with the given options.
+func New(opts Options) *Engine {
+	if opts.CacheSize <= 0 {
+		opts.CacheSize = 8
+	}
+	return &Engine{opts: opts, cache: newPlanCache(opts.CacheSize)}
+}
+
+// Workload pairs a name with its measured pAVF tables.
+type Workload struct {
+	Name   string
+	Inputs *core.Inputs
+}
+
+// Batch is the outcome of one sweep: per-workload results (index-aligned
+// with the submitted workloads) plus the plan and timing.
+type Batch struct {
+	Plan *Plan
+	// Names and Results are index-aligned with the submitted workloads.
+	Names   []string
+	Results []*core.Result
+	// Elapsed covers evaluation only (compile time is cached and reported
+	// on the compile span / counters instead).
+	Elapsed time.Duration
+}
+
+// WorkloadsPerSec returns the batch evaluation throughput.
+func (b *Batch) WorkloadsPerSec() float64 {
+	if b.Elapsed <= 0 {
+		return 0
+	}
+	return float64(len(b.Results)) / b.Elapsed.Seconds()
+}
+
+// Plan returns the compiled plan for res's design, compiling on cache miss.
+func (e *Engine) Plan(res *core.Result) (*Plan, error) {
+	fp := res.Analyzer.Fingerprint()
+	if p := e.cache.get(fp); p != nil {
+		e.opts.Obs.Counter("sweep.plan_cache_hits").Inc()
+		return p, nil
+	}
+	e.opts.Obs.Counter("sweep.plan_cache_misses").Inc()
+	sp := e.opts.Obs.StartSpan("sweep.compile")
+	p, err := Compile(res)
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
+	st := p.Stats()
+	sp.SetAttr("vertices", st.Vertices)
+	sp.SetAttr("unique_sets", st.UniqueSets)
+	sp.SetAttr("set_refs", st.SetRefs)
+	sp.End()
+	e.opts.Obs.Counter("sweep.plan_compiles").Inc()
+	e.cache.put(p)
+	return p, nil
+}
+
+// CachedPlans reports the number of plans currently cached.
+func (e *Engine) CachedPlans() int { return e.cache.len() }
+
+// Sweep evaluates every workload through res's compiled plan. Workloads
+// are sharded into chunks claimed by a bounded worker pool; each worker
+// reuses one subterm scratch buffer across its chunk. The first workload
+// error aborts the batch.
+func (e *Engine) Sweep(res *core.Result, workloads []Workload) (*Batch, error) {
+	plan, err := e.Plan(res)
+	if err != nil {
+		return nil, err
+	}
+	n := len(workloads)
+	workers := e.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	chunk := e.opts.ChunkSize
+	if chunk <= 0 {
+		chunk = (n + workers*4 - 1) / (workers * 4)
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+
+	sp := e.opts.Obs.StartSpan("sweep.eval")
+	sp.SetAttr("workloads", n)
+	sp.SetAttr("workers", workers)
+	sp.SetAttr("chunk", chunk)
+	start := time.Now()
+
+	batch := &Batch{
+		Plan:    plan,
+		Names:   make([]string, n),
+		Results: make([]*core.Result, n),
+	}
+	for i, w := range workloads {
+		batch.Names[i] = w.Name
+	}
+
+	var next atomic.Int64
+	var firstErr atomic.Value // error
+	run := func() {
+		scratch := make([]float64, plan.NumSets())
+		for {
+			lo := int(next.Add(int64(chunk))) - chunk
+			if lo >= n || firstErr.Load() != nil {
+				return
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				r, err := plan.Eval(workloads[i].Inputs, scratch)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("sweep: workload %q: %w", workloads[i].Name, err))
+					return
+				}
+				batch.Results[i] = r
+			}
+		}
+	}
+	if workers == 1 {
+		run()
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				run()
+			}()
+		}
+		wg.Wait()
+	}
+	batch.Elapsed = time.Since(start)
+	sp.SetAttr("elapsed", batch.Elapsed.String())
+	sp.End()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return nil, err
+	}
+	e.opts.Obs.Counter("sweep.workloads").Add(int64(n))
+	e.opts.Obs.Counter("sweep.batches").Inc()
+	e.opts.Obs.Gauge("sweep.workloads_per_sec").Set(batch.WorkloadsPerSec())
+	return batch, nil
+}
