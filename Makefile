@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz-smoke ci
+.PHONY: all build vet test race bench fuzz-smoke run-seqavfd ci
 
 all: build
 
@@ -14,11 +14,13 @@ build:
 vet:
 	$(GO) vet ./...
 
+# -shuffle=on randomizes test order so inter-test state dependencies
+# surface in CI instead of in the field.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -28,5 +30,10 @@ bench:
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzParsePavfTable -fuzztime=10s ./cmd/internal/cliutil/
 	$(GO) test -run=^$$ -fuzz=FuzzCompilePlan -fuzztime=10s ./internal/sweep/
+
+# End-to-end smoke of the sweep service: generate a design, start
+# seqavfd, probe /healthz, run one sweep, then SIGTERM it.
+run-seqavfd: build
+	./scripts/seqavfd_smoke.sh
 
 ci: vet build race fuzz-smoke

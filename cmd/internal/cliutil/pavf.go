@@ -1,127 +1,42 @@
 package cliutil
 
 import (
-	"bufio"
-	"fmt"
 	"io"
-	"os"
-	"path/filepath"
-	"sort"
-	"strconv"
-	"strings"
 
 	"seqavf/internal/core"
+	"seqavf/internal/pavfio"
 )
 
-// ParsePAVF parses the line-oriented pAVF table consumed by sartool and
-// produced by acerun/designgen:
-//
-//	R <Struct>.<port> <pAVF_R>
-//	W <Struct>.<port> <pAVF_W>
-//	S <Struct> <structure AVF>
-//
-// Blank lines and #-comments are skipped. name labels the source in error
-// messages.
+// The pAVF table reader/writer lives in internal/pavfio so that the
+// seqavfd sweep service shares the exact same hardened ingestion path as
+// the CLIs (cmd/internal packages are not importable from internal/).
+// These wrappers keep the historical cliutil API for the command mains.
+
+// maxLineBytes mirrors pavfio.MaxLineBytes for the regression tests.
+const maxLineBytes = pavfio.MaxLineBytes
+
+// ParsePAVF parses a pAVF table; see pavfio.Parse for the format and the
+// validation rules (finite [0,1] values, no duplicate records).
 func ParsePAVF(name string, r io.Reader) (*core.Inputs, error) {
-	in := core.NewInputs()
-	sc := bufio.NewScanner(r)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		fields := strings.Fields(sc.Text())
-		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
-			continue
-		}
-		if len(fields) != 3 {
-			return nil, fmt.Errorf("%s:%d: want '<R|W|S> <name> <value>'", name, lineNo)
-		}
-		v, err := strconv.ParseFloat(fields[2], 64)
-		if err != nil {
-			return nil, fmt.Errorf("%s:%d: bad value %q", name, lineNo, fields[2])
-		}
-		switch fields[0] {
-		case "R", "W":
-			st, port, ok := strings.Cut(fields[1], ".")
-			if !ok {
-				return nil, fmt.Errorf("%s:%d: port %q not Struct.port", name, lineNo, fields[1])
-			}
-			sp := core.StructPort{Struct: st, Port: port}
-			if fields[0] == "R" {
-				in.ReadPorts[sp] = v
-			} else {
-				in.WritePorts[sp] = v
-			}
-		case "S":
-			in.StructAVF[fields[1]] = v
-		default:
-			return nil, fmt.Errorf("%s:%d: unknown record %q", name, lineNo, fields[0])
-		}
-	}
-	return in, sc.Err()
+	return pavfio.Parse(name, r)
 }
 
-// ReadPAVF parses the pAVF table at path. See ParsePAVF for the format.
+// ReadPAVF parses the pAVF table at path. See pavfio.Parse for the format.
 func ReadPAVF(path string) (*core.Inputs, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return ParsePAVF(path, f)
+	return pavfio.ReadFile(path)
 }
 
 // NamedInputs pairs a workload name with its parsed pAVF tables.
-type NamedInputs struct {
-	Name   string
-	Inputs *core.Inputs
-}
+type NamedInputs = pavfio.NamedInputs
 
-// ReadPAVFDir parses every file in dir matching glob (filepath.Match
-// syntax) as a pAVF table, sorted by file name. The workload name is the
-// file base without its extension. An empty match set is an error — a
-// sweep over zero workloads is almost always a mistyped glob.
+// ReadPAVFDir parses every file in dir matching glob as a pAVF table; see
+// pavfio.ReadDir (workload names must be unambiguous after extension
+// stripping).
 func ReadPAVFDir(dir, glob string) ([]NamedInputs, error) {
-	matches, err := filepath.Glob(filepath.Join(dir, glob))
-	if err != nil {
-		return nil, fmt.Errorf("bad glob %q: %w", glob, err)
-	}
-	sort.Strings(matches)
-	var out []NamedInputs
-	for _, path := range matches {
-		if fi, err := os.Stat(path); err != nil || fi.IsDir() {
-			continue
-		}
-		in, err := ReadPAVF(path)
-		if err != nil {
-			return nil, err
-		}
-		base := filepath.Base(path)
-		name := strings.TrimSuffix(base, filepath.Ext(base))
-		out = append(out, NamedInputs{Name: name, Inputs: in})
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("no pAVF tables match %s in %s", glob, dir)
-	}
-	return out, nil
+	return pavfio.ReadDir(dir, glob)
 }
 
 // WritePAVF renders in as a sorted pAVF table in the ParsePAVF format.
 func WritePAVF(w io.Writer, in *core.Inputs) (int, error) {
-	lines := make([]string, 0, len(in.ReadPorts)+len(in.WritePorts)+len(in.StructAVF))
-	for sp, v := range in.ReadPorts {
-		lines = append(lines, fmt.Sprintf("R %s %.6f", sp, v))
-	}
-	for sp, v := range in.WritePorts {
-		lines = append(lines, fmt.Sprintf("W %s %.6f", sp, v))
-	}
-	for s, v := range in.StructAVF {
-		lines = append(lines, fmt.Sprintf("S %s %.6f", s, v))
-	}
-	sort.Strings(lines)
-	for _, l := range lines {
-		if _, err := fmt.Fprintln(w, l); err != nil {
-			return 0, err
-		}
-	}
-	return len(lines), nil
+	return pavfio.Write(w, in)
 }

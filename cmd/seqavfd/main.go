@@ -1,0 +1,127 @@
+// Command seqavfd is the long-running workload-sweep service: it loads
+// one or more netlist designs at startup, solves each symbolically once,
+// and then serves sweep requests that re-evaluate the cached compiled
+// plans against per-request pAVF tables — the paper's §5.1 compile-once /
+// serve-many flow behind an HTTP API.
+//
+// Endpoints (see internal/server):
+//
+//	GET  /healthz      liveness + design count
+//	GET  /metrics      obs registry snapshot (counters, histograms, spans)
+//	GET  /debug/pprof/ live profiles
+//	GET  /v1/designs   registered designs
+//	POST /v1/designs   upload a netlist (body = netlist text)
+//	POST /v1/sweep     {"design": ..., "workloads": [{"name","pavf"}]}
+//
+// Saturation returns 429 with Retry-After; SIGINT/SIGTERM drains
+// in-flight sweeps for -drain before aborting them.
+//
+// Usage:
+//
+//	seqavfd -listen :8091 -design xeon.nl -design tiny.nl
+//	seqavfd -listen :8091 -design xeon.nl -max-concurrent 16 -timeout 10s
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"seqavf/cmd/internal/cliutil"
+	"seqavf/internal/core"
+	"seqavf/internal/server"
+	"seqavf/internal/sweep"
+)
+
+func main() {
+	listen := flag.String("listen", ":8091", "HTTP listen address")
+	var designs []string
+	flag.Func("design", "netlist file to load at startup (repeatable)", func(p string) error {
+		designs = append(designs, p)
+		return nil
+	})
+	loop := flag.Float64("loop", 0.3, "loop-boundary pAVF for loaded designs")
+	pseudo := flag.Float64("pseudo", 0.2, "boundary pseudo-structure pAVF for loaded designs")
+	workers := flag.Int("workers", 0, "evaluation workers per sweep (0 = all cores)")
+	cache := flag.Int("cache", 0, "compiled-plan LRU capacity (0 = 8)")
+	maxConc := flag.Int("max-concurrent", 0, "concurrent sweep requests before 429 (0 = all cores)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request sweep deadline")
+	maxBody := flag.Int64("max-body", 8<<20, "request body size cap in bytes")
+	drain := flag.Duration("drain", 15*time.Second, "graceful shutdown drain deadline")
+	ob := cliutil.ObsFlags()
+	flag.Parse()
+
+	reg := ob.Start("seqavfd")
+	srv := server.New(server.Config{
+		Sweep:          sweep.Options{Workers: *workers, CacheSize: *cache},
+		Obs:            reg,
+		MaxConcurrent:  *maxConc,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+	})
+
+	opts := core.DefaultOptions()
+	opts.LoopPAVF = *loop
+	opts.PseudoPAVF = *pseudo
+	for _, path := range designs {
+		f, err := os.Open(path)
+		if err != nil {
+			cliutil.Exit("seqavfd", err)
+		}
+		d, err := srv.LoadNetlist("", f, opts)
+		f.Close()
+		if err != nil {
+			cliutil.Exit("seqavfd", fmt.Errorf("%s: %w", path, err))
+		}
+		fmt.Fprintf(os.Stderr, "seqavfd: loaded %q (%d vertices, %d unique subterm sets)\n",
+			d.Name, d.Vertices, d.Plan.UniqueSets)
+	}
+
+	hs := &http.Server{
+		Addr:              *listen,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "seqavfd: serving %d design(s) on %s\n", len(srv.DesignNames()), *listen)
+		errc <- hs.ListenAndServe()
+	}()
+
+	var err error
+	select {
+	case err = <-errc:
+		// Listener failed outright (bad address, port in use).
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintln(os.Stderr, "seqavfd: draining in-flight sweeps...")
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		err = hs.Shutdown(dctx)
+		cancel()
+		if err != nil {
+			// Drain deadline exceeded: cancel the sweeps still running so
+			// their worker pools stop, then force-close connections.
+			srv.Abort()
+			err = errors.Join(fmt.Errorf("drain exceeded %v", *drain), hs.Close())
+		}
+		if ferr := ob.Finish(); err == nil {
+			err = ferr
+		}
+		if ob.Trace {
+			reg.WritePhaseSummary(os.Stderr)
+		}
+	}
+	if errors.Is(err, http.ErrServerClosed) {
+		err = nil
+	}
+	cliutil.Exit("seqavfd", err)
+}

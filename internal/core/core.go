@@ -289,17 +289,24 @@ func (a *Analyzer) BuildEnv(in *Inputs) (pavf.Env, error) { return a.buildEnv(in
 // structure port it names must exist in the analyzed graph. A table carrying
 // ports the design does not have was measured for (or bound to) a different
 // design; applying it silently would leave this design's own ports at their
-// defaults while the stray measurements are dropped on the floor.
+// defaults while the stray measurements are dropped on the floor. With
+// several stray ports the lexicographically smallest is named, so the
+// error is stable across runs rather than following map iteration order.
 func (a *Analyzer) CheckInputs(in *Inputs) error {
+	var stray StructPort
+	kind := ""
 	for sp := range in.ReadPorts {
-		if _, ok := a.readTerm[sp]; !ok {
-			return fmt.Errorf("core: inputs reference read port %s, which design %q does not have", sp, a.G.Design.Name)
+		if _, ok := a.readTerm[sp]; !ok && (kind == "" || sp.String() < stray.String()) {
+			stray, kind = sp, "read"
 		}
 	}
 	for sp := range in.WritePorts {
-		if _, ok := a.writeTerm[sp]; !ok {
-			return fmt.Errorf("core: inputs reference write port %s, which design %q does not have", sp, a.G.Design.Name)
+		if _, ok := a.writeTerm[sp]; !ok && (kind == "" || sp.String() < stray.String()) {
+			stray, kind = sp, "write"
 		}
+	}
+	if kind != "" {
+		return fmt.Errorf("core: inputs reference %s port %s, which design %q does not have", kind, stray, a.G.Design.Name)
 	}
 	return nil
 }

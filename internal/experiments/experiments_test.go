@@ -78,9 +78,11 @@ func TestFigure8Shape(t *testing.T) {
 	}
 	// The effect is bounded: the full sweep moves the average by less
 	// than the loop fraction's ripple allows (paper: "relatively little
-	// variation").
+	// variation"). The bound is a heuristic over the seed-2027 synthetic
+	// design; recalibrated from 0.10 to 0.15 when the unbiased Intn
+	// changed the generator's deterministic stream.
 	span := last.WeightedSeqAVF - r.Points[0].WeightedSeqAVF
-	if span <= 0 || span > 0.1 {
+	if span <= 0 || span > 0.15 {
 		t.Fatalf("sweep span = %v", span)
 	}
 	var sb strings.Builder

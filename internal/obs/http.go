@@ -1,0 +1,26 @@
+package obs
+
+import "net/http"
+
+// MetricsHandler serves the registry's JSON snapshot — counters, gauges,
+// histograms, span trees, and the run manifest — as one document per GET.
+// It is the /metrics endpoint of long-running processes (seqavfd); batch
+// CLIs keep using WriteFile via the -metrics flag. Safe on a nil
+// registry, which serves the empty snapshot.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if req.Method == http.MethodHead {
+			return
+		}
+		if err := r.WriteJSON(w); err != nil {
+			// Headers are already out; nothing useful left to send.
+			return
+		}
+	})
+}

@@ -1,0 +1,246 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"seqavf/internal/core"
+	"seqavf/internal/pavfio"
+	"seqavf/internal/sweep"
+)
+
+// SweepRequest is the body of POST /v1/sweep: one registered design plus
+// one pAVF table per workload, in the same text format the CLIs exchange
+// (see pavfio.Parse). Nodes additionally returns per-sequential-node
+// seqAVFs for every workload.
+type SweepRequest struct {
+	Design    string          `json:"design"`
+	Workloads []SweepWorkload `json:"workloads"`
+	Nodes     bool            `json:"nodes,omitempty"`
+}
+
+// SweepWorkload names one workload and carries its measured pAVF table.
+type SweepWorkload struct {
+	Name string `json:"name"`
+	PAVF string `json:"pavf"`
+}
+
+// SweepResponse mirrors sweeprun's report: plan statistics plus
+// per-workload design summaries, index-aligned with the request.
+type SweepResponse struct {
+	Design    string           `json:"design"`
+	Workloads int              `json:"workloads"`
+	Plan      sweep.Stats      `json:"plan"`
+	ElapsedMS float64          `json:"eval_elapsed_ms"`
+	PerSec    float64          `json:"workloads_per_sec"`
+	Results   []WorkloadResult `json:"results"`
+}
+
+// WorkloadResult is one workload's scores.
+type WorkloadResult struct {
+	Name    string             `json:"name"`
+	Summary core.Summary       `json:"summary"`
+	SeqAVF  map[string]float64 `json:"seqavf,omitempty"`
+}
+
+// DesignInfo describes one registered design on GET /v1/designs.
+type DesignInfo struct {
+	Name     string      `json:"name"`
+	Vertices int         `json:"vertices"`
+	SeqBits  int         `json:"seq_bits"`
+	Plan     sweep.Stats `json:"plan"`
+}
+
+// Handler returns the service mux:
+//
+//	GET  /healthz      — liveness + design count
+//	GET  /metrics      — obs registry JSON snapshot
+//	GET  /debug/pprof/ — net/http/pprof profiles
+//	GET  /v1/designs   — registered designs and plan shapes
+//	POST /v1/designs   — upload a textual netlist; solve + register it
+//	POST /v1/sweep     — evaluate workload pAVF tables through one design
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", s.reg.MetricsHandler())
+	mux.HandleFunc("GET /v1/designs", s.handleListDesigns)
+	mux.HandleFunc("POST /v1/designs", s.handleUploadDesign)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// writeJSON encodes v with status code.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeErr emits the uniform {"error": ...} body.
+func (s *Server) writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	s.reg.Counter("server.errors").Inc()
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	n := len(s.designs)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"designs":   n,
+		"in_flight": len(s.sem),
+		"uptime_ms": time.Since(s.start).Milliseconds(),
+	})
+}
+
+func (s *Server) handleListDesigns(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	infos := make([]DesignInfo, 0, len(s.designs))
+	for _, d := range s.designs {
+		infos = append(infos, DesignInfo{Name: d.Name, Vertices: d.Vertices, SeqBits: d.SeqBits, Plan: d.Plan})
+	}
+	s.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	writeJSON(w, http.StatusOK, infos)
+}
+
+// rejectBusy emits the backpressure response: 429 plus a Retry-After
+// hint, so saturated clients back off instead of queueing server-side.
+func (s *Server) rejectBusy(w http.ResponseWriter) {
+	s.reg.Counter("server.rejected_busy").Inc()
+	w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter + time.Second - 1) / time.Second)))
+	writeJSON(w, http.StatusTooManyRequests, map[string]string{
+		"error": "server at concurrency limit, retry later",
+	})
+}
+
+func (s *Server) handleUploadDesign(w http.ResponseWriter, r *http.Request) {
+	s.reg.Counter("server.upload_requests").Inc()
+	if !s.acquire() {
+		s.rejectBusy(w)
+		return
+	}
+	defer s.release()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.writeBodyErr(w, err)
+		return
+	}
+	d, err := s.LoadNetlist(r.URL.Query().Get("name"), strings.NewReader(string(body)), core.DefaultOptions())
+	if err != nil {
+		s.writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, DesignInfo{Name: d.Name, Vertices: d.Vertices, SeqBits: d.SeqBits, Plan: d.Plan})
+}
+
+// writeBodyErr maps body-read failures: 413 for the size cap, 400 otherwise.
+func (s *Server) writeBodyErr(w http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		s.writeErr(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
+		return
+	}
+	s.writeErr(w, http.StatusBadRequest, "reading body: %v", err)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.reg.Counter("server.sweep_requests").Inc()
+	var req SweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.writeBodyErr(w, err)
+			return
+		}
+		s.writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	d := s.Design(req.Design)
+	if d == nil {
+		s.writeErr(w, http.StatusNotFound, "unknown design %q (see GET /v1/designs)", req.Design)
+		return
+	}
+	if len(req.Workloads) == 0 {
+		s.writeErr(w, http.StatusBadRequest, "no workloads in request")
+		return
+	}
+	// The hardened table parser is the ingestion choke-point: a NaN, an
+	// out-of-range value, or a duplicate record fails the request here,
+	// before anything reaches the long-lived engine.
+	ws := make([]sweep.Workload, len(req.Workloads))
+	for i, rw := range req.Workloads {
+		name := rw.Name
+		if name == "" {
+			name = fmt.Sprintf("workload[%d]", i)
+		}
+		in, err := pavfio.Parse(name, strings.NewReader(rw.PAVF))
+		if err != nil {
+			s.writeErr(w, http.StatusUnprocessableEntity, "workload %q: %v", name, err)
+			return
+		}
+		ws[i] = sweep.Workload{Name: name, Inputs: in}
+	}
+
+	if !s.acquire() {
+		s.rejectBusy(w)
+		return
+	}
+	defer s.release()
+
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	start := time.Now()
+	batch, err := s.eng.SweepContext(ctx, d.Result, ws)
+	s.reg.Histogram("server.sweep_ms").Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.writeErr(w, http.StatusServiceUnavailable, "sweep timed out after %v", s.cfg.RequestTimeout)
+		case errors.Is(err, context.Canceled):
+			// Client gone or server aborting a drain: the 503 only reaches
+			// a client that is still listening.
+			s.writeErr(w, http.StatusServiceUnavailable, "sweep cancelled: %v", err)
+		default:
+			s.writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		}
+		return
+	}
+
+	resp := SweepResponse{
+		Design:    d.Name,
+		Workloads: len(batch.Results),
+		Plan:      batch.Plan.Stats(),
+		ElapsedMS: float64(batch.Elapsed.Microseconds()) / 1e3,
+		PerSec:    batch.WorkloadsPerSec(),
+		Results:   make([]WorkloadResult, len(batch.Results)),
+	}
+	for i, res := range batch.Results {
+		wr := WorkloadResult{Name: batch.Names[i], Summary: res.Summarize()}
+		if req.Nodes {
+			wr.SeqAVF = res.SeqAVFByNode()
+		}
+		resp.Results[i] = wr
+	}
+	s.reg.Counter("server.sweep_ok").Inc()
+	writeJSON(w, http.StatusOK, resp)
+}

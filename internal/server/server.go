@@ -1,0 +1,271 @@
+// Package server implements the seqavfd HTTP service: the request/response
+// form of the paper's §5.1 equation-reuse flow. Designs are solved
+// symbolically once (at startup or on upload) and their closed forms are
+// compiled into deduplicated evaluation plans; each sweep request then
+// re-evaluates the cached plan of one design against the request's
+// workload pAVF tables — no walks, no RTL, just environment rebuilds —
+// which is what makes a long-lived scoring service viable at all.
+//
+// The service is production-shaped rather than a demo handler:
+//
+//   - a bounded concurrency limiter applies backpressure: when every slot
+//     is busy, requests fail fast with 429 and a Retry-After hint instead
+//     of queueing without bound;
+//   - every sweep runs under a per-request context deadline, and the
+//     cancellation is threaded into the sweep engine's worker pool, so an
+//     abandoned request stops burning CPU mid-batch;
+//   - request bodies are size-capped before they are parsed;
+//   - Abort cancels in-flight sweeps when a graceful drain overruns its
+//     deadline;
+//   - /healthz, /metrics (the obs registry snapshot), and /debug/pprof
+//     make the process observable in place.
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"seqavf/internal/core"
+	"seqavf/internal/graph"
+	"seqavf/internal/netlist"
+	"seqavf/internal/obs"
+	"seqavf/internal/sweep"
+)
+
+// Config parameterizes a Server. The zero value is usable: GOMAXPROCS
+// concurrent sweeps, 30s request timeout, 8MB bodies, 1s Retry-After.
+type Config struct {
+	// Sweep configures the shared evaluation engine (workers per batch,
+	// chunking, plan-cache capacity). Its Obs field is overridden by Obs
+	// below so engine and server report into one registry.
+	Sweep sweep.Options
+	// Obs receives service telemetry: request/error/backpressure counters,
+	// a sweep latency histogram, in-flight and design-count gauges, plus
+	// everything the sweep engine and solver record. nil disables
+	// instrumentation (the /metrics endpoint then serves an empty
+	// snapshot).
+	Obs *obs.Registry
+	// MaxConcurrent bounds concurrently evaluated requests (sweeps and
+	// design uploads). 0 uses GOMAXPROCS.
+	MaxConcurrent int
+	// RequestTimeout caps one sweep evaluation. 0 means 30s.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request bodies. 0 means 8MB.
+	MaxBodyBytes int64
+	// RetryAfter is the backoff hint attached to 429 responses. 0 means 1s.
+	RetryAfter time.Duration
+}
+
+// Design is one solved design registered with the server.
+type Design struct {
+	Name     string
+	Result   *core.Result
+	Plan     sweep.Stats
+	Vertices int
+	SeqBits  int
+}
+
+// Server serves workload sweeps over solved designs. Create with New,
+// register designs with AddResult or LoadNetlist, and mount Handler on an
+// http.Server.
+type Server struct {
+	cfg   Config
+	eng   *sweep.Engine
+	reg   *obs.Registry
+	sem   chan struct{}
+	start time.Time
+
+	mu      sync.RWMutex
+	designs map[string]*Design
+
+	stopOnce sync.Once
+	stop     chan struct{} // closed by Abort: cancels in-flight sweeps
+
+	// onSlotAcquired is a test hook invoked while holding a concurrency
+	// slot, before the engine runs; it lets tests pin requests in flight
+	// deterministically.
+	onSlotAcquired func()
+}
+
+// New returns a Server with no designs registered.
+func New(cfg Config) *Server {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	cfg.Sweep.Obs = cfg.Obs
+	return &Server{
+		cfg:     cfg,
+		eng:     sweep.New(cfg.Sweep),
+		reg:     cfg.Obs,
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		start:   time.Now(),
+		designs: make(map[string]*Design),
+		stop:    make(chan struct{}),
+	}
+}
+
+// Engine exposes the shared sweep engine (for tests and stats).
+func (s *Server) Engine() *sweep.Engine { return s.eng }
+
+// AddResult registers a solved design under name (the design's own name
+// when empty), eagerly compiling its evaluation plan so the first request
+// pays no compile latency. Duplicate names are rejected: silently
+// replacing a live design would make concurrent requests to one name
+// answer from two different circuits.
+func (s *Server) AddResult(name string, res *core.Result) (*Design, error) {
+	if name == "" {
+		name = res.Analyzer.G.Design.Name
+	}
+	plan, err := s.eng.Plan(res)
+	if err != nil {
+		return nil, fmt.Errorf("server: compiling plan for %q: %w", name, err)
+	}
+	seq := 0
+	for v := 0; v < res.Analyzer.G.NumVerts(); v++ {
+		if res.IsSequentialBit(graph.VertexID(v)) {
+			seq++
+		}
+	}
+	d := &Design{
+		Name:     name,
+		Result:   res,
+		Plan:     plan.Stats(),
+		Vertices: res.Analyzer.G.NumVerts(),
+		SeqBits:  seq,
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.designs[name]; dup {
+		return nil, fmt.Errorf("server: design %q already registered", name)
+	}
+	s.designs[name] = d
+	s.reg.Gauge("server.designs").Set(float64(len(s.designs)))
+	return d, nil
+}
+
+// LoadNetlist parses a textual netlist, solves it symbolically under
+// opts, and registers it under name (the netlist's design name when
+// empty). The solve runs against a neutral all-0.5 baseline: the closed
+// forms — the only thing sweeps reuse — depend on graph structure alone,
+// not on the baseline values.
+func (s *Server) LoadNetlist(name string, r io.Reader, opts core.Options) (*Design, error) {
+	d, err := netlist.Parse(r)
+	if err != nil {
+		return nil, fmt.Errorf("server: parsing netlist: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("server: netlist %q: %w", d.Name, err)
+	}
+	fd, err := netlist.Flatten(d)
+	if err != nil {
+		return nil, fmt.Errorf("server: flattening %q: %w", d.Name, err)
+	}
+	g, err := graph.Build(fd)
+	if err != nil {
+		return nil, fmt.Errorf("server: building graph for %q: %w", d.Name, err)
+	}
+	opts.Obs = s.reg
+	a, err := core.NewAnalyzer(g, opts)
+	if err != nil {
+		return nil, fmt.Errorf("server: analyzing %q: %w", d.Name, err)
+	}
+	res, err := a.Solve(neutralInputs(a))
+	if err != nil {
+		return nil, fmt.Errorf("server: solving %q: %w", d.Name, err)
+	}
+	return s.AddResult(name, res)
+}
+
+// neutralInputs assigns 0.5 to every structure port the design has; the
+// symbolic solve only needs a complete environment, not meaningful values.
+func neutralInputs(a *core.Analyzer) *core.Inputs {
+	in := core.NewInputs()
+	for _, sp := range a.ReadPortTerms() {
+		in.ReadPorts[sp] = 0.5
+	}
+	for _, sp := range a.WritePortTerms() {
+		in.WritePorts[sp] = 0.5
+	}
+	return in
+}
+
+// Design returns the registered design, or nil.
+func (s *Server) Design(name string) *Design {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.designs[name]
+}
+
+// DesignNames returns the registered design names (unordered).
+func (s *Server) DesignNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.designs))
+	for n := range s.designs {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Abort cancels every in-flight sweep. Call it when a graceful drain
+// (http.Server.Shutdown) exceeds its deadline: pending responses fail
+// with 503 instead of holding the process open. Idempotent.
+func (s *Server) Abort() {
+	s.stopOnce.Do(func() { close(s.stop) })
+}
+
+// acquire claims a concurrency slot without queueing. It returns false —
+// backpressure — when every slot is busy.
+func (s *Server) acquire() bool {
+	select {
+	case s.sem <- struct{}{}:
+		s.reg.Gauge("server.in_flight").Set(float64(len(s.sem)))
+		if s.onSlotAcquired != nil {
+			s.onSlotAcquired()
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) release() {
+	<-s.sem
+	s.reg.Gauge("server.in_flight").Set(float64(len(s.sem)))
+}
+
+// requestCtx derives the evaluation context for one request: the client's
+// context, capped by the request timeout, cancelled early by Abort.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	select {
+	case <-s.stop:
+		// Abort already happened: hand out a context that is cancelled
+		// before the sweep starts, not racing a watcher goroutine.
+		cancel()
+		return ctx, cancel
+	default:
+	}
+	go func() {
+		select {
+		case <-s.stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	return ctx, cancel
+}

@@ -1,0 +1,580 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"seqavf/internal/core"
+	"seqavf/internal/design"
+	"seqavf/internal/graph/graphtest"
+	"seqavf/internal/netlist"
+	"seqavf/internal/obs"
+	"seqavf/internal/pavfio"
+	"seqavf/internal/stats"
+	"seqavf/internal/sweep"
+)
+
+// solvedDesign generates a design and solves it for registration.
+func solvedDesign(t testing.TB, seed uint64) *core.Result {
+	t.Helper()
+	d, err := graphtest.Generate(graphtest.Small(seed))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	a, err := core.NewAnalyzer(d.Graph, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("NewAnalyzer: %v", err)
+	}
+	res, err := a.Solve(neutralInputs(a))
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return res
+}
+
+// pavfText renders a complete, seeded pAVF table for res's design.
+func pavfText(t testing.TB, res *core.Result, seed uint64) string {
+	t.Helper()
+	rng := stats.New(seed)
+	in := core.NewInputs()
+	reads := res.Analyzer.ReadPortTerms()
+	sort.Slice(reads, func(i, j int) bool {
+		return reads[i].String() < reads[j].String()
+	})
+	for _, sp := range reads {
+		in.ReadPorts[sp] = rng.Float64()
+	}
+	writes := res.Analyzer.WritePortTerms()
+	sort.Slice(writes, func(i, j int) bool {
+		return writes[i].String() < writes[j].String()
+	})
+	for _, sp := range writes {
+		in.WritePorts[sp] = rng.Float64()
+	}
+	var sb strings.Builder
+	if _, err := pavfio.Write(&sb, in); err != nil {
+		t.Fatalf("pavfio.Write: %v", err)
+	}
+	return sb.String()
+}
+
+// sweepBody builds a POST /v1/sweep body with n seeded workloads.
+func sweepBody(t testing.TB, designName string, res *core.Result, n int, seedBase uint64) []byte {
+	t.Helper()
+	req := SweepRequest{Design: designName}
+	for i := 0; i < n; i++ {
+		req.Workloads = append(req.Workloads, SweepWorkload{
+			Name: fmt.Sprintf("w%d", i),
+			PAVF: pavfText(t, res, seedBase+uint64(i)),
+		})
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// newTestServer registers two designs and returns the server plus its
+// registry.
+func newTestServer(t testing.TB, cfg Config) (*Server, *obs.Registry, map[string]*core.Result) {
+	t.Helper()
+	if cfg.Obs == nil {
+		cfg.Obs = obs.New()
+	}
+	if cfg.Sweep.Workers == 0 {
+		cfg.Sweep.Workers = 1
+	}
+	s := New(cfg)
+	results := make(map[string]*core.Result)
+	for i, name := range []string{"alpha", "beta"} {
+		res := solvedDesign(t, uint64(31+i))
+		if _, err := s.AddResult(name, res); err != nil {
+			t.Fatalf("AddResult(%s): %v", name, err)
+		}
+		results[name] = res
+	}
+	return s, cfg.Obs, results
+}
+
+func postJSON(t testing.TB, client *http.Client, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading response: %v", err)
+	}
+	return resp, b
+}
+
+// TestServeSweepLoad is the acceptance load test: 64 concurrent clients
+// sweeping 2 designs through a limiter smaller than the client count.
+// Every request must eventually complete (clients honor the 429
+// backpressure and retry), responses must be well-formed and match the
+// request shape, and the repeated designs must be served from the plan
+// cache.
+func TestServeSweepLoad(t *testing.T) {
+	s, reg, results := newTestServer(t, Config{MaxConcurrent: 8})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const clients = 64
+	const perClient = 3
+	names := []string{"alpha", "beta"}
+	bodies := make(map[string][]byte)
+	for _, n := range names {
+		bodies[n] = sweepBody(t, n, results[n], 4, 900)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*perClient)
+	var retried, completed int64
+	var mu sync.Mutex
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			name := names[c%len(names)]
+			for i := 0; i < perClient; i++ {
+				var resp *http.Response
+				var body []byte
+				for attempt := 0; ; attempt++ {
+					r, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(bodies[name]))
+					if err != nil {
+						errs <- fmt.Errorf("client %d: %v", c, err)
+						return
+					}
+					body, err = io.ReadAll(r.Body)
+					r.Body.Close()
+					if err != nil {
+						errs <- fmt.Errorf("client %d: reading body: %v", c, err)
+						return
+					}
+					if r.StatusCode != http.StatusTooManyRequests {
+						resp = r
+						break
+					}
+					if r.Header.Get("Retry-After") == "" {
+						errs <- fmt.Errorf("client %d: 429 without Retry-After", c)
+						return
+					}
+					if attempt > 200 {
+						errs <- fmt.Errorf("client %d: still 429 after %d attempts", c, attempt)
+						return
+					}
+					mu.Lock()
+					retried++
+					mu.Unlock()
+					time.Sleep(2 * time.Millisecond)
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("client %d: status %d: %s", c, resp.StatusCode, body)
+					return
+				}
+				var sr SweepResponse
+				if err := json.Unmarshal(body, &sr); err != nil {
+					errs <- fmt.Errorf("client %d: bad response JSON: %v", c, err)
+					return
+				}
+				if sr.Design != name || len(sr.Results) != 4 {
+					errs <- fmt.Errorf("client %d: response %q/%d results, want %q/4", c, sr.Design, len(sr.Results), name)
+					return
+				}
+				for j, wr := range sr.Results {
+					if wr.Name != fmt.Sprintf("w%d", j) {
+						errs <- fmt.Errorf("client %d: result %d named %q", c, j, wr.Name)
+						return
+					}
+					if wr.Summary.WeightedSeqAVF < 0 || wr.Summary.WeightedSeqAVF > 1 {
+						errs <- fmt.Errorf("client %d: AVF %v out of [0,1]", c, wr.Summary.WeightedSeqAVF)
+						return
+					}
+				}
+				mu.Lock()
+				completed++
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if completed != clients*perClient {
+		t.Fatalf("completed %d sweeps, want %d (zero dropped responses)", completed, clients*perClient)
+	}
+	// Both designs were registered (2 compile misses); every request after
+	// that must hit the plan cache.
+	hits := reg.Counter("sweep.plan_cache_hits").Load()
+	misses := reg.Counter("sweep.plan_cache_misses").Load()
+	if hits < clients*perClient {
+		t.Errorf("plan cache hits = %d, want >= %d (repeat designs must reuse plans)", hits, clients*perClient)
+	}
+	if misses != 2 {
+		t.Errorf("plan cache misses = %d, want exactly the 2 registrations", misses)
+	}
+	if got := reg.Gauge("server.in_flight").Load(); got != 0 {
+		t.Errorf("in_flight gauge = %v after drain, want 0", got)
+	}
+	t.Logf("load: %d sweeps, %d retries after 429, %d cache hits", completed, retried, hits)
+}
+
+// TestSaturationReturns429: with every slot occupied the service must
+// fail fast with 429 + Retry-After, and recover once a slot frees.
+func TestSaturationReturns429(t *testing.T) {
+	s, reg, results := newTestServer(t, Config{MaxConcurrent: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	body := sweepBody(t, "alpha", results["alpha"], 1, 50)
+
+	// Occupy both slots out-of-band.
+	s.sem <- struct{}{}
+	s.sem <- struct{}{}
+	resp, b := postJSON(t, http.DefaultClient, ts.URL+"/v1/sweep", body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated sweep returned %d: %s", resp.StatusCode, b)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", ra)
+	}
+	if got := reg.Counter("server.rejected_busy").Load(); got != 1 {
+		t.Fatalf("rejected_busy = %d, want 1", got)
+	}
+	<-s.sem
+	<-s.sem
+	resp, b = postJSON(t, http.DefaultClient, ts.URL+"/v1/sweep", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep after release returned %d: %s", resp.StatusCode, b)
+	}
+}
+
+// TestShutdownDrains: http.Server.Shutdown must let an in-flight sweep
+// finish and deliver its 200 before the listener dies — the SIGTERM
+// drain path of seqavfd.
+func TestShutdownDrains(t *testing.T) {
+	s, _, results := newTestServer(t, Config{MaxConcurrent: 2})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.onSlotAcquired = func() {
+		once.Do(func() {
+			close(started)
+			<-release
+		})
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+
+	url := "http://" + ln.Addr().String()
+	body := sweepBody(t, "alpha", results["alpha"], 2, 70)
+	type result struct {
+		status int
+		body   []byte
+		err    error
+	}
+	resc := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(url+"/v1/sweep", "application/json", bytes.NewReader(body))
+		if err != nil {
+			resc <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		resc <- result{status: resp.StatusCode, body: b}
+	}()
+	<-started
+
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- hs.Shutdown(sctx) }()
+	// The sweep is pinned in-flight; Shutdown must wait for it.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned (%v) while a sweep was in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	r := <-resc
+	if r.err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", r.err)
+	}
+	if r.status != http.StatusOK {
+		t.Fatalf("drained request returned %d: %s", r.status, r.body)
+	}
+}
+
+// TestAbortCancelsInFlight: Abort (the drain-deadline overrun path) must
+// cancel a running sweep, failing it with 503 instead of leaving workers
+// running.
+func TestAbortCancelsInFlight(t *testing.T) {
+	s, reg, results := newTestServer(t, Config{MaxConcurrent: 2})
+	started := make(chan struct{})
+	var once sync.Once
+	s.onSlotAcquired = func() {
+		once.Do(func() {
+			close(started)
+			// Give requestCtx's watcher a moment to arm, then abort. The
+			// sweep itself starts after this hook returns, already
+			// cancelled.
+			s.Abort()
+		})
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, b := postJSON(t, http.DefaultClient, ts.URL+"/v1/sweep",
+		sweepBody(t, "beta", results["beta"], 8, 90))
+	<-started
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("aborted sweep returned %d: %s", resp.StatusCode, b)
+	}
+	if got := reg.Counter("sweep.cancelled").Load(); got != 1 {
+		t.Fatalf("sweep.cancelled = %d, want 1", got)
+	}
+}
+
+// TestRequestTimeout: a sweep outliving RequestTimeout must come back as
+// 503, not hang. A nanosecond deadline is expired before the engine's
+// first chunk, making the timeout deterministic.
+func TestRequestTimeout(t *testing.T) {
+	s, _, results := newTestServer(t, Config{MaxConcurrent: 2, RequestTimeout: time.Nanosecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, b := postJSON(t, http.DefaultClient, ts.URL+"/v1/sweep",
+		sweepBody(t, "alpha", results["alpha"], 4, 110))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("timed-out sweep returned %d: %s", resp.StatusCode, b)
+	}
+	if !strings.Contains(string(b), "timed out") && !strings.Contains(string(b), "cancelled") {
+		t.Fatalf("timeout error body: %s", b)
+	}
+}
+
+// TestBodyLimitAndBadInputs: oversized bodies are 413; malformed pAVF
+// tables (the hardened parser), unknown designs, and empty requests are
+// client errors with JSON bodies.
+func TestBodyLimitAndBadInputs(t *testing.T) {
+	s, _, results := newTestServer(t, Config{MaxBodyBytes: 2048})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	big := sweepBody(t, "alpha", results["alpha"], 64, 130) // far beyond 2KB
+	resp, b := postJSON(t, http.DefaultClient, ts.URL+"/v1/sweep", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body returned %d: %s", resp.StatusCode, b)
+	}
+
+	cases := []struct {
+		name   string
+		body   string
+		status int
+		want   string
+	}{
+		{"bad json", "{", http.StatusBadRequest, "decoding"},
+		{"unknown design", `{"design":"nope","workloads":[{"name":"w","pavf":"R IQ.rd 0.5\n"}]}`,
+			http.StatusNotFound, "unknown design"},
+		{"no workloads", `{"design":"alpha","workloads":[]}`, http.StatusBadRequest, "no workloads"},
+		{"NaN pavf", `{"design":"alpha","workloads":[{"name":"w","pavf":"R IQ.rd NaN\n"}]}`,
+			http.StatusUnprocessableEntity, "out of [0,1]"},
+		{"foreign port", `{"design":"alpha","workloads":[{"name":"w","pavf":"R NoSuch.rd 0.5\n"}]}`,
+			http.StatusUnprocessableEntity, "does not have"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, b := postJSON(t, http.DefaultClient, ts.URL+"/v1/sweep", []byte(tc.body))
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d: %s", resp.StatusCode, tc.status, b)
+			}
+			var e map[string]string
+			if err := json.Unmarshal(b, &e); err != nil {
+				t.Fatalf("error body not JSON: %s", b)
+			}
+			if !strings.Contains(e["error"], tc.want) {
+				t.Fatalf("error %q does not mention %q", e["error"], tc.want)
+			}
+		})
+	}
+}
+
+// TestDesignUploadAndSweep: POST /v1/designs with a textual netlist must
+// solve, register, and serve sweeps for the new design.
+func TestDesignUploadAndSweep(t *testing.T) {
+	s, reg, _ := newTestServer(t, Config{MaxBodyBytes: 64 << 20})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cfg := design.DefaultConfig(99)
+	cfg.NumFubs = 4
+	gen, err := design.Generate(cfg)
+	if err != nil {
+		t.Fatalf("design.Generate: %v", err)
+	}
+	var nl bytes.Buffer
+	if err := netlist.Write(&nl, gen.Design); err != nil {
+		t.Fatalf("netlist.Write: %v", err)
+	}
+	resp, b := postJSON(t, http.DefaultClient, ts.URL+"/v1/designs", nl.Bytes())
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload returned %d: %s", resp.StatusCode, b)
+	}
+	var info DesignInfo
+	if err := json.Unmarshal(b, &info); err != nil {
+		t.Fatalf("upload response: %v", err)
+	}
+	if info.Name != gen.Design.Name || info.Vertices == 0 {
+		t.Fatalf("upload registered %+v", info)
+	}
+	// Re-uploading the same name is a conflict, not a silent replace.
+	resp, b = postJSON(t, http.DefaultClient, ts.URL+"/v1/designs", nl.Bytes())
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("duplicate upload returned %d: %s", resp.StatusCode, b)
+	}
+
+	// Sweep the uploaded design end to end.
+	d := s.Design(info.Name)
+	if d == nil {
+		t.Fatal("uploaded design not registered")
+	}
+	body := sweepBody(t, info.Name, d.Result, 3, 150)
+	resp, b = postJSON(t, http.DefaultClient, ts.URL+"/v1/sweep", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep of uploaded design returned %d: %s", resp.StatusCode, b)
+	}
+	var sr SweepResponse
+	if err := json.Unmarshal(b, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Results) != 3 || sr.Plan.UniqueSets == 0 {
+		t.Fatalf("sweep response %+v", sr)
+	}
+	if got := reg.Gauge("server.designs").Load(); got != 3 {
+		t.Fatalf("designs gauge = %v, want 3", got)
+	}
+}
+
+// TestHealthzAndMetrics: the observability endpoints must serve JSON that
+// reflects request activity, and /debug/pprof must answer.
+func TestHealthzAndMetrics(t *testing.T) {
+	s, _, results := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if resp, b := postJSON(t, http.DefaultClient, ts.URL+"/v1/sweep",
+		sweepBody(t, "alpha", results["alpha"], 1, 170)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: %d %s", resp.StatusCode, b)
+	}
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}
+
+	code, b := get("/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz: %d", code)
+	}
+	var hz map[string]any
+	if err := json.Unmarshal(b, &hz); err != nil || hz["status"] != "ok" || hz["designs"].(float64) != 2 {
+		t.Fatalf("/healthz body %s (err %v)", b, err)
+	}
+
+	code, b = get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		t.Fatalf("/metrics not a snapshot: %v", err)
+	}
+	if snap.Counters["server.sweep_ok"] != 1 || snap.Counters["sweep.plan_cache_hits"] != 1 {
+		t.Fatalf("/metrics counters %v", snap.Counters)
+	}
+	if snap.Histograms["server.sweep_ms"].Count != 1 {
+		t.Fatalf("/metrics histograms %v", snap.Histograms)
+	}
+
+	code, b = get("/v1/designs")
+	if code != http.StatusOK {
+		t.Fatalf("/v1/designs: %d", code)
+	}
+	var infos []DesignInfo
+	if err := json.Unmarshal(b, &infos); err != nil || len(infos) != 2 || infos[0].Name != "alpha" {
+		t.Fatalf("/v1/designs body %s (err %v)", b, err)
+	}
+
+	if code, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline: %d", code)
+	}
+}
+
+// TestSweepMatchesEngine: a served sweep must be bit-identical to driving
+// the engine directly — HTTP adds transport, not arithmetic.
+func TestSweepMatchesEngine(t *testing.T) {
+	s, _, results := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	res := results["beta"]
+	table := pavfText(t, res, 777)
+	reqBody, _ := json.Marshal(SweepRequest{
+		Design:    "beta",
+		Workloads: []SweepWorkload{{Name: "w", PAVF: table}},
+		Nodes:     true,
+	})
+	resp, b := postJSON(t, http.DefaultClient, ts.URL+"/v1/sweep", reqBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: %d %s", resp.StatusCode, b)
+	}
+	var sr SweepResponse
+	if err := json.Unmarshal(b, &sr); err != nil {
+		t.Fatal(err)
+	}
+
+	in, err := pavfio.Parse("ref", strings.NewReader(table))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sweep.New(sweep.Options{Workers: 1})
+	batch, err := eng.Sweep(res, []sweep.Workload{{Name: "w", Inputs: in}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := batch.Results[0].SeqAVFByNode()
+	got := sr.Results[0].SeqAVF
+	if len(got) != len(want) {
+		t.Fatalf("served %d nodes, engine %d", len(got), len(want))
+	}
+	for node, v := range want {
+		if got[node] != v {
+			t.Fatalf("node %s: served %v, engine %v", node, got[node], v)
+		}
+	}
+}

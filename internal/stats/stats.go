@@ -7,7 +7,10 @@
 // reproducible bit-for-bit.
 package stats
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // RNG is a deterministic SplitMix64 pseudo-random number generator.
 // The zero value is a valid generator seeded with 0; prefer New to make
@@ -41,11 +44,26 @@ func (r *RNG) Uint64() uint64 {
 }
 
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
+//
+// It uses Lemire's nearly-divisionless rejection sampling
+// (arXiv:1805.10941): the naive Uint64()%n is modulo-biased for any n
+// that is not a power of two, over-weighting the low residues — enough
+// to skew SFI site/cycle draws and generated-design shapes at scale.
+// Rejection keeps the draw exactly uniform; the slow path (one modulo
+// plus possible redraws) triggers with probability < n/2^64.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("stats: Intn with non-positive n")
 	}
-	return int(r.Uint64() % uint64(n))
+	un := uint64(n)
+	hi, lo := bits.Mul64(r.Uint64(), un)
+	if lo < un {
+		thresh := -un % un // (2^64 - n) mod n: size of the biased remainder zone
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), un)
+		}
+	}
+	return int(hi)
 }
 
 // Float64 returns a uniform float64 in [0, 1).

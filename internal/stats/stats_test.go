@@ -77,6 +77,49 @@ func TestIntnBounds(t *testing.T) {
 	}
 }
 
+// TestIntnUnbiasedLargeN: the old Uint64()%n implementation was
+// modulo-biased — for n = 3·2^61, values in [0, 2^62) have three 64-bit
+// preimages while the rest have two, so 3/4 of draws land below 2^62
+// instead of the uniform 2/3. Lemire rejection sampling must keep the
+// fraction at 2/3.
+func TestIntnUnbiasedLargeN(t *testing.T) {
+	r := New(13)
+	const n = 3 << 61
+	const draws = 30000
+	low := 0
+	for i := 0; i < draws; i++ {
+		if r.Intn(n) < 1<<62 {
+			low++
+		}
+	}
+	frac := float64(low) / draws
+	// Uniform: 2/3 ± ~7σ (σ ≈ 0.0027). The modulo-biased draw gives 3/4.
+	if math.Abs(frac-2.0/3) > 0.02 {
+		t.Fatalf("Intn(3<<61): %.4f of draws below 2^62, want ~0.667 (modulo bias gives 0.75)", frac)
+	}
+}
+
+// TestIntnSmallNUniform: a coarse chi-square check over a non-power-of-two
+// small n; mostly guards the rejection fast path's hi extraction.
+func TestIntnSmallNUniform(t *testing.T) {
+	r := New(17)
+	const n, draws = 7, 70000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	expect := float64(draws) / n
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expect
+		chi2 += d * d / expect
+	}
+	// 6 degrees of freedom: P(chi2 > 22.5) < 0.001.
+	if chi2 > 22.5 {
+		t.Fatalf("Intn(7) chi-square %.1f over %v, want < 22.5", chi2, counts)
+	}
+}
+
 func TestIntnPanicsOnNonPositive(t *testing.T) {
 	defer func() {
 		if recover() == nil {

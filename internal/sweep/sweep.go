@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -105,6 +106,15 @@ func (e *Engine) CachedPlans() int { return e.cache.len() }
 // reuses one subterm scratch buffer across its chunk. The first workload
 // error aborts the batch.
 func (e *Engine) Sweep(res *core.Result, workloads []Workload) (*Batch, error) {
+	return e.SweepContext(context.Background(), res, workloads)
+}
+
+// SweepContext is Sweep with cancellation: when ctx is cancelled (an
+// abandoned HTTP request, a server drain deadline), every worker stops at
+// its next chunk claim instead of burning CPU through the rest of the
+// batch, and the batch fails with the context's cause. Workloads already
+// evaluated are discarded — a cancelled sweep returns no partial batch.
+func (e *Engine) SweepContext(ctx context.Context, res *core.Result, workloads []Workload) (*Batch, error) {
 	plan, err := e.Plan(res)
 	if err != nil {
 		return nil, err
@@ -143,11 +153,18 @@ func (e *Engine) Sweep(res *core.Result, workloads []Workload) (*Batch, error) {
 		batch.Names[i] = w.Name
 	}
 
+	done := ctx.Done()
 	var next atomic.Int64
 	var firstErr atomic.Value // error
 	run := func() {
 		scratch := make([]float64, plan.NumSets())
 		for {
+			select {
+			case <-done:
+				firstErr.CompareAndSwap(nil, fmt.Errorf("sweep: cancelled: %w", context.Cause(ctx)))
+				return
+			default:
+			}
 			lo := int(next.Add(int64(chunk))) - chunk
 			if lo >= n || firstErr.Load() != nil {
 				return
@@ -183,6 +200,9 @@ func (e *Engine) Sweep(res *core.Result, workloads []Workload) (*Batch, error) {
 	sp.SetAttr("elapsed", batch.Elapsed.String())
 	sp.End()
 	if err, _ := firstErr.Load().(error); err != nil {
+		if ctx.Err() != nil {
+			e.opts.Obs.Counter("sweep.cancelled").Inc()
+		}
 		return nil, err
 	}
 	e.opts.Obs.Counter("sweep.workloads").Add(int64(n))

@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"context"
+	"errors"
 	"math"
 	"sort"
 	"strings"
@@ -202,6 +204,36 @@ func TestEngineSweepError(t *testing.T) {
 		t.Fatal("Sweep accepted a workload with missing port pAVFs")
 	} else if !strings.Contains(err.Error(), `"bad"`) {
 		t.Fatalf("error does not name the failing workload: %v", err)
+	}
+}
+
+// TestSweepContextCancel: a cancelled context must abort the batch with
+// the cancellation cause instead of evaluating to the end, and must count
+// the abort on the registry.
+func TestSweepContextCancel(t *testing.T) {
+	a, res, _ := solved(t, graphtest.Default(17), 1)
+	var ws []Workload
+	for seed := uint64(0); seed < 64; seed++ {
+		ws = append(ws, Workload{
+			Name:   string(rune('a' + seed%26)),
+			Inputs: randomInputs(a, 200+seed),
+		})
+	}
+	reg := obs.New()
+	eng := New(Options{Workers: 4, ChunkSize: 1, Obs: reg})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: every worker must bail at its first claim
+	if _, err := eng.SweepContext(ctx, res, ws); err == nil {
+		t.Fatal("SweepContext completed under a cancelled context")
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if got := reg.Counter("sweep.cancelled").Load(); got != 1 {
+		t.Fatalf("sweep.cancelled = %d, want 1", got)
+	}
+	// The same engine still serves uncancelled sweeps afterwards.
+	if _, err := eng.Sweep(res, ws[:4]); err != nil {
+		t.Fatalf("Sweep after cancelled batch: %v", err)
 	}
 }
 
