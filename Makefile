@@ -26,10 +26,11 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 # Short coverage-guided runs of the native fuzz targets (Go allows one
-# -fuzz target per invocation, hence two).
+# -fuzz target per invocation, hence one line each).
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzParsePavfTable -fuzztime=10s ./cmd/internal/cliutil/
 	$(GO) test -run=^$$ -fuzz=FuzzCompilePlan -fuzztime=10s ./internal/sweep/
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeArtifact -fuzztime=10s ./internal/artifact/
 
 # End-to-end smoke of the sweep service: generate a design, start
 # seqavfd, probe /healthz, run one sweep, then SIGTERM it.

@@ -1,0 +1,76 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"seqavf/internal/artifact"
+	"seqavf/internal/core"
+	"seqavf/internal/obs"
+)
+
+// Artifacts carries the shared artifact-store flags: -artifacts selects
+// the store directory (empty disables persistence entirely) and
+// -artifacts-max bounds its disk usage.
+type Artifacts struct {
+	Dir      string
+	MaxBytes int64
+}
+
+// ArtifactFlags registers -artifacts and -artifacts-max on the default
+// FlagSet.
+func ArtifactFlags() *Artifacts {
+	a := &Artifacts{}
+	flag.StringVar(&a.Dir, "artifacts", "", "artifact store directory: persist solved results and compiled plans, keyed by design fingerprint (empty = no persistence)")
+	flag.Int64Var(&a.MaxBytes, "artifacts-max", 1<<30, "artifact store disk bound in bytes; least-recently-used artifacts are evicted beyond it (0 = unbounded)")
+	return a
+}
+
+// Open opens the configured store, or returns nil when -artifacts was
+// not given.
+func (a *Artifacts) Open(reg *obs.Registry) (*artifact.Store, error) {
+	if a.Dir == "" {
+		return nil, nil
+	}
+	return artifact.Open(a.Dir, artifact.Options{MaxBytes: a.MaxBytes, Obs: reg})
+}
+
+// SolveWithStore produces a solved result for analyzer a under inputs
+// in, consulting st first: on a fingerprint hit the stored closed forms
+// are decoded and re-evaluated against in — skipping the solve entirely
+// — and on a miss the design is solved cold and persisted back. The
+// returned bool reports a warm start. st may be nil (always cold, never
+// persisted). A present-but-unreadable artifact (version skew,
+// corruption) is reported to stderr and regenerated, never fatal:
+// warm-start is an optimization, not a correctness dependency.
+func SolveWithStore(tool string, st *artifact.Store, a *core.Analyzer, in *core.Inputs, reg *obs.Registry) (*core.Result, bool, error) {
+	if st == nil {
+		res, err := a.Solve(in)
+		return res, false, err
+	}
+	res, _, err := st.Get(a)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: artifact store: %v (solving cold and regenerating)\n", tool, err)
+	}
+	if res != nil {
+		// The stored result already carries the evaluation of its own
+		// inputs; only a different table needs plugging back in.
+		if !res.Inputs.Equal(in) {
+			if err := res.Reevaluate(in); err != nil {
+				return nil, false, err
+			}
+		}
+		reg.Counter("artifact.warm_start").Inc()
+		return res, true, nil
+	}
+	reg.Counter("artifact.cold_start").Inc()
+	res, err = a.Solve(in)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := st.Put(res, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: artifact store: persisting solve: %v\n", tool, err)
+	}
+	return res, false, nil
+}

@@ -20,6 +20,13 @@
 //	sartool -netlist design.nl -pavf pavf.txt -nodes -equations
 //	sartool -netlist design.nl -pavf pavf.txt -partitioned -loop 0.3
 //	sartool -netlist design.nl -pavf pavf.txt -metrics out.json -trace
+//	sartool -netlist design.nl -pavf pavf.txt -artifacts ~/.cache/seqavf
+//
+// With -artifacts DIR, the solved closed forms are persisted to a
+// content-addressed store keyed by the design fingerprint: a rerun on
+// the same design (same graph and role-affecting options) skips the
+// solve entirely and re-evaluates the stored equations against the new
+// pAVF table, bit-identically to a fresh solve.
 package main
 
 import (
@@ -50,6 +57,7 @@ func main() {
 	equations := flag.Bool("equations", false, "print closed-form equations with -nodes")
 	jsonOut := flag.Bool("json", false, "emit the full result as JSON instead of text")
 	top := flag.Int("top", 0, "print the N most vulnerable sequential nodes with their pAVF contributors")
+	arts := cliutil.ArtifactFlags()
 	ob := cliutil.ObsFlags()
 	flag.Parse()
 
@@ -58,7 +66,7 @@ func main() {
 		os.Exit(2)
 	}
 	reg := ob.Start("sartool")
-	err := run(reg, *nl, *pavfPath, *loop, *pseudo, *partitioned, *iterations, *summary, *nodes, *equations, *jsonOut, *top)
+	err := run(reg, arts, *nl, *pavfPath, *loop, *pseudo, *partitioned, *iterations, *summary, *nodes, *equations, *jsonOut, *top)
 	if ob.Trace {
 		reg.WritePhaseSummary(os.Stderr)
 	}
@@ -68,7 +76,7 @@ func main() {
 	cliutil.Exit("sartool", err)
 }
 
-func run(reg *obs.Registry, nlPath, pavfPath string, loop, pseudo float64, partitioned bool, iterations int, summary, nodes, equations, jsonOut bool, top int) error {
+func run(reg *obs.Registry, arts *cliutil.Artifacts, nlPath, pavfPath string, loop, pseudo float64, partitioned bool, iterations int, summary, nodes, equations, jsonOut bool, top int) error {
 	reg.SetManifest("netlist", nlPath)
 	reg.SetManifest("pavf", pavfPath)
 	reg.SetManifest("loop_pavf", loop)
@@ -122,9 +130,23 @@ func run(reg *obs.Registry, nlPath, pavfPath string, loop, pseudo float64, parti
 	lsp.End()
 	var res *core.Result
 	if partitioned {
+		// The partitioned relaxation's numerics differ from the
+		// monolithic fixpoint in the last bits; artifacts persist the
+		// monolithic solve, so the store is bypassed here.
+		if arts.Dir != "" {
+			fmt.Fprintln(os.Stderr, "sartool: -artifacts is ignored with -partitioned (artifacts persist the monolithic solve)")
+		}
 		res, err = a.SolvePartitioned(in)
 	} else {
-		res, err = a.Solve(in)
+		st, serr := arts.Open(reg)
+		if serr != nil {
+			return serr
+		}
+		var warm bool
+		res, warm, err = cliutil.SolveWithStore("sartool", st, a, in, reg)
+		if warm {
+			fmt.Fprintf(os.Stderr, "sartool: warm start from artifact store (fingerprint %016x)\n", a.Fingerprint())
+		}
 	}
 	if err != nil {
 		return err

@@ -20,6 +20,13 @@
 //
 //	seqavfd -listen :8091 -design xeon.nl -design tiny.nl
 //	seqavfd -listen :8091 -design xeon.nl -max-concurrent 16 -timeout 10s
+//	seqavfd -listen :8091 -design xeon.nl -artifacts /var/cache/seqavf
+//
+// With -artifacts DIR, solved designs and their compiled plans persist
+// across restarts in a content-addressed store keyed by the design
+// fingerprint: a restarted daemon warm-starts each known design from
+// disk instead of solving it again, and designs uploaded at runtime are
+// persisted back. The startup log reports warm vs cold counts.
 package main
 
 import (
@@ -54,21 +61,28 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request sweep deadline")
 	maxBody := flag.Int64("max-body", 8<<20, "request body size cap in bytes")
 	drain := flag.Duration("drain", 15*time.Second, "graceful shutdown drain deadline")
+	arts := cliutil.ArtifactFlags()
 	ob := cliutil.ObsFlags()
 	flag.Parse()
 
 	reg := ob.Start("seqavfd")
+	store, err := arts.Open(reg)
+	if err != nil {
+		cliutil.Exit("seqavfd", err)
+	}
 	srv := server.New(server.Config{
 		Sweep:          sweep.Options{Workers: *workers, CacheSize: *cache},
 		Obs:            reg,
 		MaxConcurrent:  *maxConc,
 		RequestTimeout: *timeout,
 		MaxBodyBytes:   *maxBody,
+		Artifacts:      store,
 	})
 
 	opts := core.DefaultOptions()
 	opts.LoopPAVF = *loop
 	opts.PseudoPAVF = *pseudo
+	seen := make(map[string]string) // design name -> netlist path
 	for _, path := range designs {
 		f, err := os.Open(path)
 		if err != nil {
@@ -77,10 +91,26 @@ func main() {
 		d, err := srv.LoadNetlist("", f, opts)
 		f.Close()
 		if err != nil {
+			var dup *server.DuplicateDesignError
+			if errors.As(err, &dup) {
+				// Two -design flags resolved to one name: refuse to start
+				// rather than let requests to that name race for one slot.
+				cliutil.Exit("seqavfd", fmt.Errorf(
+					"duplicate design name %q: loaded from both %s and %s",
+					dup.Name, seen[dup.Name], path))
+			}
 			cliutil.Exit("seqavfd", fmt.Errorf("%s: %w", path, err))
 		}
+		seen[d.Name] = path
 		fmt.Fprintf(os.Stderr, "seqavfd: loaded %q (%d vertices, %d unique subterm sets)\n",
 			d.Name, d.Vertices, d.Plan.UniqueSets)
+	}
+	if store != nil {
+		fmt.Fprintf(os.Stderr, "seqavfd: artifact store %s: %d design(s) warm-started, %d solved cold (%d artifacts on disk, %d bytes)\n",
+			store.Dir(),
+			reg.Counter("artifact.warm_start").Load(),
+			reg.Counter("artifact.cold_start").Load(),
+			store.Len(), store.SizeBytes())
 	}
 
 	hs := &http.Server{
@@ -97,7 +127,7 @@ func main() {
 		errc <- hs.ListenAndServe()
 	}()
 
-	var err error
+	err = nil
 	select {
 	case err = <-errc:
 		// Listener failed outright (bad address, port in use).

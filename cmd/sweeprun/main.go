@@ -11,6 +11,12 @@
 //
 //	sweeprun -netlist design.nl -pavfdir runs/ -out sweep.json
 //	sweeprun -netlist design.nl -pavfdir runs/ -glob 'spec*.pavf' -workers 8 -nodes
+//	sweeprun -netlist design.nl -pavfdir runs/ -artifacts ~/.cache/seqavf
+//
+// With -artifacts DIR, the solved equations and compiled plan are
+// persisted to a content-addressed store keyed by the design
+// fingerprint; reruns on the same design warm-start from disk instead
+// of solving and compiling again.
 package main
 
 import (
@@ -38,6 +44,7 @@ func main() {
 	pseudo := flag.Float64("pseudo", 0.2, "boundary pseudo-structure pAVF")
 	nodes := flag.Bool("nodes", false, "include per-sequential-node seqAVFs for each workload")
 	out := flag.String("out", "", "write the JSON report here instead of stdout")
+	arts := cliutil.ArtifactFlags()
 	ob := cliutil.ObsFlags()
 	flag.Parse()
 
@@ -46,7 +53,7 @@ func main() {
 		os.Exit(2)
 	}
 	reg := ob.Start("sweeprun")
-	err := run(reg, *nl, *dir, *glob, *workers, *chunk, *loop, *pseudo, *nodes, *out)
+	err := run(reg, arts, *nl, *dir, *glob, *workers, *chunk, *loop, *pseudo, *nodes, *out)
 	if ob.Trace {
 		reg.WritePhaseSummary(os.Stderr)
 	}
@@ -72,7 +79,7 @@ type workloadReport struct {
 	SeqAVF  map[string]float64 `json:"seqavf,omitempty"`
 }
 
-func run(reg *obs.Registry, nlPath, dir, glob string, workers, chunk int, loop, pseudo float64, nodes bool, out string) error {
+func run(reg *obs.Registry, arts *cliutil.Artifacts, nlPath, dir, glob string, workers, chunk int, loop, pseudo float64, nodes bool, out string) error {
 	reg.SetManifest("netlist", nlPath)
 	reg.SetManifest("pavfdir", dir)
 	reg.SetManifest("glob", glob)
@@ -116,11 +123,24 @@ func run(reg *obs.Registry, nlPath, dir, glob string, workers, chunk int, loop, 
 
 	// Solve once against the first workload; the sweep re-evaluates the
 	// resulting closed forms for every workload, including the first.
-	res, err := a.Solve(named[0].Inputs)
+	// With -artifacts, a previously solved run of the same design skips
+	// the solve and restores the compiled plan from disk.
+	st, err := arts.Open(reg)
 	if err != nil {
 		return err
 	}
-	eng := sweep.New(sweep.Options{Workers: workers, ChunkSize: chunk, Obs: reg})
+	res, warm, err := cliutil.SolveWithStore("sweeprun", st, a, named[0].Inputs, reg)
+	if err != nil {
+		return err
+	}
+	if warm {
+		fmt.Fprintf(os.Stderr, "sweeprun: warm start from artifact store (fingerprint %016x)\n", a.Fingerprint())
+	}
+	engOpts := sweep.Options{Workers: workers, ChunkSize: chunk, Obs: reg}
+	if st != nil {
+		engOpts.Store = st
+	}
+	eng := sweep.New(engOpts)
 	ws := make([]sweep.Workload, len(named))
 	for i, ni := range named {
 		ws[i] = sweep.Workload{Name: ni.Name, Inputs: ni.Inputs}

@@ -1,0 +1,78 @@
+package artifact
+
+import (
+	"sync"
+	"testing"
+
+	"seqavf/internal/core"
+)
+
+// fuzzTarget lazily builds one fixed analyzer (and a valid artifact for
+// it) shared by every fuzz execution: the decoder's design-side inputs
+// are constant so the corpus explores only the byte format.
+var (
+	fuzzOnce sync.Once
+	fuzzAn   *core.Analyzer
+	fuzzSeed []byte
+	fuzzErr  error
+)
+
+func fuzzSetup(t testing.TB) (*core.Analyzer, []byte) {
+	fuzzOnce.Do(func() {
+		a, res, _ := buildSolved(t, 12, 34)
+		fuzzAn = a
+		fuzzSeed, fuzzErr = Encode(res, nil)
+	})
+	if fuzzErr != nil {
+		t.Fatalf("building fuzz seed artifact: %v", fuzzErr)
+	}
+	return fuzzAn, fuzzSeed
+}
+
+// FuzzDecodeArtifact feeds arbitrary bytes to the artifact decoder:
+// every input must either decode into a structurally valid result+plan
+// or fail with a clean error — never panic, and never allocate
+// proportionally to a declared (attacker-controlled) length rather than
+// the actual input size. Seeds include a fully valid artifact so the
+// mutator starts deep inside the format instead of dying on the magic.
+func FuzzDecodeArtifact(f *testing.F) {
+	a, valid := fuzzSetup(f)
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+	f.Add(valid)
+	// A truncated and a bit-flipped variant seed the interesting error
+	// paths directly.
+	f.Add(valid[:len(valid)/2])
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x80
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, plan, err := Decode(data, a)
+		if err != nil {
+			if res != nil || plan != nil {
+				t.Fatal("Decode returned partial results alongside an error")
+			}
+			return
+		}
+		// Accepted artifacts must be fully usable: a decoded result
+		// carries one equation and one in-range AVF per vertex, and its
+		// plan evaluates without panicking.
+		n := a.G.NumVerts()
+		if len(res.AVF) != n || len(res.Exprs) != n || len(res.Visited) != n {
+			t.Fatalf("accepted artifact has %d AVFs / %d equations / %d visited for %d vertices",
+				len(res.AVF), len(res.Exprs), len(res.Visited), n)
+		}
+		for v, avf := range res.AVF {
+			if !(avf >= 0 && avf <= 1) {
+				t.Fatalf("accepted artifact vertex %d AVF %v out of [0,1]", v, avf)
+			}
+		}
+		if plan.NumVerts() != n {
+			t.Fatalf("accepted plan covers %d of %d vertices", plan.NumVerts(), n)
+		}
+		if _, err := plan.Eval(res.Inputs, nil); err != nil {
+			t.Fatalf("accepted plan failed to evaluate its own inputs: %v", err)
+		}
+	})
+}

@@ -1,0 +1,219 @@
+package artifact
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"seqavf/internal/core"
+	"seqavf/internal/obs"
+	"seqavf/internal/sweep"
+)
+
+// ext names artifact files; the content address (design fingerprint) is
+// the file name.
+const ext = ".sart"
+
+// Options configure a Store. The zero value is usable: unbounded disk,
+// no telemetry.
+type Options struct {
+	// MaxBytes bounds the store's total size. When a Put pushes the
+	// store past the bound, least-recently-used artifacts (by access
+	// time; Get touches) are evicted until it fits, keeping at least the
+	// entry just written. 0 means unbounded.
+	MaxBytes int64
+	// Obs receives store telemetry: hit/miss/put/eviction counters and
+	// decode-failure counts. nil disables instrumentation.
+	Obs *obs.Registry
+}
+
+// Store is an on-disk content-addressed artifact cache: one file per
+// design fingerprint, written atomically (temp file + rename), decoded
+// with full integrity checking on every Get. Multiple processes may
+// share a directory — rename is atomic within a filesystem, and readers
+// only ever observe complete files. The in-process mutex serializes
+// eviction bookkeeping.
+type Store struct {
+	dir  string
+	opts Options
+	mu   sync.Mutex
+}
+
+// Open returns a Store rooted at dir, creating the directory if needed.
+func Open(dir string, opts Options) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("artifact: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("artifact: creating store: %w", err)
+	}
+	return &Store{dir: dir, opts: opts}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(fp uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%016x%s", fp, ext))
+}
+
+// Get loads and decodes the artifact for a's fingerprint. A clean miss
+// returns (nil, nil, nil); a present-but-unreadable artifact (version
+// skew, corruption) returns the decode error so callers can report it
+// before regenerating — the next Put overwrites the bad entry.
+func (s *Store) Get(a *core.Analyzer) (*core.Result, *sweep.Plan, error) {
+	path := s.path(a.Fingerprint())
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		s.opts.Obs.Counter("artifact.store_misses").Inc()
+		return nil, nil, nil
+	}
+	if err != nil {
+		s.opts.Obs.Counter("artifact.store_errors").Inc()
+		return nil, nil, fmt.Errorf("artifact: reading %s: %w", path, err)
+	}
+	res, plan, err := Decode(data, a)
+	if err != nil {
+		s.opts.Obs.Counter("artifact.decode_errors").Inc()
+		return nil, nil, fmt.Errorf("artifact: %s: %w", path, err)
+	}
+	// Touch for LRU: eviction orders by mtime, and a freshly served
+	// artifact is the one to keep. Best-effort — a racing eviction or a
+	// read-only store must not fail the hit.
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
+	s.opts.Obs.Counter("artifact.store_hits").Inc()
+	return res, plan, nil
+}
+
+// Put encodes res (compiling its plan when plan is nil) and installs it
+// under the design fingerprint via an atomic write-rename, then evicts
+// least-recently-used entries beyond MaxBytes. An existing entry for
+// the same fingerprint is replaced.
+func (s *Store) Put(res *core.Result, plan *sweep.Plan) error {
+	data, err := Encode(res, plan)
+	if err != nil {
+		return err
+	}
+	path := s.path(res.Analyzer.Fingerprint())
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("artifact: staging write: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Chmod(tmp.Name(), 0o644)
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), path)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("artifact: writing %s: %w", path, werr)
+	}
+	s.opts.Obs.Counter("artifact.store_puts").Inc()
+	if s.opts.MaxBytes > 0 {
+		s.evictLocked(filepath.Base(path))
+	}
+	return nil
+}
+
+// evictLocked removes least-recently-used artifacts until the store
+// fits MaxBytes, never removing keep (the entry just written). Requires
+// s.mu held.
+func (s *Store) evictLocked(keep string) {
+	type entry struct {
+		name  string
+		size  int64
+		mtime time.Time
+	}
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	var files []entry
+	var total int64
+	for _, de := range ents {
+		if de.IsDir() || filepath.Ext(de.Name()) != ext {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, entry{name: de.Name(), size: info.Size(), mtime: info.ModTime()})
+		total += info.Size()
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+	for _, f := range files {
+		if total <= s.opts.MaxBytes {
+			break
+		}
+		if f.name == keep {
+			continue
+		}
+		if os.Remove(filepath.Join(s.dir, f.name)) == nil {
+			total -= f.size
+			s.opts.Obs.Counter("artifact.evictions").Inc()
+		}
+	}
+}
+
+// Len reports the number of artifacts currently stored.
+func (s *Store) Len() int {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, de := range ents {
+		if !de.IsDir() && filepath.Ext(de.Name()) == ext {
+			n++
+		}
+	}
+	return n
+}
+
+// SizeBytes reports the store's total artifact size on disk.
+func (s *Store) SizeBytes() int64 {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, de := range ents {
+		if de.IsDir() || filepath.Ext(de.Name()) != ext {
+			continue
+		}
+		if info, err := de.Info(); err == nil {
+			total += info.Size()
+		}
+	}
+	return total
+}
+
+// GetPlan and PutPlan make *Store a sweep.PlanStore: the engine's
+// second-level cache behind its in-memory LRU. GetPlan maps decode
+// failures to errors (the engine counts them and recompiles) and clean
+// misses to (nil, nil).
+func (s *Store) GetPlan(res *core.Result) (*sweep.Plan, error) {
+	_, plan, err := s.Get(res.Analyzer)
+	return plan, err
+}
+
+// PutPlan persists the compiled plan (with its source result) under the
+// design fingerprint.
+func (s *Store) PutPlan(res *core.Result, p *sweep.Plan) error {
+	return s.Put(res, p)
+}

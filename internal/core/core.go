@@ -167,6 +167,39 @@ func NewInputs() *Inputs {
 	}
 }
 
+// Equal reports whether both input tables carry exactly the same
+// measurements (same ports, bit-identical values). A result already
+// evaluated against in needs no re-evaluation for an Equal table —
+// the artifact store's warm-start path relies on this.
+func (in *Inputs) Equal(other *Inputs) bool {
+	if in == nil || other == nil {
+		return in == other
+	}
+	eqPorts := func(a, b map[StructPort]float64) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k, v := range a {
+			if w, ok := b[k]; !ok || w != v {
+				return false
+			}
+		}
+		return true
+	}
+	if !eqPorts(in.ReadPorts, other.ReadPorts) || !eqPorts(in.WritePorts, other.WritePorts) {
+		return false
+	}
+	if len(in.StructAVF) != len(other.StructAVF) {
+		return false
+	}
+	for k, v := range in.StructAVF {
+		if w, ok := other.StructAVF[k]; !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
 // Analyzer binds a bit graph to SART options, precomputing vertex roles,
 // the term universe, walk sources, and the topological schedule. One
 // Analyzer serves any number of Solve calls with different Inputs.

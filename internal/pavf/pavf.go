@@ -160,6 +160,18 @@ func NewSet(ids ...TermID) Set {
 	return Set{ids: out}
 }
 
+// SetFromSorted adopts ids as a set WITHOUT copying, sorting, or
+// deduplicating. The caller must guarantee the slice is strictly
+// ascending and never mutated afterwards. Plan restoration uses this to
+// share one validated backing array across hundreds of sets instead of
+// re-allocating each; anything not on that path should use NewSet.
+func SetFromSorted(ids []TermID) Set {
+	if len(ids) == 0 {
+		return Set{}
+	}
+	return Set{ids: ids}
+}
+
 // Len returns the number of terms in the set.
 func (s Set) Len() int { return len(s.ids) }
 

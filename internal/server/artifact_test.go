@@ -1,0 +1,110 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"seqavf/internal/artifact"
+	"seqavf/internal/core"
+	"seqavf/internal/design"
+	"seqavf/internal/netlist"
+	"seqavf/internal/obs"
+	"seqavf/internal/sweep"
+)
+
+// genNetlist renders one generated design as netlist text.
+func genNetlist(t *testing.T, seed uint64) (string, string) {
+	t.Helper()
+	cfg := design.DefaultConfig(seed)
+	cfg.NumFubs = 4
+	gen, err := design.Generate(cfg)
+	if err != nil {
+		t.Fatalf("design.Generate: %v", err)
+	}
+	var nl bytes.Buffer
+	if err := netlist.Write(&nl, gen.Design); err != nil {
+		t.Fatalf("netlist.Write: %v", err)
+	}
+	return nl.String(), gen.Design.Name
+}
+
+// TestLoadNetlistWarmStart simulates a daemon restart: the first server
+// solves a design cold and persists it; a second server sharing the same
+// artifact directory must register the same design without solving —
+// with bit-identical AVFs — and still serve sweeps from it.
+func TestLoadNetlistWarmStart(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "artifacts")
+	nl, name := genNetlist(t, 7)
+
+	load := func(reg *obs.Registry) (*Server, *Design) {
+		st, err := artifact.Open(dir, artifact.Options{Obs: reg})
+		if err != nil {
+			t.Fatalf("artifact.Open: %v", err)
+		}
+		s := New(Config{Obs: reg, Artifacts: st, Sweep: sweep.Options{Workers: 1}})
+		d, err := s.LoadNetlist("", strings.NewReader(nl), core.DefaultOptions())
+		if err != nil {
+			t.Fatalf("LoadNetlist: %v", err)
+		}
+		return s, d
+	}
+
+	reg1 := obs.New()
+	_, cold := load(reg1)
+	if got := reg1.Counter("artifact.cold_start").Load(); got != 1 {
+		t.Fatalf("first load: cold_start = %d, want 1", got)
+	}
+	if got := reg1.Counter("artifact.warm_start").Load(); got != 0 {
+		t.Fatalf("first load: warm_start = %d, want 0", got)
+	}
+
+	reg2 := obs.New()
+	s2, warm := load(reg2)
+	if got := reg2.Counter("artifact.warm_start").Load(); got != 1 {
+		t.Fatalf("second load: warm_start = %d, want 1", got)
+	}
+	if got := reg2.Counter("artifact.cold_start").Load(); got != 0 {
+		t.Fatalf("second load: cold_start = %d, want 0", got)
+	}
+	if warm.Name != name || warm.Name != cold.Name {
+		t.Fatalf("warm-started design named %q, cold %q, want %q", warm.Name, cold.Name, name)
+	}
+	for v := range cold.Result.AVF {
+		if warm.Result.AVF[v] != cold.Result.AVF[v] {
+			t.Fatalf("vertex %d: warm AVF %v != cold AVF %v", v, warm.Result.AVF[v], cold.Result.AVF[v])
+		}
+	}
+
+	// The warm-started design must serve sweeps end to end.
+	ts := httptest.NewServer(s2.Handler())
+	defer ts.Close()
+	body := sweepBody(t, name, warm.Result, 2, 900)
+	resp, b := postJSON(t, http.DefaultClient, ts.URL+"/v1/sweep", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep of warm-started design returned %d: %s", resp.StatusCode, b)
+	}
+}
+
+// TestDuplicateDesignErrorType pins the typed duplicate error so callers
+// (seqavfd's startup loop) can distinguish a name collision from a solve
+// failure and report both sources.
+func TestDuplicateDesignErrorType(t *testing.T) {
+	s, _, _ := newTestServer(t, Config{})
+	res := solvedDesign(t, 77)
+	if _, err := s.AddResult("alpha", res); err == nil {
+		t.Fatal("duplicate AddResult succeeded")
+	} else {
+		var dup *DuplicateDesignError
+		if !errors.As(err, &dup) {
+			t.Fatalf("duplicate AddResult error %T (%v), want *DuplicateDesignError", err, err)
+		}
+		if dup.Name != "alpha" {
+			t.Fatalf("DuplicateDesignError.Name = %q, want alpha", dup.Name)
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"seqavf/internal/artifact"
 	"seqavf/internal/core"
 	"seqavf/internal/graph"
 	"seqavf/internal/netlist"
@@ -59,6 +60,12 @@ type Config struct {
 	MaxBodyBytes int64
 	// RetryAfter is the backoff hint attached to 429 responses. 0 means 1s.
 	RetryAfter time.Duration
+	// Artifacts, when non-nil, persists solved designs and compiled plans
+	// across process restarts: LoadNetlist warm-starts from a stored
+	// artifact on a fingerprint match instead of solving, solved uploads
+	// are written back, and the sweep engine consults the store behind
+	// its in-memory plan cache.
+	Artifacts *artifact.Store
 }
 
 // Design is one solved design registered with the server.
@@ -107,6 +114,11 @@ func New(cfg Config) *Server {
 		cfg.RetryAfter = time.Second
 	}
 	cfg.Sweep.Obs = cfg.Obs
+	if cfg.Artifacts != nil {
+		// Guarded: assigning a nil *artifact.Store unconditionally would
+		// make Sweep.Store a non-nil interface wrapping nil.
+		cfg.Sweep.Store = cfg.Artifacts
+	}
 	return &Server{
 		cfg:     cfg,
 		eng:     sweep.New(cfg.Sweep),
@@ -120,6 +132,18 @@ func New(cfg Config) *Server {
 
 // Engine exposes the shared sweep engine (for tests and stats).
 func (s *Server) Engine() *sweep.Engine { return s.eng }
+
+// DuplicateDesignError reports an attempt to register a second design
+// under a name that is already taken. Callers registering from multiple
+// sources (e.g. repeated -design flags) can unwrap it with errors.As to
+// report which sources collided.
+type DuplicateDesignError struct {
+	Name string
+}
+
+func (e *DuplicateDesignError) Error() string {
+	return fmt.Sprintf("server: design %q already registered", e.Name)
+}
 
 // AddResult registers a solved design under name (the design's own name
 // when empty), eagerly compiling its evaluation plan so the first request
@@ -150,7 +174,7 @@ func (s *Server) AddResult(name string, res *core.Result) (*Design, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.designs[name]; dup {
-		return nil, fmt.Errorf("server: design %q already registered", name)
+		return nil, &DuplicateDesignError{Name: name}
 	}
 	s.designs[name] = d
 	s.reg.Gauge("server.designs").Set(float64(len(s.designs)))
@@ -162,6 +186,11 @@ func (s *Server) AddResult(name string, res *core.Result) (*Design, error) {
 // empty). The solve runs against a neutral all-0.5 baseline: the closed
 // forms — the only thing sweeps reuse — depend on graph structure alone,
 // not on the baseline values.
+//
+// With Config.Artifacts set, the solve is skipped entirely when the
+// store holds an artifact for the design's fingerprint (a warm start,
+// counted as artifact.warm_start), and a cold solve is persisted back
+// (artifact.cold_start) so the next process restart warm-starts.
 func (s *Server) LoadNetlist(name string, r io.Reader, opts core.Options) (*Design, error) {
 	d, err := netlist.Parse(r)
 	if err != nil {
@@ -183,9 +212,36 @@ func (s *Server) LoadNetlist(name string, r io.Reader, opts core.Options) (*Desi
 	if err != nil {
 		return nil, fmt.Errorf("server: analyzing %q: %w", d.Name, err)
 	}
+	if st := s.cfg.Artifacts; st != nil {
+		res, _, err := st.Get(a)
+		if err != nil {
+			// A stale or corrupt artifact is never fatal: fall through to
+			// the cold solve and regenerate it.
+			s.reg.Counter("server.artifact_errors").Inc()
+		}
+		if res != nil {
+			// Uploads and startup loads always solve against the neutral
+			// baseline, so a warm start usually skips even the
+			// re-evaluation; a store shared with CLI runs may hold other
+			// inputs, which are plugged back in.
+			if in := neutralInputs(a); !res.Inputs.Equal(in) {
+				if err := res.Reevaluate(in); err != nil {
+					return nil, fmt.Errorf("server: re-evaluating stored artifact for %q: %w", d.Name, err)
+				}
+			}
+			s.reg.Counter("artifact.warm_start").Inc()
+			return s.AddResult(name, res)
+		}
+	}
 	res, err := a.Solve(neutralInputs(a))
 	if err != nil {
 		return nil, fmt.Errorf("server: solving %q: %w", d.Name, err)
+	}
+	if s.cfg.Artifacts != nil {
+		// AddResult compiles the plan through the sweep engine, whose
+		// second-level store (wired in New) persists the artifact —
+		// result and plan together — so the next restart warm-starts.
+		s.reg.Counter("artifact.cold_start").Inc()
 	}
 	return s.AddResult(name, res)
 }

@@ -116,6 +116,105 @@ func Compile(res *core.Result) (*Plan, error) {
 	return p, nil
 }
 
+// Raw is the plan's CSR subterm table in serializable form. Slices alias
+// the plan's internal storage and must not be modified.
+type Raw struct {
+	// SetOff/SetIDs are the deduplicated set table in CSR form: set s
+	// covers SetIDs[SetOff[s]:SetOff[s+1]], term IDs strictly ascending.
+	SetOff []int32
+	SetIDs []pavf.TermID
+	// FwdIdx/BwdIdx give each vertex's set slot per direction, -1 when the
+	// walk never reached that side.
+	FwdIdx []int32
+	BwdIdx []int32
+}
+
+// Raw exposes the plan's CSR subterm table for persistence
+// (internal/artifact). The returned slices alias the plan and are
+// read-only.
+func (p *Plan) Raw() Raw {
+	return Raw{SetOff: p.setOff, SetIDs: p.setIDs, FwdIdx: p.fwdIdx, BwdIdx: p.bwdIdx}
+}
+
+// Restore reconstructs a compiled plan — and the closed-form equation
+// table it evaluates — from a persisted CSR table. It validates every
+// structural invariant evaluation relies on — offsets monotone and in
+// range, per-set term IDs strictly ascending and inside a's term
+// universe, per-vertex indices in range — so a corrupted or adversarial
+// table is refused instead of producing out-of-range indexing at Eval
+// time. The returned equation slice is the plan's own (each Expr shares
+// the validated SetIDs backing array); a plan restored from the CSR
+// written by Raw is bit-identical in behavior to a fresh Compile. This
+// is the artifact-decode hot path: validation, set construction, and
+// equation rebuild are fused into single passes.
+func Restore(a *core.Analyzer, raw Raw, visited []bool) (*Plan, []pavf.Expr, error) {
+	n := a.G.NumVerts()
+	if len(raw.FwdIdx) != n || len(raw.BwdIdx) != n {
+		return nil, nil, fmt.Errorf("sweep: raw plan covers %d/%d vertices but design has %d",
+			len(raw.FwdIdx), len(raw.BwdIdx), n)
+	}
+	if len(visited) != n {
+		return nil, nil, fmt.Errorf("sweep: %d visited flags for %d vertices", len(visited), n)
+	}
+	if len(raw.SetOff) < 1 || raw.SetOff[0] != 0 || int(raw.SetOff[len(raw.SetOff)-1]) != len(raw.SetIDs) {
+		return nil, nil, fmt.Errorf("sweep: raw plan offsets malformed (%d offsets, %d term IDs)",
+			len(raw.SetOff), len(raw.SetIDs))
+	}
+	nSets := len(raw.SetOff) - 1
+	uniLen := pavf.TermID(a.Universe().Len())
+	sets := make([]pavf.Set, nSets)
+	for s := 0; s < nSets; s++ {
+		lo, hi := raw.SetOff[s], raw.SetOff[s+1]
+		if lo > hi {
+			return nil, nil, fmt.Errorf("sweep: raw plan set %d has negative extent [%d,%d)", s, lo, hi)
+		}
+		prev := pavf.TermID(-1)
+		for _, id := range raw.SetIDs[lo:hi] {
+			if id < 0 || id >= uniLen {
+				return nil, nil, fmt.Errorf("sweep: raw plan set %d references term %d outside universe of %d", s, id, uniLen)
+			}
+			if id <= prev {
+				return nil, nil, fmt.Errorf("sweep: raw plan set %d terms not strictly ascending at %d", s, id)
+			}
+			prev = id
+		}
+		sets[s] = pavf.SetFromSorted(raw.SetIDs[lo:hi])
+	}
+	// Validate the per-vertex indices in their own linear scans (cheap:
+	// two int32 arrays, no stores), so the equation fill below indexes
+	// sets unchecked.
+	for v, fi := range raw.FwdIdx {
+		if fi < -1 || int(fi) >= nSets {
+			return nil, nil, fmt.Errorf("sweep: raw plan vertex %d forward index %d out of range (%d sets)", v, fi, nSets)
+		}
+	}
+	for v, bi := range raw.BwdIdx {
+		if bi < -1 || int(bi) >= nSets {
+			return nil, nil, fmt.Errorf("sweep: raw plan vertex %d backward index %d out of range (%d sets)", v, bi, nSets)
+		}
+	}
+	exprs := make([]pavf.Expr, n)
+	for v := range exprs {
+		x := &exprs[v]
+		if fi := raw.FwdIdx[v]; fi >= 0 {
+			x.Fwd, x.KnownFwd = sets[fi], true
+		}
+		if bi := raw.BwdIdx[v]; bi >= 0 {
+			x.Bwd, x.KnownBwd = sets[bi], true
+		}
+	}
+	return &Plan{
+		Analyzer:    a,
+		Fingerprint: a.Fingerprint(),
+		exprs:       exprs,
+		visited:     visited,
+		setOff:      raw.SetOff,
+		setIDs:      raw.SetIDs,
+		fwdIdx:      raw.FwdIdx,
+		bwdIdx:      raw.BwdIdx,
+	}, exprs, nil
+}
+
 // NumVerts returns the number of bit equations in the plan.
 func (p *Plan) NumVerts() int { return len(p.fwdIdx) }
 

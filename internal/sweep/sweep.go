@@ -30,6 +30,21 @@ type Options struct {
 	// hit/miss counters, workload counters, and a workloads/sec gauge.
 	// nil disables instrumentation.
 	Obs *obs.Registry
+	// Store is an optional second-level plan store behind the in-memory
+	// LRU (typically an *artifact.Store): a memory miss consults it
+	// before compiling, and fresh compiles are persisted back. Store
+	// failures never fail a sweep — they are counted and the engine
+	// falls through to a fresh compile.
+	Store PlanStore
+}
+
+// PlanStore is the second-level plan cache contract (satisfied by
+// internal/artifact.Store without an import cycle). GetPlan returns
+// (nil, nil) on a clean miss; a returned plan must be bit-identical in
+// behavior to Compile(res).
+type PlanStore interface {
+	GetPlan(res *core.Result) (*Plan, error)
+	PutPlan(res *core.Result, p *Plan) error
 }
 
 // Engine evaluates batches of workloads through compiled plans. One Engine
@@ -74,7 +89,10 @@ func (b *Batch) WorkloadsPerSec() float64 {
 	return float64(len(b.Results)) / b.Elapsed.Seconds()
 }
 
-// Plan returns the compiled plan for res's design, compiling on cache miss.
+// Plan returns the compiled plan for res's design: from the in-memory
+// LRU on hit, else from the second-level store (decoded plans enter the
+// LRU like compiled ones), else by compiling — and a fresh compile is
+// persisted back to the store so the next process starts warm.
 func (e *Engine) Plan(res *core.Result) (*Plan, error) {
 	fp := res.Analyzer.Fingerprint()
 	if p := e.cache.get(fp); p != nil {
@@ -82,6 +100,22 @@ func (e *Engine) Plan(res *core.Result) (*Plan, error) {
 		return p, nil
 	}
 	e.opts.Obs.Counter("sweep.plan_cache_misses").Inc()
+	if e.opts.Store != nil {
+		p, err := e.opts.Store.GetPlan(res)
+		switch {
+		case err != nil:
+			// A corrupt or version-skewed artifact must not fail the
+			// sweep: count it and recompile (the Put below overwrites
+			// the bad entry).
+			e.opts.Obs.Counter("sweep.plan_store_errors").Inc()
+		case p != nil:
+			e.opts.Obs.Counter("sweep.plan_store_hits").Inc()
+			e.cache.put(p)
+			return p, nil
+		default:
+			e.opts.Obs.Counter("sweep.plan_store_misses").Inc()
+		}
+	}
 	sp := e.opts.Obs.StartSpan("sweep.compile")
 	p, err := Compile(res)
 	if err != nil {
@@ -95,6 +129,11 @@ func (e *Engine) Plan(res *core.Result) (*Plan, error) {
 	sp.End()
 	e.opts.Obs.Counter("sweep.plan_compiles").Inc()
 	e.cache.put(p)
+	if e.opts.Store != nil {
+		if err := e.opts.Store.PutPlan(res, p); err != nil {
+			e.opts.Obs.Counter("sweep.plan_store_put_errors").Inc()
+		}
+	}
 	return p, nil
 }
 

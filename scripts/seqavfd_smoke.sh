@@ -1,8 +1,11 @@
 #!/bin/sh
 # Smoke test for the seqavfd sweep service: generate a design and a
-# measured pAVF table, start the server, probe /healthz, run one sweep
-# through /v1/sweep, and shut it down with SIGTERM (exercising the
-# graceful drain path). Exits non-zero if any step fails.
+# measured pAVF table, start the server with a persistent artifact
+# store, probe /healthz, run one sweep through /v1/sweep, and shut it
+# down with SIGTERM (exercising the graceful drain path). Then restart
+# the server against the same artifact directory and assert it
+# warm-started the design from disk (obs counter artifact.warm_start)
+# instead of solving again. Exits non-zero if any step fails.
 set -eu
 
 SEED=${SEED:-2027}
@@ -26,20 +29,23 @@ go build -o "$DIR/bin/" ./cmd/designgen ./cmd/seqavfd
 echo "seqavfd-smoke: generating design (seed $SEED)"
 "$DIR/bin/designgen" -seed "$SEED" -o "$DIR/design.nl" -pavf "$DIR/pavf.txt"
 
-echo "seqavfd-smoke: starting seqavfd on $ADDR"
-"$DIR/bin/seqavfd" -listen "$ADDR" -design "$DIR/design.nl" &
-PID=$!
+# wait_healthy polls /healthz until the listener is up (up to ~5s).
+wait_healthy() {
+    i=0
+    until curl -sf "http://$ADDR/healthz" >"$DIR/healthz.json" 2>/dev/null; do
+        i=$((i + 1))
+        if [ "$i" -ge 50 ]; then
+            echo "seqavfd-smoke: server never became healthy" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
 
-# Wait for the listener (up to ~5s).
-i=0
-until curl -sf "http://$ADDR/healthz" >"$DIR/healthz.json" 2>/dev/null; do
-    i=$((i + 1))
-    if [ "$i" -ge 50 ]; then
-        echo "seqavfd-smoke: server never became healthy" >&2
-        exit 1
-    fi
-    sleep 0.1
-done
+echo "seqavfd-smoke: starting seqavfd on $ADDR (artifacts in $DIR/artifacts)"
+"$DIR/bin/seqavfd" -listen "$ADDR" -design "$DIR/design.nl" -artifacts "$DIR/artifacts" &
+PID=$!
+wait_healthy
 echo "seqavfd-smoke: /healthz ok: $(cat "$DIR/healthz.json")"
 
 # Build the sweep request: the pAVF table goes into the JSON body as one
@@ -50,17 +56,45 @@ echo "seqavfd-smoke: /healthz ok: $(cat "$DIR/healthz.json")"
     printf '"}]}'
 } >"$DIR/req.json"
 
-curl -sf -X POST -H 'Content-Type: application/json' \
-    --data-binary "@$DIR/req.json" "http://$ADDR/v1/sweep" >"$DIR/resp.json"
-grep -q '"WeightedSeqAVF"' "$DIR/resp.json" || {
-    echo "seqavfd-smoke: sweep response missing WeightedSeqAVF:" >&2
-    cat "$DIR/resp.json" >&2
-    exit 1
+run_sweep() {
+    curl -sf -X POST -H 'Content-Type: application/json' \
+        --data-binary "@$DIR/req.json" "http://$ADDR/v1/sweep" >"$DIR/resp.json"
+    grep -q '"WeightedSeqAVF"' "$DIR/resp.json" || {
+        echo "seqavfd-smoke: sweep response missing WeightedSeqAVF:" >&2
+        cat "$DIR/resp.json" >&2
+        exit 1
+    }
+    echo "seqavfd-smoke: sweep ok ($(wc -c <"$DIR/resp.json") bytes)"
 }
-echo "seqavfd-smoke: sweep ok ($(wc -c <"$DIR/resp.json") bytes)"
+run_sweep
 
 echo "seqavfd-smoke: sending SIGTERM"
 kill -TERM "$PID"
 wait "$PID"
 PID=""
 echo "seqavfd-smoke: clean shutdown"
+
+# Restart against the same artifact directory: the design must be
+# registered from the persisted artifact (a warm start) rather than
+# solved again. /metrics exposes the obs counters; artifact.warm_start
+# must be at least 1 and artifact.cold_start absent or 0.
+echo "seqavfd-smoke: restarting against $DIR/artifacts"
+"$DIR/bin/seqavfd" -listen "$ADDR" -design "$DIR/design.nl" -artifacts "$DIR/artifacts" &
+PID=$!
+wait_healthy
+curl -sf "http://$ADDR/metrics" >"$DIR/metrics.json"
+grep -q '"artifact.warm_start": *[1-9]' "$DIR/metrics.json" || {
+    echo "seqavfd-smoke: restart did not warm-start from the artifact store:" >&2
+    grep -o '"artifact\.[a-z_]*": *[0-9]*' "$DIR/metrics.json" >&2 || true
+    exit 1
+}
+echo "seqavfd-smoke: warm start confirmed ($(grep -o '"artifact.warm_start": *[0-9]*' "$DIR/metrics.json"))"
+
+# The warm-started design must still answer sweeps.
+run_sweep
+
+echo "seqavfd-smoke: sending SIGTERM"
+kill -TERM "$PID"
+wait "$PID"
+PID=""
+echo "seqavfd-smoke: clean shutdown after warm start"
