@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz-smoke run-seqavfd ci
+.PHONY: all build vet test race bench fuzz-smoke cover run-seqavfd ci
 
 all: build
 
@@ -30,11 +30,17 @@ bench:
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzParsePavfTable -fuzztime=10s ./cmd/internal/cliutil/
 	$(GO) test -run=^$$ -fuzz=FuzzCompilePlan -fuzztime=10s ./internal/sweep/
+	$(GO) test -run=^$$ -fuzz=FuzzEnvMatrix -fuzztime=10s ./internal/sweep/
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeArtifact -fuzztime=10s ./internal/artifact/
+
+# Coverage floors on the numerical core (sweep engine + pAVF closed
+# forms); see scripts/cover.sh for the gated packages and thresholds.
+cover:
+	GO=$(GO) ./scripts/cover.sh
 
 # End-to-end smoke of the sweep service: generate a design, start
 # seqavfd, probe /healthz, run one sweep, then SIGTERM it.
 run-seqavfd: build
 	./scripts/seqavfd_smoke.sh
 
-ci: vet build race fuzz-smoke
+ci: vet build race cover fuzz-smoke

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"testing"
@@ -417,6 +418,86 @@ func BenchmarkBatchSweep32(b *testing.B) {
 		if _, err := eng.Sweep(res, ws); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkBlockedSweep contrasts the scalar per-workload plan walk
+// (Plan.Eval, the BenchmarkBatchSweep32 path) against the blocked SoA
+// kernel (Plan.EvalBlock) on the XeonLike design: 64 workloads, one
+// evaluation worker, so the ratio isolates the kernel rather than
+// parallelism. Results are bit-identical between the two paths; only the
+// traversal order differs — scalar streams the CSR plan indices once per
+// workload, blocked streams them once per 16-lane block.
+//
+// Each iteration starts from a collected heap (StopTimer + runtime.GC),
+// the same quiesced-GC protocol as BenchmarkWarmStartVsSolve, so GC
+// assist debt from prior iterations does not leak into either side.
+func BenchmarkBlockedSweep(b *testing.B) {
+	e := env(b)
+	res, err := e.Analyzer.Solve(e.AvgInputs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 64
+	ws := make([]sweep.Workload, n)
+	for i := range ws {
+		rng := stats.New(uint64(7000 + i))
+		in := core.NewInputs()
+		jitter := func(v float64) float64 {
+			v += (rng.Float64() - 0.5) * 0.2
+			return math.Min(1, math.Max(0, v))
+		}
+		ports := func(dst, src map[core.StructPort]float64) {
+			keys := make([]core.StructPort, 0, len(src))
+			for sp := range src {
+				keys = append(keys, sp)
+			}
+			sort.Slice(keys, func(a, b int) bool {
+				return keys[a].Struct < keys[b].Struct ||
+					(keys[a].Struct == keys[b].Struct && keys[a].Port < keys[b].Port)
+			})
+			for _, sp := range keys {
+				dst[sp] = jitter(src[sp])
+			}
+		}
+		ports(in.ReadPorts, e.AvgInputs.ReadPorts)
+		ports(in.WritePorts, e.AvgInputs.WritePorts)
+		ws[i] = sweep.Workload{Name: fmt.Sprintf("w%02d", i), Inputs: in}
+	}
+	quiesce := func(b *testing.B) {
+		b.StopTimer()
+		runtime.GC()
+		b.StartTimer()
+	}
+	for _, bc := range []struct {
+		name  string
+		block int
+	}{
+		{"Scalar", 1},
+		{"Blocked16", 16},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			eng := sweep.New(sweep.Options{Workers: 1, BlockSize: bc.block})
+			if _, err := eng.Plan(res); err != nil {
+				b.Fatal(err)
+			}
+			// Each 64-workload sweep allocates ~6 MB of Result vectors
+			// against a smaller live heap, so with the collector enabled
+			// every iteration crosses the GC trigger mid-measurement and
+			// both sides mostly time concurrent-mark assists. Disable the
+			// collector for the timed regions and collect in the stopped
+			// windows instead — the forced GC above stays per-iteration.
+			gcPct := debug.SetGCPercent(-1)
+			defer debug.SetGCPercent(gcPct)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				quiesce(b)
+				if _, err := eng.Sweep(res, ws); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "workloads/sec")
+		})
 	}
 }
 

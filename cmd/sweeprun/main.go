@@ -40,6 +40,7 @@ func main() {
 	glob := flag.String("glob", "*.pavf", "file pattern selecting workload tables in -pavfdir")
 	workers := flag.Int("workers", 0, "evaluation workers (0 = all cores)")
 	chunk := flag.Int("chunk", 0, "workloads per worker claim (0 = auto)")
+	blockW := cliutil.BlockFlag()
 	loop := flag.Float64("loop", 0.3, "loop-boundary pAVF")
 	pseudo := flag.Float64("pseudo", 0.2, "boundary pseudo-structure pAVF")
 	nodes := flag.Bool("nodes", false, "include per-sequential-node seqAVFs for each workload")
@@ -53,7 +54,7 @@ func main() {
 		os.Exit(2)
 	}
 	reg := ob.Start("sweeprun")
-	err := run(reg, arts, *nl, *dir, *glob, *workers, *chunk, *loop, *pseudo, *nodes, *out)
+	err := run(reg, arts, *nl, *dir, *glob, *workers, *chunk, *blockW, *loop, *pseudo, *nodes, *out)
 	if ob.Trace {
 		reg.WritePhaseSummary(os.Stderr)
 	}
@@ -68,6 +69,7 @@ type report struct {
 	Design    string           `json:"design"`
 	Workloads int              `json:"workloads"`
 	Plan      sweep.Stats      `json:"plan"`
+	Block     int              `json:"block"`
 	ElapsedMS float64          `json:"eval_elapsed_ms"`
 	PerSec    float64          `json:"workloads_per_sec"`
 	Results   []workloadReport `json:"results"`
@@ -79,11 +81,12 @@ type workloadReport struct {
 	SeqAVF  map[string]float64 `json:"seqavf,omitempty"`
 }
 
-func run(reg *obs.Registry, arts *cliutil.Artifacts, nlPath, dir, glob string, workers, chunk int, loop, pseudo float64, nodes bool, out string) error {
+func run(reg *obs.Registry, arts *cliutil.Artifacts, nlPath, dir, glob string, workers, chunk, blockW int, loop, pseudo float64, nodes bool, out string) error {
 	reg.SetManifest("netlist", nlPath)
 	reg.SetManifest("pavfdir", dir)
 	reg.SetManifest("glob", glob)
 	reg.SetManifest("workers", workers)
+	reg.SetManifest("block", blockW)
 
 	lsp := reg.StartSpan("load")
 	f, err := os.Open(nlPath)
@@ -136,7 +139,7 @@ func run(reg *obs.Registry, arts *cliutil.Artifacts, nlPath, dir, glob string, w
 	if warm {
 		fmt.Fprintf(os.Stderr, "sweeprun: warm start from artifact store (fingerprint %016x)\n", a.Fingerprint())
 	}
-	engOpts := sweep.Options{Workers: workers, ChunkSize: chunk, Obs: reg}
+	engOpts := sweep.Options{Workers: workers, ChunkSize: chunk, BlockSize: blockW, Obs: reg}
 	if st != nil {
 		engOpts.Store = st
 	}
@@ -150,10 +153,18 @@ func run(reg *obs.Registry, arts *cliutil.Artifacts, nlPath, dir, glob string, w
 		return err
 	}
 
+	effBlock := blockW
+	switch {
+	case effBlock == 0:
+		effBlock = sweep.DefaultBlockSize
+	case effBlock < 1:
+		effBlock = 1
+	}
 	rep := report{
 		Design:    d.Name,
 		Workloads: len(batch.Results),
 		Plan:      batch.Plan.Stats(),
+		Block:     effBlock,
 		ElapsedMS: float64(batch.Elapsed.Microseconds()) / 1e3,
 		PerSec:    batch.WorkloadsPerSec(),
 		Results:   make([]workloadReport, len(batch.Results)),

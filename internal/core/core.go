@@ -27,7 +27,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"strings"
+	"sync"
 
 	"seqavf/internal/graph"
 	"seqavf/internal/netlist"
@@ -228,6 +230,23 @@ type Analyzer struct {
 	topo []graph.VertexID // topological order of normal vertices
 
 	fingerprint uint64 // design-identity hash, see Fingerprint
+
+	// buildEnv's precomputed shape, built lazily on first use: the
+	// workload-independent terms (Top, control, loop, pseudo) prefilled in
+	// a template the per-workload environment is copied from, and the
+	// port->term maps flattened into slices sorted by port so the
+	// per-workload fill is a linear scan with stable error order.
+	envOnce     sync.Once
+	envTemplate pavf.Env
+	readBind    []portBind
+	writeBind   []portBind
+}
+
+// portBind is one structure port's term slot in the flattened form the
+// environment builder iterates.
+type portBind struct {
+	sp StructPort
+	t  pavf.TermID
 }
 
 // NewAnalyzer prepares g for SART analysis.
@@ -479,61 +498,135 @@ func (a *Analyzer) portName(v graph.VertexID) string {
 	return "EXT:" + a.G.FubNames[vx.Fub] + "." + vx.Node.Name
 }
 
-// buildEnv maps Inputs onto the term universe.
-func (a *Analyzer) buildEnv(in *Inputs) (pavf.Env, error) {
-	env := pavf.NewEnv(a.universe)
-	env.Set(a.ctrlTerm, 1.0)
-	for _, t := range a.loopTerms {
-		v := a.Opts.LoopPAVF
-		if ov, ok := a.Opts.LoopOverrides[a.universe.Term(t).Name]; ok {
-			if ov < 0 {
-				ov = 0
+// envPrep builds the workload-independent half of the environment once:
+// the template carries Top, the control term, and every loop and pseudo
+// term (with their Options overrides applied exactly as the per-workload
+// builder used to), and the port->term maps are flattened into sorted
+// slices so per-workload fills touch no map iterators and report the
+// lexicographically first failing port, matching CheckInputs' stability.
+func (a *Analyzer) envPrep() {
+	a.envOnce.Do(func() {
+		env := pavf.NewEnv(a.universe)
+		env.Set(a.ctrlTerm, 1.0)
+		for _, t := range a.loopTerms {
+			v := a.Opts.LoopPAVF
+			if ov, ok := a.Opts.LoopOverrides[a.universe.Term(t).Name]; ok {
+				if ov < 0 {
+					ov = 0
+				}
+				if ov > 1 {
+					ov = 1
+				}
+				v = ov
 			}
-			if ov > 1 {
-				ov = 1
+			env.Set(t, v)
+		}
+		setPseudo := func(t pavf.TermID) {
+			v := a.Opts.PseudoPAVF
+			if ov, ok := a.Opts.PseudoOverrides[a.universe.Term(t).Name]; ok {
+				v = ov
 			}
-			v = ov
+			env.Set(t, v)
 		}
-		env.Set(t, v)
-	}
-	setPseudo := func(t pavf.TermID) {
-		v := a.Opts.PseudoPAVF
-		if ov, ok := a.Opts.PseudoOverrides[a.universe.Term(t).Name]; ok {
-			v = ov
+		for _, t := range a.pseudoIn {
+			setPseudo(t)
 		}
-		env.Set(t, v)
-	}
-	for _, t := range a.pseudoIn {
-		setPseudo(t)
-	}
-	for _, t := range a.pseudoOut {
-		setPseudo(t)
-	}
-	lookup := func(m map[StructPort]float64, sp StructPort, what string) (float64, error) {
-		if v, ok := m[sp]; ok {
-			if v < 0 || v > 1 {
-				return 0, fmt.Errorf("core: %s pAVF for %s out of [0,1]: %v", what, sp, v)
+		for _, t := range a.pseudoOut {
+			setPseudo(t)
+		}
+		flatten := func(m map[StructPort]pavf.TermID) []portBind {
+			bs := make([]portBind, 0, len(m))
+			for sp, t := range m {
+				bs = append(bs, portBind{sp, t})
 			}
-			return v, nil
+			sort.Slice(bs, func(i, j int) bool { return bs[i].sp.String() < bs[j].sp.String() })
+			return bs
 		}
+		a.readBind = flatten(a.readTerm)
+		a.writeBind = flatten(a.writeTerm)
+		// With a default port pAVF the unmeasured ports are also workload
+		// independent: prefill them (Set clamps, as the per-port fill
+		// would), so CheckedEnv's fast pass only touches measured ports.
 		if a.Opts.DefaultPortPAVF >= 0 {
-			return a.Opts.DefaultPortPAVF, nil
+			for _, b := range a.readBind {
+				env.Set(b.t, a.Opts.DefaultPortPAVF)
+			}
+			for _, b := range a.writeBind {
+				env.Set(b.t, a.Opts.DefaultPortPAVF)
+			}
 		}
-		return 0, fmt.Errorf("core: missing %s pAVF for structure port %s", what, sp)
+		a.envTemplate = env
+	})
+}
+
+// buildEnv maps Inputs onto the term universe: the precomputed template
+// supplies the workload-independent terms, and the flattened port
+// bindings — sorted by port, so error order is stable — fill the
+// measured (or defaulted) port pAVFs.
+func (a *Analyzer) buildEnv(in *Inputs) (pavf.Env, error) {
+	a.envPrep()
+	env := make(pavf.Env, len(a.envTemplate))
+	copy(env, a.envTemplate)
+	fill := func(m map[StructPort]float64, binds []portBind, what string) error {
+		for _, b := range binds {
+			v, ok := m[b.sp]
+			switch {
+			case ok:
+				if v < 0 || v > 1 {
+					return fmt.Errorf("core: %s pAVF for %s out of [0,1]: %v", what, b.sp, v)
+				}
+			case a.Opts.DefaultPortPAVF >= 0:
+				v = a.Opts.DefaultPortPAVF
+			default:
+				return fmt.Errorf("core: missing %s pAVF for structure port %s", what, b.sp)
+			}
+			env.Set(b.t, v)
+		}
+		return nil
 	}
-	for sp, t := range a.readTerm {
-		v, err := lookup(in.ReadPorts, sp, "read")
-		if err != nil {
+	if err := fill(in.ReadPorts, a.readBind, "read"); err != nil {
+		return nil, err
+	}
+	if err := fill(in.WritePorts, a.writeBind, "write"); err != nil {
+		return nil, err
+	}
+	return env, nil
+}
+
+// CheckedEnv fuses CheckInputs and BuildEnv into a single hash pass: it
+// walks each input table once, resolving every measured port against the
+// design's term map — which detects stray ports for free — on top of a
+// template that already carries the workload-independent terms and the
+// port defaults. That is half the hashing of checking and then building,
+// and it is the path the sweep engine takes per workload. Anything
+// irregular — a stray port, an out-of-range value, a missing measurement
+// with no default — falls back to CheckInputs followed by the sorted
+// slow fill, so errors and their precedence are exactly those of calling
+// CheckInputs then BuildEnv.
+func (a *Analyzer) CheckedEnv(in *Inputs) (pavf.Env, error) {
+	a.envPrep()
+	env := make(pavf.Env, len(a.envTemplate))
+	copy(env, a.envTemplate)
+	fast := func(m map[StructPort]float64, terms map[StructPort]pavf.TermID) bool {
+		for sp, v := range m {
+			t, ok := terms[sp]
+			if !ok || v < 0 || v > 1 {
+				return false
+			}
+			env[t] = v
+		}
+		return true
+	}
+	ok := fast(in.ReadPorts, a.readTerm) && fast(in.WritePorts, a.writeTerm)
+	if ok && a.Opts.DefaultPortPAVF < 0 {
+		// No default: every design port must have been measured.
+		ok = len(in.ReadPorts) == len(a.readBind) && len(in.WritePorts) == len(a.writeBind)
+	}
+	if !ok {
+		if err := a.CheckInputs(in); err != nil {
 			return nil, err
 		}
-		env.Set(t, v)
-	}
-	for sp, t := range a.writeTerm {
-		v, err := lookup(in.WritePorts, sp, "write")
-		if err != nil {
-			return nil, err
-		}
-		env.Set(t, v)
+		return a.buildEnv(in)
 	}
 	return env, nil
 }

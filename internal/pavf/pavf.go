@@ -272,6 +272,27 @@ func (e Env) Set(id TermID, v float64) {
 	e[id] = v
 }
 
+// Validate checks that e is a well-formed environment: the Top term is
+// present and exactly 1.0, and every value lies in [0,1]. The comparison
+// is written so NaN fails it — BuildEnv's clamping passes NaN through
+// (NaN compares false against both bounds), so evaluation boundaries that
+// must not propagate NaN into AVFs (the sweep kernels) call Validate
+// after building the environment.
+func (e Env) Validate() error {
+	if len(e) == 0 {
+		return fmt.Errorf("pavf: empty environment (no Top term)")
+	}
+	if e[Top] != 1 {
+		return fmt.Errorf("pavf: Top term is %v, must be exactly 1", e[Top])
+	}
+	for id, v := range e {
+		if !(v >= 0 && v <= 1) {
+			return fmt.Errorf("pavf: term %d value %v outside [0,1]", id, v)
+		}
+	}
+	return nil
+}
+
 // Eval returns the numeric value of s under e: min(1, Σ values). The empty
 // set evaluates to 0.
 func (s Set) Eval(e Env) float64 {

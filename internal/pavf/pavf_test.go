@@ -246,3 +246,54 @@ func TestUnionProperties(t *testing.T) {
 		}
 	}
 }
+
+// TestEnvValidate pins the validation boundary the sweep kernels rely
+// on: a fresh environment passes; NaN, Inf, negatives, values above 1,
+// a perturbed Top term, and the empty environment are each rejected.
+// The NaN case matters most — Env.Set clamps out-of-range values but
+// passes NaN through (NaN compares false against both bounds), so
+// Validate is the only gate between a NaN pAVF and the kernels.
+func TestEnvValidate(t *testing.T) {
+	u, s1, _, _ := testUniverse(t)
+	env := NewEnv(u)
+	if err := env.Validate(); err != nil {
+		t.Fatalf("fresh env must validate: %v", err)
+	}
+	env.Set(s1, 0.5)
+	if err := env.Validate(); err != nil {
+		t.Fatalf("in-range env must validate: %v", err)
+	}
+
+	bad := []struct {
+		name string
+		v    float64
+	}{
+		{"NaN", math.NaN()},
+		{"+Inf", math.Inf(1)},
+		{"-Inf", math.Inf(-1)},
+	}
+	for _, tc := range bad {
+		e := append(Env(nil), env...)
+		e[s1] = tc.v // bypass Set's clamping, as a corrupted buffer would
+		if err := e.Validate(); err == nil {
+			t.Errorf("%s environment validated", tc.name)
+		}
+	}
+	e := append(Env(nil), env...)
+	e[s1] = -0.25
+	if err := e.Validate(); err == nil {
+		t.Error("negative term validated")
+	}
+	e[s1] = 1.25
+	if err := e.Validate(); err == nil {
+		t.Error("term above 1 validated")
+	}
+	e[s1] = 0.5
+	e[Top] = 0.999999
+	if err := e.Validate(); err == nil {
+		t.Error("perturbed Top term validated")
+	}
+	if err := (Env{}).Validate(); err == nil {
+		t.Error("empty environment validated")
+	}
+}

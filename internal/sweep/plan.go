@@ -50,6 +50,19 @@ type Plan struct {
 	// the walk never reached that side (conservative 1.0).
 	fwdIdx []int32
 	bwdIdx []int32
+
+	// The deduplicated (fwdIdx, bwdIdx) pair table: vertices sharing both
+	// set slots resolve to the same MIN, so the blocked kernel computes
+	// each distinct pair once per lane and broadcasts the values.
+	// pairFwd/pairBwd are the slot pair for each unique pair (slot -1 =
+	// unknown side). Adjacent vertices overwhelmingly share a pair (the
+	// bits of one node), so the vertex->pair map is run-length encoded:
+	// run r covers vertices [runOff[r], runOff[r+1]) and resolves to pair
+	// runPair[r], turning the broadcast into a constant fill per run.
+	pairFwd []int32
+	pairBwd []int32
+	runOff  []int32
+	runPair []int32
 }
 
 // Stats describes a compiled plan's shape.
@@ -113,7 +126,35 @@ func Compile(res *core.Result) (*Plan, error) {
 			p.bwdIdx[v] = -1
 		}
 	}
+	p.buildPairs()
 	return p, nil
+}
+
+// buildPairs fills the unique (fwd, bwd) slot-pair table and its
+// run-length-encoded vertex map. Derived entirely from fwdIdx/bwdIdx, so
+// both Compile and Restore produce identical tables for the same CSR
+// plan.
+func (p *Plan) buildPairs() {
+	n := len(p.fwdIdx)
+	seen := make(map[uint64]int32, 64)
+	prev := int32(-1)
+	for v := 0; v < n; v++ {
+		fi, bi := p.fwdIdx[v], p.bwdIdx[v]
+		key := uint64(uint32(fi))<<32 | uint64(uint32(bi))
+		pi, ok := seen[key]
+		if !ok {
+			pi = int32(len(p.pairFwd))
+			seen[key] = pi
+			p.pairFwd = append(p.pairFwd, fi)
+			p.pairBwd = append(p.pairBwd, bi)
+		}
+		if pi != prev {
+			p.runOff = append(p.runOff, int32(v))
+			p.runPair = append(p.runPair, pi)
+			prev = pi
+		}
+	}
+	p.runOff = append(p.runOff, int32(n))
 }
 
 // Raw is the plan's CSR subterm table in serializable form. Slices alias
@@ -203,7 +244,7 @@ func Restore(a *core.Analyzer, raw Raw, visited []bool) (*Plan, []pavf.Expr, err
 			x.Bwd, x.KnownBwd = sets[bi], true
 		}
 	}
-	return &Plan{
+	p := &Plan{
 		Analyzer:    a,
 		Fingerprint: a.Fingerprint(),
 		exprs:       exprs,
@@ -212,7 +253,9 @@ func Restore(a *core.Analyzer, raw Raw, visited []bool) (*Plan, []pavf.Expr, err
 		setIDs:      raw.SetIDs,
 		fwdIdx:      raw.FwdIdx,
 		bwdIdx:      raw.BwdIdx,
-	}, exprs, nil
+	}
+	p.buildPairs()
+	return p, exprs, nil
 }
 
 // NumVerts returns the number of bit equations in the plan.
@@ -273,13 +316,16 @@ func (p *Plan) evalEnv(env pavf.Env, scratch, avf []float64) {
 // Eval evaluates one workload through the plan, returning a full
 // core.Result (closed forms shared with the compiled source, AVF vector
 // fresh). scratch may be nil or a reusable buffer of at least NumSets
-// entries.
+// entries. Like the blocked kernel (EvalBlock), it validates the built
+// environment, so a NaN smuggled past BuildEnv's clamping is rejected
+// here instead of propagating into AVFs — the scalar and blocked paths
+// accept exactly the same inputs.
 func (p *Plan) Eval(in *core.Inputs, scratch []float64) (*core.Result, error) {
-	if err := p.Analyzer.CheckInputs(in); err != nil {
+	env, err := p.Analyzer.CheckedEnv(in)
+	if err != nil {
 		return nil, err
 	}
-	env, err := p.Analyzer.BuildEnv(in)
-	if err != nil {
+	if err := env.Validate(); err != nil {
 		return nil, err
 	}
 	if len(scratch) < p.NumSets() {

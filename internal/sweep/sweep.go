@@ -21,8 +21,16 @@ type Options struct {
 	// ChunkSize is the number of workloads one worker claims at a time
 	// (the shard granularity). 0 picks a size that gives each worker ~4
 	// claims per batch, amortizing the claim overhead while keeping the
-	// tail balanced.
+	// tail balanced. When the blocked kernel is active the chunk is
+	// rounded up to a multiple of BlockSize so claims shard by whole
+	// blocks and only the batch tail runs ragged.
 	ChunkSize int
+	// BlockSize is the blocked-kernel lane width: workloads evaluated
+	// together per plan traversal (Plan.EvalBlock). 0 uses
+	// DefaultBlockSize (16); 1 (or any negative value) forces the scalar
+	// per-workload path. Results are bit-identical either way — the knob
+	// trades scratch-matrix footprint against index-traffic amortization.
+	BlockSize int
 	// CacheSize bounds the compiled-plan LRU (by design fingerprint).
 	// 0 means 8.
 	CacheSize int
@@ -169,6 +177,13 @@ func (e *Engine) SweepContext(ctx context.Context, res *core.Result, workloads [
 	if workers < 1 {
 		workers = 1
 	}
+	block := e.opts.BlockSize
+	switch {
+	case block == 0:
+		block = DefaultBlockSize
+	case block < 1:
+		block = 1
+	}
 	chunk := e.opts.ChunkSize
 	if chunk <= 0 {
 		chunk = (n + workers*4 - 1) / (workers * 4)
@@ -176,11 +191,18 @@ func (e *Engine) SweepContext(ctx context.Context, res *core.Result, workloads [
 			chunk = 1
 		}
 	}
+	if block > 1 {
+		// Shard by whole blocks: every claim except the batch tail is a
+		// multiple of the lane width, so ragged blocks appear at most
+		// once per sweep instead of once per claim.
+		chunk = (chunk + block - 1) / block * block
+	}
 
 	sp := e.opts.Obs.StartSpan("sweep.eval")
 	sp.SetAttr("workloads", n)
 	sp.SetAttr("workers", workers)
 	sp.SetAttr("chunk", chunk)
+	sp.SetAttr("block", block)
 	start := time.Now()
 
 	batch := &Batch{
@@ -194,9 +216,20 @@ func (e *Engine) SweepContext(ctx context.Context, res *core.Result, workloads [
 
 	done := ctx.Done()
 	var next atomic.Int64
+	var blocks atomic.Int64
 	var firstErr atomic.Value // error
 	run := func() {
-		scratch := make([]float64, plan.NumSets())
+		// Per-worker scratch, pooled across every claim the worker makes:
+		// the scalar path needs one subterm row, the blocked path a
+		// NumSets x block matrix plus the worker's own EnvMatrix (its SoA
+		// buffer is reused across blocks; the per-lane environments are
+		// fresh because Results adopt them).
+		var m EnvMatrix
+		scratchLanes := 1
+		if block > 1 {
+			scratchLanes = block
+		}
+		scratch := make([]float64, plan.ScratchLen(scratchLanes))
 		for {
 			select {
 			case <-done:
@@ -211,6 +244,20 @@ func (e *Engine) SweepContext(ctx context.Context, res *core.Result, workloads [
 			hi := lo + chunk
 			if hi > n {
 				hi = n
+			}
+			if block > 1 {
+				for b := lo; b < hi; b += block {
+					be := b + block
+					if be > hi {
+						be = hi
+					}
+					if err := plan.EvalBlockInto(workloads[b:be], &m, scratch, batch.Results[b:be]); err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+					blocks.Add(1)
+				}
+				continue
 			}
 			for i := lo; i < hi; i++ {
 				r, err := plan.Eval(workloads[i].Inputs, scratch)
@@ -247,5 +294,14 @@ func (e *Engine) SweepContext(ctx context.Context, res *core.Result, workloads [
 	e.opts.Obs.Counter("sweep.workloads").Add(int64(n))
 	e.opts.Obs.Counter("sweep.batches").Inc()
 	e.opts.Obs.Gauge("sweep.workloads_per_sec").Set(batch.WorkloadsPerSec())
+	if block > 1 {
+		// Kernel telemetry: which evaluation path served the batch, how
+		// many kernel invocations it took, and the blocked throughput.
+		e.opts.Obs.Counter("sweep.workloads_blocked").Add(int64(n))
+		e.opts.Obs.Counter("sweep.block_evals").Add(blocks.Load())
+		e.opts.Obs.Gauge("sweep.kernel_workloads_per_sec").Set(batch.WorkloadsPerSec())
+	} else {
+		e.opts.Obs.Counter("sweep.workloads_scalar").Add(int64(n))
+	}
 	return batch, nil
 }
