@@ -7,7 +7,9 @@
 package seqavf_test
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"math"
 	"runtime"
 	"runtime/debug"
@@ -20,6 +22,7 @@ import (
 	"seqavf/internal/experiments"
 	"seqavf/internal/graph"
 	"seqavf/internal/netlist"
+	"seqavf/internal/obs"
 	"seqavf/internal/pavf"
 	"seqavf/internal/ser"
 	"seqavf/internal/sfi"
@@ -495,6 +498,91 @@ func BenchmarkBlockedSweep(b *testing.B) {
 				if _, err := eng.Sweep(res, ws); err != nil {
 					b.Fatal(err)
 				}
+			}
+			b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "workloads/sec")
+		})
+	}
+}
+
+// BenchmarkTracedSweep measures the cost of request-scoped tracing on
+// the blocked kernel: the same 64-workload XeonLike sweep as
+// BenchmarkBlockedSweep/Blocked16, untraced (no registry) vs traced (a
+// live registry, a per-iteration request span the sweep nests under, and
+// a JSONL sink draining to io.Discard — the full seqavfd wiring). The
+// instrumentation budget is <3% (EXPERIMENTS.md records the measured
+// overhead); tracing that costs more than that would have to be sampled
+// instead of always-on. The GC protocol matches BenchmarkBlockedSweep.
+func BenchmarkTracedSweep(b *testing.B) {
+	e := env(b)
+	res, err := e.Analyzer.Solve(e.AvgInputs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 64
+	ws := make([]sweep.Workload, n)
+	for i := range ws {
+		rng := stats.New(uint64(7000 + i))
+		in := core.NewInputs()
+		jitter := func(v float64) float64 {
+			v += (rng.Float64() - 0.5) * 0.2
+			return math.Min(1, math.Max(0, v))
+		}
+		ports := func(dst, src map[core.StructPort]float64) {
+			keys := make([]core.StructPort, 0, len(src))
+			for sp := range src {
+				keys = append(keys, sp)
+			}
+			sort.Slice(keys, func(a, b int) bool {
+				return keys[a].Struct < keys[b].Struct ||
+					(keys[a].Struct == keys[b].Struct && keys[a].Port < keys[b].Port)
+			})
+			for _, sp := range keys {
+				dst[sp] = jitter(src[sp])
+			}
+		}
+		ports(in.ReadPorts, e.AvgInputs.ReadPorts)
+		ports(in.WritePorts, e.AvgInputs.WritePorts)
+		ws[i] = sweep.Workload{Name: fmt.Sprintf("w%02d", i), Inputs: in}
+	}
+	quiesce := func(b *testing.B) {
+		b.StopTimer()
+		runtime.GC()
+		b.StartTimer()
+	}
+	for _, bc := range []struct {
+		name   string
+		traced bool
+	}{
+		{"Untraced", false},
+		{"Traced", true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			opts := sweep.Options{Workers: 1, BlockSize: 16}
+			var reg *obs.Registry
+			if bc.traced {
+				reg = obs.New()
+				reg.SetSink(obs.NewJSONLSink(io.Discard))
+				opts.Obs = reg
+			}
+			eng := sweep.New(opts)
+			if _, err := eng.Plan(res); err != nil {
+				b.Fatal(err)
+			}
+			gcPct := debug.SetGCPercent(-1)
+			defer debug.SetGCPercent(gcPct)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				quiesce(b)
+				ctx := context.Background()
+				var sp *obs.Span
+				if bc.traced {
+					sp = reg.StartSpanContext(ctx, "server.request")
+					ctx = obs.ContextWithSpan(ctx, sp)
+				}
+				if _, err := eng.SweepContext(ctx, res, ws); err != nil {
+					b.Fatal(err)
+				}
+				sp.End()
 			}
 			b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "workloads/sec")
 		})

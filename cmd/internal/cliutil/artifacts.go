@@ -1,6 +1,7 @@
 package cliutil
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -43,13 +44,15 @@ func (a *Artifacts) Open(reg *obs.Registry) (*artifact.Store, error) {
 // returned bool reports a warm start. st may be nil (always cold, never
 // persisted). A present-but-unreadable artifact (version skew,
 // corruption) is reported to stderr and regenerated, never fatal:
-// warm-start is an optimization, not a correctness dependency.
-func SolveWithStore(tool string, st *artifact.Store, a *core.Analyzer, in *core.Inputs, reg *obs.Registry) (*core.Result, bool, error) {
+// warm-start is an optimization, not a correctness dependency. ctx
+// carries the run's trace state: the restore or solve spans nest under
+// its current span.
+func SolveWithStore(ctx context.Context, tool string, st *artifact.Store, a *core.Analyzer, in *core.Inputs, reg *obs.Registry) (*core.Result, bool, error) {
 	if st == nil {
-		res, err := a.Solve(in)
+		res, err := a.SolveContext(ctx, in)
 		return res, false, err
 	}
-	res, _, err := st.Get(a)
+	res, _, err := st.GetContext(ctx, a)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%s: artifact store: %v (solving cold and regenerating)\n", tool, err)
 	}
@@ -65,7 +68,7 @@ func SolveWithStore(tool string, st *artifact.Store, a *core.Analyzer, in *core.
 		return res, true, nil
 	}
 	reg.Counter("artifact.cold_start").Inc()
-	res, err = a.Solve(in)
+	res, err = a.SolveContext(ctx, in)
 	if err != nil {
 		return nil, false, err
 	}

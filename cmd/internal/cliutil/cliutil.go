@@ -42,30 +42,53 @@ type Obs struct {
 	Metrics string
 	// Trace enables live span printing to stderr (-trace).
 	Trace bool
+	// TraceJSONL is the -trace-jsonl destination: one JSON object per
+	// finished span, carrying trace/span/parent IDs, appended to a file.
+	TraceJSONL string
 	// Pprof is the -pprof listen address for net/http/pprof.
 	Pprof string
 	// Reg is the registry created by Start.
 	Reg *obs.Registry
+
+	jsonl *os.File
 }
 
-// ObsFlags registers -metrics, -trace, and -pprof on the default FlagSet.
+// ObsFlags registers -metrics, -trace, -trace-jsonl, and -pprof on the
+// default FlagSet.
 func ObsFlags() *Obs {
 	o := &Obs{}
 	flag.StringVar(&o.Metrics, "metrics", "", "write a JSON metrics snapshot (counters, phase timings, manifest) to this file")
 	flag.BoolVar(&o.Trace, "trace", false, "print phase spans to stderr as they finish")
+	flag.StringVar(&o.TraceJSONL, "trace-jsonl", "", "append finished spans as JSON lines (with trace/span IDs) to this file")
 	flag.StringVar(&o.Pprof, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	return o
 }
 
 // Start creates the run's registry, seeds its manifest with the tool name
-// and argv, attaches the -trace sink, and starts the -pprof server. The
-// returned registry is never nil; pass it into the pipelines' Obs options.
+// and argv, attaches the -trace/-trace-jsonl sinks, and starts the -pprof
+// server. The returned registry is never nil; pass it into the pipelines'
+// Obs options.
 func (o *Obs) Start(tool string) *obs.Registry {
 	o.Reg = obs.New()
 	o.Reg.SetManifest("tool", tool)
 	o.Reg.SetManifest("argv", os.Args[1:])
+	var sinks []obs.Sink
 	if o.Trace {
-		o.Reg.SetSink(obs.NewTextSink(os.Stderr))
+		sinks = append(sinks, obs.NewTextSink(os.Stderr))
+	}
+	if o.TraceJSONL != "" {
+		f, err := os.OpenFile(o.TraceJSONL, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			// Span export is telemetry, not the run's output: report and
+			// continue rather than failing the sweep over a log path.
+			fmt.Fprintf(os.Stderr, "%s: -trace-jsonl: %v (spans not exported)\n", tool, err)
+		} else {
+			o.jsonl = f
+			sinks = append(sinks, obs.NewJSONLSink(f))
+		}
+	}
+	if len(sinks) > 0 {
+		o.Reg.SetSink(obs.MultiSink(sinks...))
 	}
 	if o.Pprof != "" {
 		go func() {
@@ -78,9 +101,15 @@ func (o *Obs) Start(tool string) *obs.Registry {
 	return o.Reg
 }
 
-// Finish flushes the -metrics snapshot (a no-op without -metrics or
-// before Start).
+// Finish flushes the -metrics snapshot and closes the -trace-jsonl file
+// (a no-op without those flags or before Start).
 func (o *Obs) Finish() error {
+	if o.jsonl != nil {
+		if err := o.jsonl.Close(); err != nil {
+			return fmt.Errorf("closing -trace-jsonl: %w", err)
+		}
+		o.jsonl = nil
+	}
 	if o.Reg == nil || o.Metrics == "" {
 		return nil
 	}

@@ -31,6 +31,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -143,7 +144,7 @@ func run(reg *obs.Registry, arts *cliutil.Artifacts, nlPath, pavfPath string, lo
 			return serr
 		}
 		var warm bool
-		res, warm, err = cliutil.SolveWithStore("sartool", st, a, in, reg)
+		res, warm, err = cliutil.SolveWithStore(context.Background(), "sartool", st, a, in, reg)
 		if warm {
 			fmt.Fprintf(os.Stderr, "sartool: warm start from artifact store (fingerprint %016x)\n", a.Fingerprint())
 		}

@@ -6,12 +6,18 @@
 //
 // Endpoints (see internal/server):
 //
-//	GET  /healthz      liveness + design count
-//	GET  /metrics      obs registry snapshot (counters, histograms, spans)
-//	GET  /debug/pprof/ live profiles
-//	GET  /v1/designs   registered designs
-//	POST /v1/designs   upload a netlist (body = netlist text)
-//	POST /v1/sweep     {"design": ..., "workloads": [{"name","pavf"}]}
+//	GET  /healthz        liveness + design count
+//	GET  /metrics        Prometheus text exposition (scrape endpoint)
+//	GET  /metrics.json   obs registry snapshot (counters, histograms, spans)
+//	GET  /debug/requests flight recorder: last -flight request records
+//	GET  /debug/pprof/   live profiles
+//	GET  /v1/designs     registered designs
+//	POST /v1/designs     upload a netlist (body = netlist text)
+//	POST /v1/sweep       {"design": ..., "workloads": [{"name","pavf"}]}
+//
+// Every request runs under a trace: an incoming W3C traceparent header
+// is honored and echoed, and requests slower than -slow-sweep-ms emit
+// their full span tree as one JSON line to stderr.
 //
 // Saturation returns 429 with Retry-After; SIGINT/SIGTERM drains
 // in-flight sweeps for -drain before aborting them.
@@ -62,6 +68,8 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request sweep deadline")
 	maxBody := flag.Int64("max-body", 8<<20, "request body size cap in bytes")
 	drain := flag.Duration("drain", 15*time.Second, "graceful shutdown drain deadline")
+	flight := flag.Int("flight", 0, "flight-recorder capacity: request records kept for /debug/requests (0 = 128)")
+	slowMS := flag.Int("slow-sweep-ms", 0, "promote requests slower than this to the slow log (full span tree, one JSON line to stderr; 0 = off)")
 	arts := cliutil.ArtifactFlags()
 	ob := cliutil.ObsFlags()
 	flag.Parse()
@@ -72,12 +80,14 @@ func main() {
 		cliutil.Exit("seqavfd", err)
 	}
 	srv := server.New(server.Config{
-		Sweep:          sweep.Options{Workers: *workers, CacheSize: *cache, BlockSize: *blockW},
-		Obs:            reg,
-		MaxConcurrent:  *maxConc,
-		RequestTimeout: *timeout,
-		MaxBodyBytes:   *maxBody,
-		Artifacts:      store,
+		Sweep:              sweep.Options{Workers: *workers, CacheSize: *cache, BlockSize: *blockW},
+		Obs:                reg,
+		MaxConcurrent:      *maxConc,
+		RequestTimeout:     *timeout,
+		MaxBodyBytes:       *maxBody,
+		Artifacts:          store,
+		FlightRecorderSize: *flight,
+		SlowRequest:        time.Duration(*slowMS) * time.Millisecond,
 	})
 
 	opts := core.DefaultOptions()

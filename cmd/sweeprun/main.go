@@ -21,6 +21,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -88,7 +89,14 @@ func run(reg *obs.Registry, arts *cliutil.Artifacts, nlPath, dir, glob string, w
 	reg.SetManifest("workers", workers)
 	reg.SetManifest("block", blockW)
 
-	lsp := reg.StartSpan("load")
+	// The whole run is one trace: load, solve/restore, and the sweep all
+	// nest under a single root span, so -trace-jsonl output stitches into
+	// one tree per invocation.
+	root := reg.StartSpan("sweeprun")
+	defer root.End()
+	ctx := obs.ContextWithSpan(context.Background(), root)
+
+	lsp := root.Child("load")
 	f, err := os.Open(nlPath)
 	if err != nil {
 		return err
@@ -132,7 +140,7 @@ func run(reg *obs.Registry, arts *cliutil.Artifacts, nlPath, dir, glob string, w
 	if err != nil {
 		return err
 	}
-	res, warm, err := cliutil.SolveWithStore("sweeprun", st, a, named[0].Inputs, reg)
+	res, warm, err := cliutil.SolveWithStore(ctx, "sweeprun", st, a, named[0].Inputs, reg)
 	if err != nil {
 		return err
 	}
@@ -148,7 +156,7 @@ func run(reg *obs.Registry, arts *cliutil.Artifacts, nlPath, dir, glob string, w
 	for i, ni := range named {
 		ws[i] = sweep.Workload{Name: ni.Name, Inputs: ni.Inputs}
 	}
-	batch, err := eng.Sweep(res, ws)
+	batch, err := eng.SweepContext(ctx, res, ws)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package artifact
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -67,19 +68,36 @@ func (s *Store) path(fp uint64) string {
 // skew, corruption) returns the decode error so callers can report it
 // before regenerating — the next Put overwrites the bad entry.
 func (s *Store) Get(a *core.Analyzer) (*core.Result, *sweep.Plan, error) {
-	path := s.path(a.Fingerprint())
+	return s.GetContext(context.Background(), a)
+}
+
+// GetContext is Get with request-scoped tracing: the "artifact.restore"
+// span nests under ctx's current span, its "outcome" attribute
+// distinguishes warm-start hits from misses and decode errors, and
+// successful restores feed the artifact.restore_seconds latency
+// histogram — the warm-start half of the warm-vs-cold budget.
+func (s *Store) GetContext(ctx context.Context, a *core.Analyzer) (*core.Result, *sweep.Plan, error) {
+	fp := a.Fingerprint()
+	sp := s.opts.Obs.StartSpanContext(ctx, "artifact.restore")
+	defer sp.End()
+	sp.SetAttr("fingerprint", fmt.Sprintf("%016x", fp))
+	start := time.Now()
+	path := s.path(fp)
 	data, err := os.ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {
 		s.opts.Obs.Counter("artifact.store_misses").Inc()
+		sp.SetAttr("outcome", "miss")
 		return nil, nil, nil
 	}
 	if err != nil {
 		s.opts.Obs.Counter("artifact.store_errors").Inc()
+		sp.SetAttr("outcome", "error")
 		return nil, nil, fmt.Errorf("artifact: reading %s: %w", path, err)
 	}
 	res, plan, err := Decode(data, a)
 	if err != nil {
 		s.opts.Obs.Counter("artifact.decode_errors").Inc()
+		sp.SetAttr("outcome", "error")
 		return nil, nil, fmt.Errorf("artifact: %s: %w", path, err)
 	}
 	// Touch for LRU: eviction orders by mtime, and a freshly served
@@ -88,6 +106,10 @@ func (s *Store) Get(a *core.Analyzer) (*core.Result, *sweep.Plan, error) {
 	now := time.Now()
 	_ = os.Chtimes(path, now, now)
 	s.opts.Obs.Counter("artifact.store_hits").Inc()
+	s.opts.Obs.FixedHistogram("artifact.restore_seconds", obs.LatencyBuckets).
+		Observe(time.Since(start).Seconds())
+	sp.SetAttr("outcome", "hit")
+	sp.SetAttr("bytes", len(data))
 	return res, plan, nil
 }
 
@@ -206,9 +228,10 @@ func (s *Store) SizeBytes() int64 {
 // GetPlan and PutPlan make *Store a sweep.PlanStore: the engine's
 // second-level cache behind its in-memory LRU. GetPlan maps decode
 // failures to errors (the engine counts them and recompiles) and clean
-// misses to (nil, nil).
-func (s *Store) GetPlan(res *core.Result) (*sweep.Plan, error) {
-	_, plan, err := s.Get(res.Analyzer)
+// misses to (nil, nil). The context carries the request's trace state
+// so the restore span lands under the engine's "sweep.plan" span.
+func (s *Store) GetPlan(ctx context.Context, res *core.Result) (*sweep.Plan, error) {
+	_, plan, err := s.GetContext(ctx, res.Analyzer)
 	return plan, err
 }
 

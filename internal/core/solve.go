@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -67,7 +68,16 @@ type Result struct {
 // MIN are monotone, this is the limit the paper's walk-based relaxation
 // converges to; walks "can be done in any order" (§4.1.2).
 func (a *Analyzer) Solve(in *Inputs) (*Result, error) {
-	sp := a.Opts.Obs.StartSpan("solve")
+	return a.SolveContext(context.Background(), in)
+}
+
+// SolveContext is Solve with request-scoped tracing: the "solve" span
+// (and its env/fwd/bwd/finish phase children) nests under ctx's current
+// span, so a cold solve triggered by an HTTP design upload appears in
+// that request's trace. The context is trace plumbing only — the solve
+// itself is not cancellable mid-fixpoint.
+func (a *Analyzer) SolveContext(ctx context.Context, in *Inputs) (*Result, error) {
+	sp := a.Opts.Obs.StartSpanContext(ctx, "solve")
 	defer sp.End()
 	esp := sp.Child("env")
 	env, err := a.buildEnv(in)

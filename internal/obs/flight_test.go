@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderRing(t *testing.T) {
+	f := NewFlightRecorder(4)
+	if f.Len() != 0 {
+		t.Fatalf("fresh Len = %d", f.Len())
+	}
+	for i := 0; i < 6; i++ {
+		f.Record(RequestRecord{Endpoint: "/v1/sweep", Outcome: fmt.Sprintf("r%d", i)})
+	}
+	if f.Len() != 4 {
+		t.Fatalf("Len = %d after wrap, want 4", f.Len())
+	}
+	snap := f.Snapshot()
+	// Newest first: r5, r4, r3, r2 — r0/r1 evicted.
+	want := []string{"r5", "r4", "r3", "r2"}
+	for i, rec := range snap {
+		if rec.Outcome != want[i] {
+			t.Fatalf("snapshot[%d] = %q, want %q (full: %+v)", i, rec.Outcome, want[i], snap)
+		}
+	}
+}
+
+func TestFlightRecorderDefaults(t *testing.T) {
+	f := NewFlightRecorder(0)
+	for i := 0; i < 200; i++ {
+		f.Record(RequestRecord{})
+	}
+	if f.Len() != 128 {
+		t.Fatalf("default capacity = %d, want 128", f.Len())
+	}
+}
+
+func TestFlightRecorderNil(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(RequestRecord{})
+	if f.Len() != 0 || f.Snapshot() != nil {
+		t.Fatal("nil recorder misbehaved")
+	}
+	resp := httptest.NewRecorder()
+	f.Handler().ServeHTTP(resp, httptest.NewRequest("GET", "/debug/requests", nil))
+	var recs []RequestRecord
+	if err := json.Unmarshal(resp.Body.Bytes(), &recs); err != nil || len(recs) != 0 {
+		t.Fatalf("nil handler body %q (err %v)", resp.Body.String(), err)
+	}
+}
+
+func TestFlightRecorderHandler(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.Record(RequestRecord{Endpoint: "/v1/sweep", TraceID: "abc", Status: 200, Outcome: "ok", Workloads: 3})
+	resp := httptest.NewRecorder()
+	f.Handler().ServeHTTP(resp, httptest.NewRequest("GET", "/debug/requests", nil))
+	if resp.Code != 200 || resp.Header().Get("Content-Type") != "application/json; charset=utf-8" {
+		t.Fatalf("GET: %d %q", resp.Code, resp.Header().Get("Content-Type"))
+	}
+	var recs []RequestRecord
+	if err := json.Unmarshal(resp.Body.Bytes(), &recs); err != nil {
+		t.Fatalf("body %q: %v", resp.Body.String(), err)
+	}
+	if len(recs) != 1 || recs[0].TraceID != "abc" || recs[0].Workloads != 3 {
+		t.Fatalf("records = %+v", recs)
+	}
+	resp = httptest.NewRecorder()
+	f.Handler().ServeHTTP(resp, httptest.NewRequest("DELETE", "/debug/requests", nil))
+	if resp.Code != 405 {
+		t.Fatalf("DELETE: %d, want 405", resp.Code)
+	}
+}
+
+// TestFlightRecorderConcurrent hammers Record/Snapshot together; under
+// -race this proves the ring is data-race free.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				f.Record(RequestRecord{Status: w})
+				if i%50 == 0 {
+					f.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if f.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", f.Len())
+	}
+}

@@ -1,12 +1,21 @@
 package obs
 
-import "net/http"
+import (
+	"encoding/json"
+	"net/http"
+)
 
 // MetricsHandler serves the registry's JSON snapshot — counters, gauges,
 // histograms, span trees, and the run manifest — as one document per GET.
-// It is the /metrics endpoint of long-running processes (seqavfd); batch
-// CLIs keep using WriteFile via the -metrics flag. Safe on a nil
-// registry, which serves the empty snapshot.
+// It is the /metrics.json endpoint of long-running processes (seqavfd);
+// batch CLIs keep using WriteFile via the -metrics flag, and Prometheus
+// scrapers use PromHandler. Safe on a nil registry, which serves the
+// empty snapshot.
+//
+// The response is materialized from one consistent Snapshot (a single
+// registry read pass — see Registry.Snapshot) rather than by reading
+// metric families piecemeal while writers are active, and carries an
+// explicit charset so proxies do not have to sniff.
 func (r *Registry) MetricsHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet && req.Method != http.MethodHead {
@@ -14,13 +23,14 @@ func (r *Registry) MetricsHandler() http.Handler {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		if req.Method == http.MethodHead {
 			return
 		}
-		if err := r.WriteJSON(w); err != nil {
-			// Headers are already out; nothing useful left to send.
-			return
-		}
+		snap := r.Snapshot()
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		// Headers are already out on error; nothing useful left to send.
+		_ = enc.Encode(snap)
 	})
 }

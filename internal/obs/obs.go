@@ -73,9 +73,23 @@ func (g *Gauge) Load() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
-// Histogram accumulates a distribution into power-of-two buckets plus
-// count/sum/min/max. Observe takes a mutex: use it for per-iteration or
-// per-phase observations, not per-vertex ones.
+// LatencyBuckets is the shared fixed-bucket layout for latency
+// histograms observed in seconds (server.request_seconds,
+// sweep.plan_compile_seconds, sweep.block_eval_seconds,
+// artifact.restore_seconds): 500µs to 10s, roughly geometric — the
+// range a sweep stage can plausibly occupy. Fixed, identical bounds are
+// what let a fleet gateway sum per-replica Prometheus buckets.
+var LatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram accumulates a distribution plus count/sum/min/max. Two
+// bucket modes exist: the default power-of-two exponent buckets (no
+// configuration, unbounded range), and fixed upper-bound buckets
+// (FixedHistogram) whose stable layout is required for Prometheus
+// exposition that aggregates across processes. Observe takes a mutex:
+// use it for per-iteration or per-phase observations, not per-vertex
+// ones.
 type Histogram struct {
 	mu      sync.Mutex
 	count   uint64
@@ -84,6 +98,8 @@ type Histogram struct {
 	max     float64
 	nonpos  uint64
 	buckets map[int]uint64 // key: binary exponent e, bucket covers (2^(e-1), 2^e]
+	bounds  []float64      // fixed mode: sorted upper bounds (le); nil = exponent mode
+	fixed   []uint64       // fixed mode: non-cumulative counts per bound
 }
 
 // Observe records one sample. Safe on nil.
@@ -101,6 +117,15 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.count++
 	h.sum += v
+	if h.bounds != nil {
+		// sort.SearchFloat64s returns len(bounds) for NaN and for samples
+		// beyond the last bound; both then count only toward the implicit
+		// +Inf bucket (count itself).
+		if i := sort.SearchFloat64s(h.bounds, v); i < len(h.fixed) {
+			h.fixed[i]++
+		}
+		return
+	}
 	if v <= 0 || math.IsNaN(v) {
 		h.nonpos++
 		return
@@ -134,14 +159,23 @@ type HistogramSnapshot struct {
 	Mean  float64 `json:"mean"`
 	// Buckets maps the binary exponent e (bucket upper bound 2^e) to the
 	// number of positive samples in (2^(e-1), 2^e]. Non-positive samples
-	// appear only in Count/Sum/Min.
+	// appear only in Count/Sum/Min (and Nonpos). Exponent mode only.
 	Buckets map[string]uint64 `json:"buckets,omitempty"`
+	// Nonpos counts the samples excluded from exponent buckets (<= 0 or
+	// NaN); Prometheus exposition folds them into every cumulative
+	// bucket, since a non-positive sample is <= any positive bound.
+	Nonpos uint64 `json:"nonpos,omitempty"`
+	// Bounds/Counts are the fixed-bucket view (FixedHistogram): sorted
+	// upper bounds and the non-cumulative sample count per bound.
+	// Samples beyond the last bound appear only in Count.
+	Bounds []float64 `json:"bounds,omitempty"`
+	Counts []uint64  `json:"bucket_counts,omitempty"`
 }
 
 func (h *Histogram) snapshot() HistogramSnapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max, Nonpos: h.nonpos}
 	if h.count > 0 {
 		s.Mean = h.sum / float64(h.count)
 	}
@@ -150,6 +184,10 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 		for e, n := range h.buckets {
 			s.Buckets[strconv.Itoa(e)] = n
 		}
+	}
+	if h.bounds != nil {
+		s.Bounds = append([]float64(nil), h.bounds...)
+		s.Counts = append([]uint64(nil), h.fixed...)
 	}
 	return s
 }
@@ -224,6 +262,32 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// FixedHistogram returns the named histogram configured with fixed
+// upper-bound buckets (typically LatencyBuckets), creating it on first
+// use. Bounds must be sorted ascending. If the name already exists as
+// an exponent-mode histogram with no observations yet, it is converted;
+// an already-observed histogram keeps its existing layout (first
+// registration wins — a stable layout is the point of fixed buckets).
+func (r *Registry) FixedHistogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	h.mu.Lock()
+	if h.bounds == nil && h.count == 0 {
+		h.bounds = append([]float64(nil), bounds...)
+		h.fixed = make([]uint64, len(h.bounds))
+	}
+	h.mu.Unlock()
+	return h
+}
+
 // SetManifest records one self-describing fact about the run (an option
 // value, the seed, the workload name, a result flag). Manifest entries are
 // serialized verbatim into the snapshot.
@@ -264,8 +328,12 @@ type Snapshot struct {
 	Spans      []SpanSnapshot               `json:"spans,omitempty"`
 }
 
-// Snapshot captures the registry's current state. In-flight spans are
-// included with Running set.
+// Snapshot captures the registry's current state in one pass: every
+// metric family is read under a single registry lock (histograms take
+// their own lock nested inside it), so concurrent writers cannot make
+// one family's values inconsistent with another's — the property both
+// the JSON endpoint and the Prometheus encoder rely on. In-flight
+// spans are included with Running set.
 func (r *Registry) Snapshot() *Snapshot {
 	s := &Snapshot{}
 	if r == nil {
@@ -280,9 +348,11 @@ func (r *Registry) Snapshot() *Snapshot {
 	for k, g := range r.gauges {
 		gauges[k] = g.Load()
 	}
-	hists := make(map[string]*Histogram, len(r.hists))
-	for k, h := range r.hists {
-		hists[k] = h
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for k, h := range r.hists {
+			s.Histograms[k] = h.snapshot()
+		}
 	}
 	if len(r.manifest) > 0 {
 		s.Manifest = make(map[string]any, len(r.manifest))
@@ -298,12 +368,6 @@ func (r *Registry) Snapshot() *Snapshot {
 	}
 	if len(gauges) > 0 {
 		s.Gauges = gauges
-	}
-	if len(hists) > 0 {
-		s.Histograms = make(map[string]HistogramSnapshot, len(hists))
-		for k, h := range hists {
-			s.Histograms[k] = h.snapshot()
-		}
 	}
 	for _, sp := range roots {
 		s.Spans = append(s.Spans, sp.snapshot())

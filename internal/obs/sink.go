@@ -46,6 +46,9 @@ func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{enc: json.NewEncod
 func (j *JSONLSink) SpanEnd(sp *Span) {
 	ev := struct {
 		Span       string         `json:"span"`
+		TraceID    string         `json:"trace_id,omitempty"`
+		SpanID     string         `json:"span_id,omitempty"`
+		ParentID   string         `json:"parent_id,omitempty"`
 		DurationMS float64        `json:"duration_ms"`
 		Attrs      map[string]any `json:"attrs,omitempty"`
 	}{
@@ -53,9 +56,45 @@ func (j *JSONLSink) SpanEnd(sp *Span) {
 		DurationMS: float64(sp.Duration()) / float64(time.Millisecond),
 		Attrs:      sp.Attrs(),
 	}
+	if tid := sp.TraceID(); !tid.IsZero() {
+		ev.TraceID = tid.String()
+	}
+	if sid := sp.SpanID(); !sid.IsZero() {
+		ev.SpanID = sid.String()
+	}
+	if pid := sp.ParentID(); !pid.IsZero() {
+		ev.ParentID = pid.String()
+	}
 	j.mu.Lock()
-	j.enc.Encode(ev) //nolint:errcheck // best-effort live emission
+	// Best-effort live emission: an encode error (closed file, short
+	// write, unmarshalable attr) must never panic or poison later
+	// events — json.Encoder reports per-call errors without latching.
+	_ = j.enc.Encode(ev)
 	j.mu.Unlock()
+}
+
+// MultiSink fans every event out to each sink in order (nils are
+// skipped). It lets a CLI print -trace lines to stderr while also
+// appending -trace-jsonl records to a file.
+func MultiSink(sinks ...Sink) Sink {
+	out := make(multiSink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 1 {
+		return out[0]
+	}
+	return out
+}
+
+type multiSink []Sink
+
+func (m multiSink) SpanEnd(sp *Span) {
+	for _, s := range m {
+		s.SpanEnd(sp)
+	}
 }
 
 // Discard is a sink that drops every event (useful to exercise sink code

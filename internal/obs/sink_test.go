@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// failWriter fails every write after the first n bytes — the
+// closed-file / full-disk shape a long-running service hits.
+type failWriter struct {
+	n       int
+	written bytes.Buffer
+}
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.written.Len() >= f.n {
+		return 0, errors.New("sink: disk full")
+	}
+	take := f.n - f.written.Len()
+	if take > len(p) {
+		take = len(p)
+	}
+	f.written.Write(p[:take])
+	if take < len(p) {
+		return take, errors.New("sink: short write")
+	}
+	return take, nil
+}
+
+// TestJSONLSinkWriterFailure: encode errors must neither panic nor
+// poison later events, and spans still record durations.
+func TestJSONLSinkWriterFailure(t *testing.T) {
+	reg := New()
+	fw := &failWriter{n: 10}
+	reg.SetSink(NewJSONLSink(fw))
+	sp := reg.StartSpan("solve")
+	time.Sleep(time.Millisecond)
+	sp.End() // write fails mid-event; must not panic
+	if sp.Duration() < time.Millisecond {
+		t.Fatalf("duration %v lost after sink failure", sp.Duration())
+	}
+	// The registry must stay usable: swap to a good sink and emit again.
+	var good bytes.Buffer
+	reg.SetSink(NewJSONLSink(&good))
+	sp2 := reg.StartSpan("solve")
+	sp2.End()
+	if !strings.Contains(good.String(), `"span":"solve"`) {
+		t.Fatalf("later event lost after earlier sink failure: %q", good.String())
+	}
+}
+
+// TestJSONLSinkUnencodableAttr: a non-marshalable attribute (chan) must
+// not panic or deadlock the registry.
+func TestJSONLSinkUnencodableAttr(t *testing.T) {
+	reg := New()
+	var buf bytes.Buffer
+	reg.SetSink(NewJSONLSink(&buf))
+	sp := reg.StartSpan("solve")
+	sp.SetAttr("bad", make(chan int))
+	sp.End()
+	// The registry must not be deadlocked: Snapshot takes the same lock
+	// currentSink does.
+	if snap := reg.Snapshot(); len(snap.Spans) != 1 {
+		t.Fatalf("registry wedged after unencodable attr: %+v", snap)
+	}
+}
+
+// TestTextSinkShortWrite: a short-write TextSink must not panic, and the
+// span tree stays intact for Snapshot/WritePhaseSummary.
+func TestTextSinkShortWrite(t *testing.T) {
+	reg := New()
+	fw := &failWriter{n: 5}
+	reg.SetSink(NewTextSink(fw))
+	root := reg.StartSpan("sweep")
+	root.Child("eval").End()
+	root.End()
+	snap := reg.Snapshot()
+	if len(snap.Spans) != 1 || len(snap.Spans[0].Children) != 1 {
+		t.Fatalf("span tree lost after short write: %+v", snap.Spans)
+	}
+	var buf bytes.Buffer
+	reg.WritePhaseSummary(&buf)
+	if !strings.Contains(buf.String(), "sweep") {
+		t.Fatalf("phase summary lost: %q", buf.String())
+	}
+}
+
+func TestMultiSink(t *testing.T) {
+	var a, b bytes.Buffer
+	reg := New()
+	reg.SetSink(MultiSink(NewTextSink(&a), nil, NewJSONLSink(&b)))
+	reg.StartSpan("solve").End()
+	if !strings.Contains(a.String(), "solve") || !strings.Contains(b.String(), `"span":"solve"`) {
+		t.Fatalf("fan-out missed a sink: text=%q jsonl=%q", a.String(), b.String())
+	}
+	// A single non-nil sink is returned unwrapped.
+	ts := NewTextSink(&a)
+	if got := MultiSink(nil, ts); got != Sink(ts) {
+		t.Fatalf("MultiSink(single) = %T, want the sink itself", got)
+	}
+	// A failing member must not stop later members.
+	var c bytes.Buffer
+	reg.SetSink(MultiSink(NewJSONLSink(&failWriter{}), NewTextSink(&c)))
+	reg.StartSpan("eval").End()
+	if !strings.Contains(c.String(), "eval") {
+		t.Fatalf("later sink starved by failing earlier sink: %q", c.String())
+	}
+}

@@ -21,10 +21,13 @@ import (
 //	fwd.SetAttr("vertices", n)
 //	fwd.End()
 type Span struct {
-	reg    *Registry
-	parent *Span
-	name   string
-	start  time.Time
+	reg      *Registry
+	parent   *Span
+	name     string
+	start    time.Time
+	traceID  TraceID
+	spanID   SpanID
+	parentID SpanID // parent span ID; for roots, the remote parent (if any)
 
 	mu       sync.Mutex
 	end      time.Time
@@ -32,25 +35,52 @@ type Span struct {
 	children []*Span
 }
 
-// StartSpan opens a root span. Returns nil (a no-op span) on a nil
-// registry.
+// maxRetainedRoots bounds how many root spans a Registry keeps for
+// Snapshot/WritePhaseSummary. Batch CLIs open a handful of roots per
+// run; a long-lived server opens one per request, and retaining them
+// all would leak without bound — the ring keeps the most recent ones.
+const maxRetainedRoots = 256
+
+// newRoot builds (but does not retain) a root span with a fresh trace.
+func (r *Registry) newRoot(name string) *Span {
+	return &Span{reg: r, name: name, start: time.Now(), traceID: newTraceID(), spanID: newSpanID()}
+}
+
+// retainRoot appends sp to the bounded root ring, dropping the oldest
+// root beyond maxRetainedRoots.
+func (r *Registry) retainRoot(sp *Span) {
+	r.mu.Lock()
+	if len(r.roots) >= maxRetainedRoots {
+		copy(r.roots, r.roots[1:])
+		r.roots[len(r.roots)-1] = sp
+	} else {
+		r.roots = append(r.roots, sp)
+	}
+	r.mu.Unlock()
+}
+
+// StartSpan opens a root span on a fresh trace. Returns nil (a no-op
+// span) on a nil registry. To continue an incoming trace or nest under
+// the current request span, use StartSpanContext.
 func (r *Registry) StartSpan(name string) *Span {
 	if r == nil {
 		return nil
 	}
-	sp := &Span{reg: r, name: name, start: time.Now()}
-	r.mu.Lock()
-	r.roots = append(r.roots, sp)
-	r.mu.Unlock()
+	sp := r.newRoot(name)
+	r.retainRoot(sp)
 	return sp
 }
 
-// Child opens a nested span. Safe on nil (returns nil).
+// Child opens a nested span sharing the parent's trace ID. Safe on nil
+// (returns nil).
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := &Span{reg: s.reg, parent: s, name: name, start: time.Now()}
+	c := &Span{
+		reg: s.reg, parent: s, name: name, start: time.Now(),
+		traceID: s.traceID, spanID: newSpanID(), parentID: s.spanID,
+	}
 	s.mu.Lock()
 	s.children = append(s.children, c)
 	s.mu.Unlock()
@@ -96,6 +126,65 @@ func (s *Span) Name() string {
 		return ""
 	}
 	return s.name
+}
+
+// TraceID returns the span's trace ID (zero on nil).
+func (s *Span) TraceID() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	return s.traceID
+}
+
+// SpanID returns the span's own ID (zero on nil).
+func (s *Span) SpanID() SpanID {
+	if s == nil {
+		return SpanID{}
+	}
+	return s.spanID
+}
+
+// ParentID returns the parent span ID: the local parent's ID for child
+// spans, the remote parent for roots joined to an incoming trace, zero
+// otherwise.
+func (s *Span) ParentID() SpanID {
+	if s == nil {
+		return SpanID{}
+	}
+	return s.parentID
+}
+
+// Children returns a copy of the span's direct children (nil on nil).
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Attr returns the attribute stored under key (nil when absent).
+func (s *Span) Attr(key string) any {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.attrs[key]
+}
+
+// ChildSeconds sums the durations, in seconds, of the direct children
+// named name — the per-stage duration view the server's flight recorder
+// reads off a finished request span.
+func (s *Span) ChildSeconds(name string) float64 {
+	var total float64
+	for _, c := range s.Children() {
+		if c.Name() == name {
+			total += c.Duration().Seconds()
+		}
+	}
+	return total
 }
 
 // Path returns the slash-joined span path from its root, e.g. "solve/fwd".
@@ -160,13 +249,27 @@ func (s *Span) Attrs() map[string]any {
 	return out
 }
 
-// SpanSnapshot is the JSON form of a span subtree.
+// SpanSnapshot is the JSON form of a span subtree. TraceID appears on
+// root spans only (children share it by construction); SpanID/ParentID
+// appear on every span so flat consumers can re-link the tree.
 type SpanSnapshot struct {
 	Name       string         `json:"name"`
+	TraceID    string         `json:"trace_id,omitempty"`
+	SpanID     string         `json:"span_id,omitempty"`
+	ParentID   string         `json:"parent_id,omitempty"`
 	DurationMS float64        `json:"duration_ms"`
 	Running    bool           `json:"running,omitempty"`
 	Attrs      map[string]any `json:"attrs,omitempty"`
 	Children   []SpanSnapshot `json:"children,omitempty"`
+}
+
+// Snapshot returns the JSON form of the span subtree (zero value on
+// nil) — the payload the server's slow-request log embeds.
+func (s *Span) Snapshot() SpanSnapshot {
+	if s == nil {
+		return SpanSnapshot{}
+	}
+	return s.snapshot()
 }
 
 func (s *Span) snapshot() SpanSnapshot {
@@ -174,6 +277,15 @@ func (s *Span) snapshot() SpanSnapshot {
 	snap := SpanSnapshot{
 		Name:    s.name,
 		Running: s.end.IsZero(),
+	}
+	if s.parent == nil && !s.traceID.IsZero() {
+		snap.TraceID = s.traceID.String()
+	}
+	if !s.spanID.IsZero() {
+		snap.SpanID = s.spanID.String()
+	}
+	if !s.parentID.IsZero() {
+		snap.ParentID = s.parentID.String()
 	}
 	if snap.Running {
 		snap.DurationMS = float64(time.Since(s.start)) / float64(time.Millisecond)

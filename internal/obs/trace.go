@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"context"
+	"encoding/hex"
+	"math/rand/v2"
+)
+
+// Request-scoped tracing. A trace is identified by a 16-byte TraceID
+// shared by every span the request touches — across goroutines and, via
+// the W3C traceparent header, across processes (a future sweep-fleet
+// gateway forwards the header; each replica's spans then stitch into one
+// tree). Each span additionally carries an 8-byte SpanID and its
+// parent's SpanID, so flat JSONL span streams reconstruct the tree.
+//
+// Propagation is by context.Context:
+//
+//	ctx := obs.ContextWithRemoteParent(r.Context(), tid, pid) // from traceparent
+//	sp := reg.StartSpanContext(ctx, "server.request")         // adopts tid, parents pid
+//	ctx = obs.ContextWithSpan(ctx, sp)                        // downstream spans nest
+//	... eng.SweepContext(ctx, ...)                            // children of sp
+//
+// All of it is nil-safe: a nil registry yields nil spans, and a context
+// without trace state starts a fresh trace.
+
+// TraceID is the W3C trace-context trace identifier: 16 bytes, rendered
+// as 32 lowercase hex digits. The zero value means "no trace".
+type TraceID [16]byte
+
+// IsZero reports whether the ID is unset (invalid per W3C).
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// SpanID is the W3C parent-id: 8 bytes, 16 lowercase hex digits. The
+// zero value means "no span".
+type SpanID [8]byte
+
+// IsZero reports whether the ID is unset (invalid per W3C).
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the ID as 16 lowercase hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// newTraceID returns a random non-zero TraceID. math/rand/v2's global
+// generator is goroutine-safe, seeded from the OS, and lock-cheap —
+// trace IDs need uniqueness, not cryptographic unpredictability.
+func newTraceID() TraceID {
+	var t TraceID
+	for t.IsZero() {
+		putUint64(t[:8], rand.Uint64())
+		putUint64(t[8:], rand.Uint64())
+	}
+	return t
+}
+
+// newSpanID returns a random non-zero SpanID.
+func newSpanID() SpanID {
+	var s SpanID
+	for s.IsZero() {
+		putUint64(s[:], rand.Uint64())
+	}
+	return s
+}
+
+func putUint64(b []byte, v uint64) {
+	_ = b[7]
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (56 - 8*i))
+	}
+}
+
+// ParseTraceparent parses a W3C traceparent header
+// (version-traceid-parentid-flags, e.g.
+// "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01") into the
+// remote trace and parent span IDs. It accepts any version except the
+// reserved "ff", requires lowercase hex per the spec, and rejects the
+// all-zero IDs the spec marks invalid.
+func ParseTraceparent(h string) (TraceID, SpanID, bool) {
+	var tid TraceID
+	var sid SpanID
+	// version(2) '-' traceid(32) '-' parentid(16) '-' flags(2); later
+	// versions may append fields after the flags.
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return tid, sid, false
+	}
+	if len(h) > 55 && h[55] != '-' {
+		return tid, sid, false
+	}
+	if !isLowerHex(h[:2]) || h[:2] == "ff" {
+		return tid, sid, false
+	}
+	if !isLowerHex(h[53:55]) {
+		return tid, sid, false
+	}
+	if _, err := hex.Decode(tid[:], []byte(h[3:35])); err != nil || !isLowerHex(h[3:35]) {
+		return TraceID{}, sid, false
+	}
+	if _, err := hex.Decode(sid[:], []byte(h[36:52])); err != nil || !isLowerHex(h[36:52]) {
+		return TraceID{}, SpanID{}, false
+	}
+	if tid.IsZero() || sid.IsZero() {
+		return TraceID{}, SpanID{}, false
+	}
+	return tid, sid, true
+}
+
+// FormatTraceparent renders a version-00 traceparent header with the
+// sampled flag set — the form seqavfd echoes back on responses and a
+// gateway forwards to replicas.
+func FormatTraceparent(t TraceID, s SpanID) string {
+	return "00-" + t.String() + "-" + s.String() + "-01"
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+type spanCtxKey struct{}
+
+type remoteParent struct {
+	trace TraceID
+	span  SpanID
+}
+
+type remoteCtxKey struct{}
+
+// ContextWithSpan returns ctx carrying sp as the current span: spans
+// started with StartSpanContext nest under it. A nil sp returns ctx
+// unchanged.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, sp)
+}
+
+// SpanFromContext returns the current span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return sp
+}
+
+// ContextWithRemoteParent records an incoming traceparent's IDs: the
+// next root span started from ctx adopts the trace ID and parents the
+// remote span, stitching this process's tree into the caller's trace.
+func ContextWithRemoteParent(ctx context.Context, t TraceID, s SpanID) context.Context {
+	if t.IsZero() {
+		return ctx
+	}
+	return context.WithValue(ctx, remoteCtxKey{}, remoteParent{trace: t, span: s})
+}
+
+// remoteParentFromContext returns the remote trace/parent IDs, if any.
+func remoteParentFromContext(ctx context.Context) (TraceID, SpanID, bool) {
+	if ctx == nil {
+		return TraceID{}, SpanID{}, false
+	}
+	rp, ok := ctx.Value(remoteCtxKey{}).(remoteParent)
+	return rp.trace, rp.span, ok
+}
+
+// StartSpanContext opens a span parented by ctx: a child of the
+// context's current span when one is set, otherwise a root span that
+// joins the context's remote trace (ContextWithRemoteParent) or starts
+// a fresh one. Returns nil (a no-op span) when neither a parent span
+// nor a non-nil registry is available.
+func (r *Registry) StartSpanContext(ctx context.Context, name string) *Span {
+	if parent := SpanFromContext(ctx); parent != nil {
+		return parent.Child(name)
+	}
+	if r == nil {
+		return nil
+	}
+	sp := r.newRoot(name)
+	if tid, pid, ok := remoteParentFromContext(ctx); ok {
+		sp.traceID = tid
+		sp.parentID = pid
+	}
+	r.retainRoot(sp)
+	return sp
+}

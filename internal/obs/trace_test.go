@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tid, sid := newTraceID(), newSpanID()
+	h := FormatTraceparent(tid, sid)
+	if len(h) != 55 || !strings.HasPrefix(h, "00-") || !strings.HasSuffix(h, "-01") {
+		t.Fatalf("formatted traceparent %q", h)
+	}
+	gt, gs, ok := ParseTraceparent(h)
+	if !ok || gt != tid || gs != sid {
+		t.Fatalf("ParseTraceparent(%q) = %v %v %v, want %v %v", h, gt, gs, ok, tid, sid)
+	}
+}
+
+func TestParseTraceparentValid(t *testing.T) {
+	const h = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	tid, sid, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("rejected valid header %q", h)
+	}
+	if tid.String() != "0af7651916cd43dd8448eb211c80319c" || sid.String() != "b7ad6b7169203331" {
+		t.Fatalf("parsed %v %v", tid, sid)
+	}
+	// A future version may append "-extra" fields after the flags; the
+	// fixed prefix must still parse.
+	if _, _, ok := ParseTraceparent(h[:53] + "00-morefields"); !ok {
+		t.Fatal("rejected future-version trailing fields")
+	}
+}
+
+func TestParseTraceparentInvalid(t *testing.T) {
+	bad := map[string]string{
+		"empty":            "",
+		"truncated":        "00-0af7651916cd43dd8448eb211c80319c-b7ad6b71692033",
+		"version ff":       "ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+		"uppercase hex":    "00-0AF7651916CD43DD8448EB211C80319C-b7ad6b7169203331-01",
+		"zero trace id":    "00-00000000000000000000000000000000-b7ad6b7169203331-01",
+		"zero parent id":   "00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",
+		"bad separators":   "00_0af7651916cd43dd8448eb211c80319c_b7ad6b7169203331_01",
+		"non-hex version":  "zz-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+		"non-hex flags":    "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-zz",
+		"non-hex trace id": "00-0af7651916cd43dd8448eb211c80319x-b7ad6b7169203331-01",
+		"fused extra":      "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-012",
+	}
+	for name, h := range bad {
+		if _, _, ok := ParseTraceparent(h); ok {
+			t.Errorf("%s: accepted %q", name, h)
+		}
+	}
+}
+
+func TestIDGeneration(t *testing.T) {
+	if newTraceID().IsZero() || newSpanID().IsZero() {
+		t.Fatal("generated a zero ID")
+	}
+	if newTraceID() == newTraceID() {
+		t.Fatal("two fresh trace IDs collided")
+	}
+	var tid TraceID
+	var sid SpanID
+	if !tid.IsZero() || !sid.IsZero() {
+		t.Fatal("zero values not zero")
+	}
+	if len(tid.String()) != 32 || len(sid.String()) != 16 {
+		t.Fatalf("String lengths %d/%d", len(tid.String()), len(sid.String()))
+	}
+}
+
+// TestStartSpanContextNesting: with a span in the context, the new span
+// is its child on the same trace.
+func TestStartSpanContextNesting(t *testing.T) {
+	reg := New()
+	root := reg.StartSpan("server.request")
+	ctx := ContextWithSpan(context.Background(), root)
+	if got := SpanFromContext(ctx); got != root {
+		t.Fatal("SpanFromContext did not return the stored span")
+	}
+	child := reg.StartSpanContext(ctx, "sweep.plan")
+	if child.TraceID() != root.TraceID() {
+		t.Fatalf("child trace %v != root trace %v", child.TraceID(), root.TraceID())
+	}
+	if child.ParentID() != root.SpanID() {
+		t.Fatalf("child parent %v != root span %v", child.ParentID(), root.SpanID())
+	}
+	// Even a nil registry receiver nests when the context carries a span:
+	// the parent's registry wires the sink.
+	var nilReg *Registry
+	c2 := nilReg.StartSpanContext(ctx, "artifact.restore")
+	if c2 == nil || c2.TraceID() != root.TraceID() {
+		t.Fatal("nil-registry StartSpanContext did not nest under the context span")
+	}
+}
+
+// TestStartSpanContextRemoteParent: a context carrying an incoming
+// traceparent makes the next root join that trace.
+func TestStartSpanContextRemoteParent(t *testing.T) {
+	reg := New()
+	tid, pid, _ := ParseTraceparent("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	ctx := ContextWithRemoteParent(context.Background(), tid, pid)
+	sp := reg.StartSpanContext(ctx, "server.request")
+	if sp.TraceID() != tid {
+		t.Fatalf("root did not adopt remote trace: %v != %v", sp.TraceID(), tid)
+	}
+	if sp.ParentID() != pid {
+		t.Fatalf("root did not parent remote span: %v != %v", sp.ParentID(), pid)
+	}
+	if sp.SpanID().IsZero() || sp.SpanID() == SpanID(pid) {
+		t.Fatalf("root span ID %v must be fresh", sp.SpanID())
+	}
+	snap := sp.Snapshot()
+	if snap.TraceID != tid.String() || snap.ParentID != pid.String() {
+		t.Fatalf("snapshot IDs %q/%q", snap.TraceID, snap.ParentID)
+	}
+}
+
+// TestStartSpanContextFresh: an empty context starts a fresh trace; a
+// nil registry with no parent yields a nil (no-op) span.
+func TestStartSpanContextFresh(t *testing.T) {
+	reg := New()
+	sp := reg.StartSpanContext(context.Background(), "server.request")
+	if sp == nil || sp.TraceID().IsZero() || !sp.ParentID().IsZero() {
+		t.Fatalf("fresh root = %+v", sp)
+	}
+	var nilReg *Registry
+	if got := nilReg.StartSpanContext(context.Background(), "x"); got != nil {
+		t.Fatal("nil registry with empty context produced a span")
+	}
+	if got := SpanFromContext(nil); got != nil { //nolint:staticcheck // nil ctx is the documented no-op
+		t.Fatal("SpanFromContext(nil) non-nil")
+	}
+	if ctx := ContextWithSpan(context.Background(), nil); SpanFromContext(ctx) != nil {
+		t.Fatal("ContextWithSpan(nil span) stored something")
+	}
+	if ctx := ContextWithRemoteParent(context.Background(), TraceID{}, SpanID{}); ctx != context.Background() {
+		t.Fatal("zero remote parent should leave ctx unchanged")
+	}
+}
+
+// TestRootRingBounded: a long-lived registry must not retain unbounded
+// root spans — the ring keeps the newest maxRetainedRoots.
+func TestRootRingBounded(t *testing.T) {
+	reg := New()
+	total := maxRetainedRoots + 17
+	var last *Span
+	for i := 0; i < total; i++ {
+		last = reg.StartSpan("req")
+		last.End()
+	}
+	snap := reg.Snapshot()
+	if len(snap.Spans) != maxRetainedRoots {
+		t.Fatalf("retained %d roots, want %d", len(snap.Spans), maxRetainedRoots)
+	}
+	if snap.Spans[len(snap.Spans)-1].TraceID != last.TraceID().String() {
+		t.Fatal("newest root evicted instead of oldest")
+	}
+}

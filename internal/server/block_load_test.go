@@ -156,7 +156,7 @@ func TestServeSweepBlockedLoad(t *testing.T) {
 	// The kernel telemetry must attribute ALL served traffic to the
 	// blocked path: 2 blocks per request (4+2 lanes), 6 workloads per
 	// request, and nothing on the scalar counter.
-	resp, err := http.Get(ts.URL + "/metrics")
+	resp, err := http.Get(ts.URL + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +164,7 @@ func TestServeSweepBlockedLoad(t *testing.T) {
 	resp.Body.Close()
 	var snap obs.Snapshot
 	if err := json.Unmarshal(b, &snap); err != nil {
-		t.Fatalf("/metrics not a snapshot: %v", err)
+		t.Fatalf("/metrics.json not a snapshot: %v", err)
 	}
 	requests := int64(clients * perClient)
 	if got := snap.Counters["sweep.block_evals"]; got != 2*requests {

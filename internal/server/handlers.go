@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"seqavf/internal/core"
+	"seqavf/internal/obs"
 	"seqavf/internal/pavfio"
 	"seqavf/internal/sweep"
 )
@@ -62,16 +63,20 @@ type DesignInfo struct {
 
 // Handler returns the service mux:
 //
-//	GET  /healthz      — liveness + design count
-//	GET  /metrics      — obs registry JSON snapshot
-//	GET  /debug/pprof/ — net/http/pprof profiles
-//	GET  /v1/designs   — registered designs and plan shapes
-//	POST /v1/designs   — upload a textual netlist; solve + register it
-//	POST /v1/sweep     — evaluate workload pAVF tables through one design
+//	GET  /healthz        — liveness + design count
+//	GET  /metrics        — Prometheus text exposition (scrape me)
+//	GET  /metrics.json   — obs registry JSON snapshot (spans, manifest)
+//	GET  /debug/requests — flight recorder: last K request records
+//	GET  /debug/pprof/   — net/http/pprof profiles
+//	GET  /v1/designs     — registered designs and plan shapes
+//	POST /v1/designs     — upload a textual netlist; solve + register it
+//	POST /v1/sweep       — evaluate workload pAVF tables through one design
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.Handle("GET /metrics", s.reg.MetricsHandler())
+	mux.Handle("GET /metrics", s.reg.PromHandler())
+	mux.Handle("GET /metrics.json", s.reg.MetricsHandler())
+	mux.Handle("GET /debug/requests", s.flight.Handler())
 	mux.HandleFunc("GET /v1/designs", s.handleListDesigns)
 	mux.HandleFunc("POST /v1/designs", s.handleUploadDesign)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
@@ -81,6 +86,85 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// startRequest opens the per-request root span: it adopts an incoming
+// W3C traceparent header (so a gateway's trace continues through this
+// process), echoes the assigned traceparent on the response, and
+// returns the span plus a context carrying it for downstream stages.
+func (s *Server) startRequest(w http.ResponseWriter, r *http.Request, endpoint string) (*obs.Span, context.Context) {
+	ctx := r.Context()
+	if tid, pid, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		ctx = obs.ContextWithRemoteParent(ctx, tid, pid)
+	}
+	sp := s.reg.StartSpanContext(ctx, "server.request")
+	sp.SetAttr("endpoint", endpoint)
+	if tid := sp.TraceID(); !tid.IsZero() {
+		w.Header().Set("traceparent", obs.FormatTraceparent(tid, sp.SpanID()))
+	}
+	return sp, obs.ContextWithSpan(ctx, sp)
+}
+
+// finishRequest closes the request span, observes the request latency,
+// derives the flight record's per-stage durations from the span's
+// children, records it, and — when the request overran the slow
+// threshold — promotes the full span tree to the structured slow log.
+func (s *Server) finishRequest(sp *obs.Span, start time.Time, rec obs.RequestRecord) {
+	sp.SetAttr("status", rec.Status)
+	sp.End()
+	elapsed := time.Since(start)
+	s.reg.FixedHistogram("server.request_seconds", obs.LatencyBuckets).Observe(elapsed.Seconds())
+	rec.Time = time.Now()
+	rec.DurationSeconds = elapsed.Seconds()
+	if tid := sp.TraceID(); !tid.IsZero() {
+		rec.TraceID = tid.String()
+	}
+	for _, c := range sp.Children() {
+		d := c.Duration().Seconds()
+		switch c.Name() {
+		case "ingest":
+			rec.IngestSeconds += d
+		case "sweep.plan":
+			rec.PlanSeconds += d
+			if src, ok := c.Attr("source").(string); ok {
+				rec.PlanSource = src
+			}
+		case "sweep.eval":
+			rec.EvalSeconds += d
+		default:
+			// Upload solves and restores count as the plan stage: they
+			// are the "how do I get evaluable closed forms" phase.
+			if c.Name() == "solve" || c.Name() == "artifact.restore" {
+				rec.PlanSeconds += d
+			}
+		}
+	}
+	if rec.PlanSource == "" {
+		if disp, ok := sp.Attr("artifact").(string); ok {
+			rec.PlanSource = disp
+		}
+	}
+	s.flight.Record(rec)
+	if s.cfg.SlowRequest > 0 && elapsed >= s.cfg.SlowRequest {
+		s.logSlowRequest(sp, rec)
+	}
+}
+
+// logSlowRequest writes one JSON line: the flight record plus the full
+// span tree of the offending request — enough to see which stage ate
+// the budget without re-running anything.
+func (s *Server) logSlowRequest(sp *obs.Span, rec obs.RequestRecord) {
+	s.reg.Counter("server.slow_requests").Inc()
+	line, err := json.Marshal(struct {
+		SlowRequest obs.RequestRecord `json:"slow_request"`
+		Spans       obs.SpanSnapshot  `json:"spans"`
+	}{rec, sp.Snapshot()})
+	if err != nil {
+		return
+	}
+	s.slowMu.Lock()
+	fmt.Fprintf(s.cfg.SlowLog, "%s\n", line)
+	s.slowMu.Unlock()
 }
 
 // writeJSON encodes v with status code.
@@ -133,21 +217,39 @@ func (s *Server) rejectBusy(w http.ResponseWriter) {
 
 func (s *Server) handleUploadDesign(w http.ResponseWriter, r *http.Request) {
 	s.reg.Counter("server.upload_requests").Inc()
+	rsp, ctx := s.startRequest(w, r, "/v1/designs")
+	start := time.Now()
+	rec := obs.RequestRecord{Endpoint: "/v1/designs", Status: http.StatusCreated, Outcome: "ok"}
+	defer func() { s.finishRequest(rsp, start, rec) }()
+	fail := func(write func(), status int, outcome string) {
+		rec.Status, rec.Outcome = status, outcome
+		write()
+	}
 	if !s.acquire() {
-		s.rejectBusy(w)
+		fail(func() { s.rejectBusy(w) }, http.StatusTooManyRequests, "busy")
 		return
 	}
 	defer s.release()
+	isp := rsp.Child("ingest")
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	isp.End()
 	if err != nil {
-		s.writeBodyErr(w, err)
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		fail(func() { s.writeBodyErr(w, err) }, status, err.Error())
 		return
 	}
-	d, err := s.LoadNetlist(r.URL.Query().Get("name"), strings.NewReader(string(body)), core.DefaultOptions())
+	d, err := s.LoadNetlistContext(ctx, r.URL.Query().Get("name"), strings.NewReader(string(body)), core.DefaultOptions())
 	if err != nil {
-		s.writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		fail(func() { s.writeErr(w, http.StatusUnprocessableEntity, "%v", err) },
+			http.StatusUnprocessableEntity, err.Error())
 		return
 	}
+	rec.Design = d.Name
+	rec.Fingerprint = fmt.Sprintf("%016x", d.Result.Analyzer.Fingerprint())
 	writeJSON(w, http.StatusCreated, DesignInfo{Name: d.Name, Vertices: d.Vertices, SeqBits: d.SeqBits, Plan: d.Plan})
 }
 
@@ -163,30 +265,48 @@ func (s *Server) writeBodyErr(w http.ResponseWriter, err error) {
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.reg.Counter("server.sweep_requests").Inc()
+	rsp, rctx := s.startRequest(w, r, "/v1/sweep")
+	start := time.Now()
+	rec := obs.RequestRecord{Endpoint: "/v1/sweep", Status: http.StatusOK, Outcome: "ok"}
+	defer func() { s.finishRequest(rsp, start, rec) }()
+	fail := func(status int, format string, args ...any) {
+		rec.Status, rec.Outcome = status, fmt.Sprintf(format, args...)
+		s.writeErr(w, status, "%s", rec.Outcome)
+	}
+
+	// Ingest stage: decode the envelope and run every pAVF table through
+	// the hardened parser — the ingestion choke-point where a NaN, an
+	// out-of-range value, or a duplicate record fails the request before
+	// anything reaches the long-lived engine.
+	isp := rsp.Child("ingest")
 	var req SweepRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		isp.End()
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
+			rec.Status, rec.Outcome = http.StatusRequestEntityTooLarge, err.Error()
 			s.writeBodyErr(w, err)
 			return
 		}
-		s.writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+		fail(http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
+	rec.Design = req.Design
+	rec.Workloads = len(req.Workloads)
 	d := s.Design(req.Design)
 	if d == nil {
-		s.writeErr(w, http.StatusNotFound, "unknown design %q (see GET /v1/designs)", req.Design)
+		isp.End()
+		fail(http.StatusNotFound, "unknown design %q (see GET /v1/designs)", req.Design)
 		return
 	}
+	rec.Fingerprint = fmt.Sprintf("%016x", d.Result.Analyzer.Fingerprint())
 	if len(req.Workloads) == 0 {
-		s.writeErr(w, http.StatusBadRequest, "no workloads in request")
+		isp.End()
+		fail(http.StatusBadRequest, "no workloads in request")
 		return
 	}
-	// The hardened table parser is the ingestion choke-point: a NaN, an
-	// out-of-range value, or a duplicate record fails the request here,
-	// before anything reaches the long-lived engine.
 	ws := make([]sweep.Workload, len(req.Workloads))
 	for i, rw := range req.Workloads {
 		name := rw.Name
@@ -195,33 +315,35 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		in, err := pavfio.Parse(name, strings.NewReader(rw.PAVF))
 		if err != nil {
-			s.writeErr(w, http.StatusUnprocessableEntity, "workload %q: %v", name, err)
+			isp.End()
+			fail(http.StatusUnprocessableEntity, "workload %q: %v", name, err)
 			return
 		}
 		ws[i] = sweep.Workload{Name: name, Inputs: in}
 	}
+	isp.SetAttr("workloads", len(ws))
+	isp.End()
 
 	if !s.acquire() {
+		rec.Status, rec.Outcome = http.StatusTooManyRequests, "busy"
 		s.rejectBusy(w)
 		return
 	}
 	defer s.release()
 
-	ctx, cancel := s.requestCtx(r)
+	ctx, cancel := s.requestCtx(rctx)
 	defer cancel()
-	start := time.Now()
 	batch, err := s.eng.SweepContext(ctx, d.Result, ws)
-	s.reg.Histogram("server.sweep_ms").Observe(float64(time.Since(start)) / float64(time.Millisecond))
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
-			s.writeErr(w, http.StatusServiceUnavailable, "sweep timed out after %v", s.cfg.RequestTimeout)
+			fail(http.StatusServiceUnavailable, "sweep timed out after %v", s.cfg.RequestTimeout)
 		case errors.Is(err, context.Canceled):
 			// Client gone or server aborting a drain: the 503 only reaches
 			// a client that is still listening.
-			s.writeErr(w, http.StatusServiceUnavailable, "sweep cancelled: %v", err)
+			fail(http.StatusServiceUnavailable, "sweep cancelled: %v", err)
 		default:
-			s.writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+			fail(http.StatusUnprocessableEntity, "%v", err)
 		}
 		return
 	}

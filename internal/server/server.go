@@ -17,15 +17,21 @@
 //   - request bodies are size-capped before they are parsed;
 //   - Abort cancels in-flight sweeps when a graceful drain overruns its
 //     deadline;
-//   - /healthz, /metrics (the obs registry snapshot), and /debug/pprof
-//     make the process observable in place.
+//   - /healthz, /metrics (Prometheus text exposition), /metrics.json
+//     (the obs registry snapshot), /debug/requests (the flight
+//     recorder), and /debug/pprof make the process observable in place;
+//   - every request runs under a trace: an incoming W3C traceparent
+//     header is honored (the response echoes the assigned traceparent),
+//     and the request's span tree — ingest, plan/artifact, kernel —
+//     feeds the flight recorder and, past Config.SlowRequest, the
+//     structured slow log.
 package server
 
 import (
 	"context"
 	"fmt"
 	"io"
-	"net/http"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -66,6 +72,19 @@ type Config struct {
 	// are written back, and the sweep engine consults the store behind
 	// its in-memory plan cache.
 	Artifacts *artifact.Store
+	// FlightRecorderSize bounds the /debug/requests ring: the last K
+	// request records (trace ID, design, per-stage durations, plan
+	// disposition, outcome) kept for after-the-fact latency forensics.
+	// 0 means 128.
+	FlightRecorderSize int
+	// SlowRequest, when > 0, promotes any request slower than the
+	// threshold to the slow log: its full span tree is written as one
+	// JSON line to SlowLog, so "why was that sweep slow?" is answerable
+	// without having traced every request externally.
+	SlowRequest time.Duration
+	// SlowLog receives slow-request span trees (one JSON object per
+	// line). nil uses os.Stderr.
+	SlowLog io.Writer
 }
 
 // Design is one solved design registered with the server.
@@ -81,11 +100,13 @@ type Design struct {
 // register designs with AddResult or LoadNetlist, and mount Handler on an
 // http.Server.
 type Server struct {
-	cfg   Config
-	eng   *sweep.Engine
-	reg   *obs.Registry
-	sem   chan struct{}
-	start time.Time
+	cfg    Config
+	eng    *sweep.Engine
+	reg    *obs.Registry
+	sem    chan struct{}
+	start  time.Time
+	flight *obs.FlightRecorder
+	slowMu sync.Mutex // serializes SlowLog writes
 
 	mu      sync.RWMutex
 	designs map[string]*Design
@@ -113,18 +134,29 @@ func New(cfg Config) *Server {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
 	}
+	if cfg.SlowLog == nil {
+		cfg.SlowLog = os.Stderr
+	}
 	cfg.Sweep.Obs = cfg.Obs
 	if cfg.Artifacts != nil {
 		// Guarded: assigning a nil *artifact.Store unconditionally would
 		// make Sweep.Store a non-nil interface wrapping nil.
 		cfg.Sweep.Store = cfg.Artifacts
 	}
+	// Pre-register the pipeline latency histograms so /metrics exposes
+	// every stage's family — with identical fixed bucket layouts across
+	// replicas — from the first scrape, not the first request.
+	cfg.Obs.FixedHistogram("server.request_seconds", obs.LatencyBuckets)
+	cfg.Obs.FixedHistogram("sweep.plan_compile_seconds", obs.LatencyBuckets)
+	cfg.Obs.FixedHistogram("sweep.block_eval_seconds", obs.LatencyBuckets)
+	cfg.Obs.FixedHistogram("artifact.restore_seconds", obs.LatencyBuckets)
 	return &Server{
 		cfg:     cfg,
 		eng:     sweep.New(cfg.Sweep),
 		reg:     cfg.Obs,
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
 		start:   time.Now(),
+		flight:  obs.NewFlightRecorder(cfg.FlightRecorderSize),
 		designs: make(map[string]*Design),
 		stop:    make(chan struct{}),
 	}
@@ -192,6 +224,15 @@ func (s *Server) AddResult(name string, res *core.Result) (*Design, error) {
 // counted as artifact.warm_start), and a cold solve is persisted back
 // (artifact.cold_start) so the next process restart warm-starts.
 func (s *Server) LoadNetlist(name string, r io.Reader, opts core.Options) (*Design, error) {
+	return s.LoadNetlistContext(context.Background(), name, r, opts)
+}
+
+// LoadNetlistContext is LoadNetlist with request-scoped tracing: the
+// artifact restore (warm start) or symbolic solve (cold start) nests
+// under ctx's current span, and the span gains an "artifact" attribute
+// ("warm" or "cold") that the flight recorder surfaces as the upload's
+// plan disposition.
+func (s *Server) LoadNetlistContext(ctx context.Context, name string, r io.Reader, opts core.Options) (*Design, error) {
 	d, err := netlist.Parse(r)
 	if err != nil {
 		return nil, fmt.Errorf("server: parsing netlist: %w", err)
@@ -213,7 +254,7 @@ func (s *Server) LoadNetlist(name string, r io.Reader, opts core.Options) (*Desi
 		return nil, fmt.Errorf("server: analyzing %q: %w", d.Name, err)
 	}
 	if st := s.cfg.Artifacts; st != nil {
-		res, _, err := st.Get(a)
+		res, _, err := st.GetContext(ctx, a)
 		if err != nil {
 			// A stale or corrupt artifact is never fatal: fall through to
 			// the cold solve and regenerate it.
@@ -230,10 +271,11 @@ func (s *Server) LoadNetlist(name string, r io.Reader, opts core.Options) (*Desi
 				}
 			}
 			s.reg.Counter("artifact.warm_start").Inc()
+			obs.SpanFromContext(ctx).SetAttr("artifact", "warm")
 			return s.AddResult(name, res)
 		}
 	}
-	res, err := a.Solve(neutralInputs(a))
+	res, err := a.SolveContext(ctx, neutralInputs(a))
 	if err != nil {
 		return nil, fmt.Errorf("server: solving %q: %w", d.Name, err)
 	}
@@ -242,6 +284,7 @@ func (s *Server) LoadNetlist(name string, r io.Reader, opts core.Options) (*Desi
 		// second-level store (wired in New) persists the artifact —
 		// result and plan together — so the next restart warm-starts.
 		s.reg.Counter("artifact.cold_start").Inc()
+		obs.SpanFromContext(ctx).SetAttr("artifact", "cold")
 	}
 	return s.AddResult(name, res)
 }
@@ -304,10 +347,11 @@ func (s *Server) release() {
 	s.reg.Gauge("server.in_flight").Set(float64(len(s.sem)))
 }
 
-// requestCtx derives the evaluation context for one request: the client's
-// context, capped by the request timeout, cancelled early by Abort.
-func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+// requestCtx derives the evaluation context for one request: the given
+// context (the client's, already carrying the request span), capped by
+// the request timeout, cancelled early by Abort.
+func (s *Server) requestCtx(base context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithTimeout(base, s.cfg.RequestTimeout)
 	select {
 	case <-s.stop:
 		// Abort already happened: hand out a context that is cancelled

@@ -507,19 +507,28 @@ func TestHealthzAndMetrics(t *testing.T) {
 		t.Fatalf("/healthz body %s (err %v)", b, err)
 	}
 
+	code, b = get("/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics.json: %d", code)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		t.Fatalf("/metrics.json not a snapshot: %v", err)
+	}
+	if snap.Counters["server.sweep_ok"] != 1 || snap.Counters["sweep.plan_cache_hits"] != 1 {
+		t.Fatalf("/metrics.json counters %v", snap.Counters)
+	}
+	if snap.Histograms["server.request_seconds"].Count != 1 {
+		t.Fatalf("/metrics.json histograms %v", snap.Histograms)
+	}
+
 	code, b = get("/metrics")
 	if code != http.StatusOK {
 		t.Fatalf("/metrics: %d", code)
 	}
-	var snap obs.Snapshot
-	if err := json.Unmarshal(b, &snap); err != nil {
-		t.Fatalf("/metrics not a snapshot: %v", err)
-	}
-	if snap.Counters["server.sweep_ok"] != 1 || snap.Counters["sweep.plan_cache_hits"] != 1 {
-		t.Fatalf("/metrics counters %v", snap.Counters)
-	}
-	if snap.Histograms["server.sweep_ms"].Count != 1 {
-		t.Fatalf("/metrics histograms %v", snap.Histograms)
+	if !strings.Contains(string(b), "server_request_seconds_bucket") ||
+		!strings.Contains(string(b), "# TYPE server_sweep_ok counter") {
+		t.Fatalf("/metrics not Prometheus text:\n%s", b)
 	}
 
 	code, b = get("/v1/designs")

@@ -49,9 +49,11 @@ type Options struct {
 // PlanStore is the second-level plan cache contract (satisfied by
 // internal/artifact.Store without an import cycle). GetPlan returns
 // (nil, nil) on a clean miss; a returned plan must be bit-identical in
-// behavior to Compile(res).
+// behavior to Compile(res). The context carries request-scoped trace
+// state (the store parents its restore span under it), not
+// cancellation: restores are short and run to completion.
 type PlanStore interface {
-	GetPlan(res *core.Result) (*Plan, error)
+	GetPlan(ctx context.Context, res *core.Result) (*Plan, error)
 	PutPlan(res *core.Result, p *Plan) error
 }
 
@@ -102,14 +104,26 @@ func (b *Batch) WorkloadsPerSec() float64 {
 // LRU like compiled ones), else by compiling — and a fresh compile is
 // persisted back to the store so the next process starts warm.
 func (e *Engine) Plan(res *core.Result) (*Plan, error) {
+	return e.PlanContext(context.Background(), res)
+}
+
+// PlanContext is Plan with request-scoped tracing: the "sweep.plan"
+// span nests under ctx's current span (the server's per-request root),
+// its "source" attribute records how the plan was obtained (cache /
+// store / compile), and cold compiles feed the
+// sweep.plan_compile_seconds latency histogram.
+func (e *Engine) PlanContext(ctx context.Context, res *core.Result) (*Plan, error) {
 	fp := res.Analyzer.Fingerprint()
+	sp := e.opts.Obs.StartSpanContext(ctx, "sweep.plan")
+	defer sp.End()
 	if p := e.cache.get(fp); p != nil {
 		e.opts.Obs.Counter("sweep.plan_cache_hits").Inc()
+		sp.SetAttr("source", "cache")
 		return p, nil
 	}
 	e.opts.Obs.Counter("sweep.plan_cache_misses").Inc()
 	if e.opts.Store != nil {
-		p, err := e.opts.Store.GetPlan(res)
+		p, err := e.opts.Store.GetPlan(obs.ContextWithSpan(ctx, sp), res)
 		switch {
 		case err != nil:
 			// A corrupt or version-skewed artifact must not fail the
@@ -118,23 +132,28 @@ func (e *Engine) Plan(res *core.Result) (*Plan, error) {
 			e.opts.Obs.Counter("sweep.plan_store_errors").Inc()
 		case p != nil:
 			e.opts.Obs.Counter("sweep.plan_store_hits").Inc()
+			sp.SetAttr("source", "store")
 			e.cache.put(p)
 			return p, nil
 		default:
 			e.opts.Obs.Counter("sweep.plan_store_misses").Inc()
 		}
 	}
-	sp := e.opts.Obs.StartSpan("sweep.compile")
+	csp := sp.Child("compile")
+	start := time.Now()
 	p, err := Compile(res)
 	if err != nil {
-		sp.End()
+		csp.End()
 		return nil, err
 	}
+	e.opts.Obs.FixedHistogram("sweep.plan_compile_seconds", obs.LatencyBuckets).
+		Observe(time.Since(start).Seconds())
 	st := p.Stats()
-	sp.SetAttr("vertices", st.Vertices)
-	sp.SetAttr("unique_sets", st.UniqueSets)
-	sp.SetAttr("set_refs", st.SetRefs)
-	sp.End()
+	csp.SetAttr("vertices", st.Vertices)
+	csp.SetAttr("unique_sets", st.UniqueSets)
+	csp.SetAttr("set_refs", st.SetRefs)
+	csp.End()
+	sp.SetAttr("source", "compile")
 	e.opts.Obs.Counter("sweep.plan_compiles").Inc()
 	e.cache.put(p)
 	if e.opts.Store != nil {
@@ -162,7 +181,7 @@ func (e *Engine) Sweep(res *core.Result, workloads []Workload) (*Batch, error) {
 // batch, and the batch fails with the context's cause. Workloads already
 // evaluated are discarded — a cancelled sweep returns no partial batch.
 func (e *Engine) SweepContext(ctx context.Context, res *core.Result, workloads []Workload) (*Batch, error) {
-	plan, err := e.Plan(res)
+	plan, err := e.PlanContext(ctx, res)
 	if err != nil {
 		return nil, err
 	}
@@ -198,11 +217,18 @@ func (e *Engine) SweepContext(ctx context.Context, res *core.Result, workloads [
 		chunk = (chunk + block - 1) / block * block
 	}
 
-	sp := e.opts.Obs.StartSpan("sweep.eval")
+	sp := e.opts.Obs.StartSpanContext(ctx, "sweep.eval")
 	sp.SetAttr("workloads", n)
 	sp.SetAttr("workers", workers)
 	sp.SetAttr("chunk", chunk)
 	sp.SetAttr("block", block)
+	// Resolved once per batch (one registry-map lookup), observed once
+	// per kernel invocation — the per-block cost inside the worker loop
+	// is two clock reads and one histogram mutex.
+	var blockHist *obs.Histogram
+	if block > 1 {
+		blockHist = e.opts.Obs.FixedHistogram("sweep.block_eval_seconds", obs.LatencyBuckets)
+	}
 	start := time.Now()
 
 	batch := &Batch{
@@ -251,10 +277,12 @@ func (e *Engine) SweepContext(ctx context.Context, res *core.Result, workloads [
 					if be > hi {
 						be = hi
 					}
+					bstart := time.Now()
 					if err := plan.EvalBlockInto(workloads[b:be], &m, scratch, batch.Results[b:be]); err != nil {
 						firstErr.CompareAndSwap(nil, err)
 						return
 					}
+					blockHist.Observe(time.Since(bstart).Seconds())
 					blocks.Add(1)
 				}
 				continue

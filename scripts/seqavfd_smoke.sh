@@ -76,13 +76,14 @@ echo "seqavfd-smoke: clean shutdown"
 
 # Restart against the same artifact directory: the design must be
 # registered from the persisted artifact (a warm start) rather than
-# solved again. /metrics exposes the obs counters; artifact.warm_start
-# must be at least 1 and artifact.cold_start absent or 0.
+# solved again. /metrics.json exposes the obs counters;
+# artifact.warm_start must be at least 1 and artifact.cold_start absent
+# or 0.
 echo "seqavfd-smoke: restarting against $DIR/artifacts"
 "$DIR/bin/seqavfd" -listen "$ADDR" -design "$DIR/design.nl" -artifacts "$DIR/artifacts" &
 PID=$!
 wait_healthy
-curl -sf "http://$ADDR/metrics" >"$DIR/metrics.json"
+curl -sf "http://$ADDR/metrics.json" >"$DIR/metrics.json"
 grep -q '"artifact.warm_start": *[1-9]' "$DIR/metrics.json" || {
     echo "seqavfd-smoke: restart did not warm-start from the artifact store:" >&2
     grep -o '"artifact\.[a-z_]*": *[0-9]*' "$DIR/metrics.json" >&2 || true
@@ -92,6 +93,25 @@ echo "seqavfd-smoke: warm start confirmed ($(grep -o '"artifact.warm_start": *[0
 
 # The warm-started design must still answer sweeps.
 run_sweep
+
+# The Prometheus exposition must be live and carry the request latency
+# histogram (fixed buckets, so a fleet of replicas aggregates cleanly).
+curl -sf "http://$ADDR/metrics" >"$DIR/metrics.prom"
+grep -q '^server_request_seconds_bucket{le="+Inf"} [1-9]' "$DIR/metrics.prom" || {
+    echo "seqavfd-smoke: /metrics missing server_request_seconds_bucket:" >&2
+    head -20 "$DIR/metrics.prom" >&2 || true
+    exit 1
+}
+echo "seqavfd-smoke: prometheus exposition ok ($(grep -c '^# TYPE' "$DIR/metrics.prom") families)"
+
+# The flight recorder must have captured the sweep.
+curl -sf "http://$ADDR/debug/requests" >"$DIR/requests.json"
+grep -q '"endpoint": "/v1/sweep"' "$DIR/requests.json" || {
+    echo "seqavfd-smoke: /debug/requests missing the sweep record:" >&2
+    cat "$DIR/requests.json" >&2
+    exit 1
+}
+echo "seqavfd-smoke: flight recorder ok"
 
 echo "seqavfd-smoke: sending SIGTERM"
 kill -TERM "$PID"
