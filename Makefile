@@ -32,9 +32,11 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzCompilePlan -fuzztime=10s ./internal/sweep/
 	$(GO) test -run=^$$ -fuzz=FuzzEnvMatrix -fuzztime=10s ./internal/sweep/
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeArtifact -fuzztime=10s ./internal/artifact/
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeFUBState -fuzztime=10s ./internal/artifact/
 
-# Coverage floors on the numerical core (sweep engine + pAVF closed
-# forms); see scripts/cover.sh for the gated packages and thresholds.
+# Coverage floors on the numerical core (solver, sweep engine, pAVF
+# closed forms); see scripts/cover.sh for the gated packages and
+# thresholds.
 cover:
 	GO=$(GO) ./scripts/cover.sh
 

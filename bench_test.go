@@ -21,6 +21,7 @@ import (
 	"seqavf/internal/core"
 	"seqavf/internal/experiments"
 	"seqavf/internal/graph"
+	"seqavf/internal/graph/graphtest"
 	"seqavf/internal/netlist"
 	"seqavf/internal/obs"
 	"seqavf/internal/pavf"
@@ -673,4 +674,78 @@ func BenchmarkWarmStartVsSolve(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkIncrementalResolve measures the ECO payoff on the XeonLike
+// design: after a single-FUB netlist edit (add-flop), a full
+// FUB-partitioned re-solve of the edited design versus
+// ResolveIncremental seeded from the pre-edit artifact state. The
+// incremental path diffs per-FUB fingerprints, re-walks only the dirty
+// FUB plus its cross-edge neighbours, and reuses every other FUB's
+// closed forms from the prior — the acceptance target is a >=5x
+// speedup for single-FUB edits (EXPERIMENTS.md records the measured
+// ratio). PriorState construction is excluded from the incremental
+// side: a production ECO loop decodes it once from the artifact store,
+// not per re-solve. The quiesced-GC protocol matches
+// BenchmarkWarmStartVsSolve.
+func BenchmarkIncrementalResolve(b *testing.B) {
+	e := env(b)
+	base, err := e.Analyzer.SolvePartitioned(e.AvgInputs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prior, err := base.PriorState()
+	if err != nil {
+		b.Fatal(err)
+	}
+	fd, err := netlist.Flatten(e.Gen.Design)
+	if err != nil {
+		b.Fatal(err)
+	}
+	quiesce := func(b *testing.B) {
+		b.StopTimer()
+		runtime.GC()
+		b.StartTimer()
+	}
+	for _, bc := range []struct {
+		name string
+		kind graphtest.EditKind
+	}{
+		{"AddFlop", graphtest.EditAddFlop},
+		{"RemoveFlop", graphtest.EditRemoveFlop},
+		{"RetimeCell", graphtest.EditRetimeCell},
+		{"RewireFubio", graphtest.EditRewireFubio},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			_, eg, ed, err := graphtest.ApplyEditFlat(fd, e.Analyzer.G, bc.kind, 41)
+			if err != nil {
+				b.Fatal(err)
+			}
+			a2, err := core.NewAnalyzer(eg, e.Analyzer.Opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Logf("edit: %s (touched FUBs: %v)", ed.Desc, ed.TouchedFubs)
+			b.Run("ColdSolve", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					quiesce(b)
+					if _, err := a2.SolvePartitioned(e.AvgInputs); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run("Incremental", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					quiesce(b)
+					_, st, err := a2.ResolveIncremental(e.AvgInputs, prior)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !st.Converged || st.FubsReused == 0 {
+						b.Fatalf("incremental re-solve degenerated: %+v", st)
+					}
+				}
+			})
+		})
+	}
 }

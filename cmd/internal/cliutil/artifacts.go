@@ -37,20 +37,37 @@ func (a *Artifacts) Open(reg *obs.Registry) (*artifact.Store, error) {
 	return artifact.Open(a.Dir, artifact.Options{MaxBytes: a.MaxBytes, Obs: reg})
 }
 
+// Disposition reports which path SolveWithStore took to produce its
+// result.
+type Disposition struct {
+	// Kind is "cold" (full solve), "warm" (fingerprint hit, closed forms
+	// restored), or "incremental" (fingerprint miss, but a prior solve of
+	// the same design name seeded an ECO re-solve).
+	Kind string
+	// Incremental carries the reuse statistics when Kind is
+	// "incremental"; nil otherwise.
+	Incremental *core.Incremental
+}
+
+// Warm reports whether the solve was skipped outright.
+func (d Disposition) Warm() bool { return d.Kind == "warm" }
+
 // SolveWithStore produces a solved result for analyzer a under inputs
 // in, consulting st first: on a fingerprint hit the stored closed forms
-// are decoded and re-evaluated against in — skipping the solve entirely
-// — and on a miss the design is solved cold and persisted back. The
-// returned bool reports a warm start. st may be nil (always cold, never
-// persisted). A present-but-unreadable artifact (version skew,
-// corruption) is reported to stderr and regenerated, never fatal:
-// warm-start is an optimization, not a correctness dependency. ctx
-// carries the run's trace state: the restore or solve spans nest under
-// its current span.
-func SolveWithStore(ctx context.Context, tool string, st *artifact.Store, a *core.Analyzer, in *core.Inputs, reg *obs.Registry) (*core.Result, bool, error) {
+// are decoded and re-evaluated against in — skipping the solve entirely.
+// On a miss, a prior artifact for the same design *name* (left by an
+// earlier Put, found via the store's head pointer) seeds an incremental
+// re-solve that walks only the FUBs the edit dirtied; only when no prior
+// exists is the design solved cold. Either way the fresh result is
+// persisted back. st may be nil (always cold, never persisted). A
+// present-but-unreadable artifact (version skew, corruption) is reported
+// to stderr and regenerated, never fatal: warm and incremental starts
+// are optimizations, not correctness dependencies. ctx carries the run's
+// trace state: the restore or solve spans nest under its current span.
+func SolveWithStore(ctx context.Context, tool string, st *artifact.Store, a *core.Analyzer, in *core.Inputs, reg *obs.Registry) (*core.Result, Disposition, error) {
 	if st == nil {
 		res, err := a.SolveContext(ctx, in)
-		return res, false, err
+		return res, Disposition{Kind: "cold"}, err
 	}
 	res, _, err := st.GetContext(ctx, a)
 	if err != nil {
@@ -61,19 +78,35 @@ func SolveWithStore(ctx context.Context, tool string, st *artifact.Store, a *cor
 		// inputs; only a different table needs plugging back in.
 		if !res.Inputs.Equal(in) {
 			if err := res.Reevaluate(in); err != nil {
-				return nil, false, err
+				return nil, Disposition{}, err
 			}
 		}
 		reg.Counter("artifact.warm_start").Inc()
-		return res, true, nil
+		return res, Disposition{Kind: "warm"}, nil
+	}
+	prior, perr := st.Prior(ctx, a.G.Design.Name)
+	if perr != nil {
+		fmt.Fprintf(os.Stderr, "%s: artifact store: prior state: %v (solving cold)\n", tool, perr)
+	}
+	if prior != nil {
+		res, ist, rerr := a.ResolveIncrementalContext(ctx, in, prior)
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "%s: incremental re-solve failed: %v (solving cold)\n", tool, rerr)
+		} else {
+			reg.Counter("artifact.incremental_start").Inc()
+			if err := st.Put(res, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: artifact store: persisting solve: %v\n", tool, err)
+			}
+			return res, Disposition{Kind: "incremental", Incremental: ist}, nil
+		}
 	}
 	reg.Counter("artifact.cold_start").Inc()
 	res, err = a.SolveContext(ctx, in)
 	if err != nil {
-		return nil, false, err
+		return nil, Disposition{}, err
 	}
 	if err := st.Put(res, nil); err != nil {
 		fmt.Fprintf(os.Stderr, "%s: artifact store: persisting solve: %v\n", tool, err)
 	}
-	return res, false, nil
+	return res, Disposition{Kind: "cold"}, nil
 }

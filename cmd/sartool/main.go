@@ -143,10 +143,14 @@ func run(reg *obs.Registry, arts *cliutil.Artifacts, nlPath, pavfPath string, lo
 		if serr != nil {
 			return serr
 		}
-		var warm bool
-		res, warm, err = cliutil.SolveWithStore(context.Background(), "sartool", st, a, in, reg)
-		if warm {
+		var disp cliutil.Disposition
+		res, disp, err = cliutil.SolveWithStore(context.Background(), "sartool", st, a, in, reg)
+		switch {
+		case disp.Warm():
 			fmt.Fprintf(os.Stderr, "sartool: warm start from artifact store (fingerprint %016x)\n", a.Fingerprint())
+		case disp.Kind == "incremental":
+			fmt.Fprintf(os.Stderr, "sartool: incremental re-solve from prior artifact (%d of %d FUBs reused, %d iterations)\n",
+				disp.Incremental.FubsReused, disp.Incremental.FubsTotal, disp.Incremental.Iterations)
 		}
 	}
 	if err != nil {

@@ -140,12 +140,16 @@ func run(reg *obs.Registry, arts *cliutil.Artifacts, nlPath, dir, glob string, w
 	if err != nil {
 		return err
 	}
-	res, warm, err := cliutil.SolveWithStore(ctx, "sweeprun", st, a, named[0].Inputs, reg)
+	res, disp, err := cliutil.SolveWithStore(ctx, "sweeprun", st, a, named[0].Inputs, reg)
 	if err != nil {
 		return err
 	}
-	if warm {
+	switch {
+	case disp.Warm():
 		fmt.Fprintf(os.Stderr, "sweeprun: warm start from artifact store (fingerprint %016x)\n", a.Fingerprint())
+	case disp.Kind == "incremental":
+		fmt.Fprintf(os.Stderr, "sweeprun: incremental re-solve from prior artifact (%d of %d FUBs reused, %d iterations)\n",
+			disp.Incremental.FubsReused, disp.Incremental.FubsTotal, disp.Incremental.Iterations)
 	}
 	engOpts := sweep.Options{Workers: workers, ChunkSize: chunk, BlockSize: blockW, Obs: reg}
 	if st != nil {

@@ -18,12 +18,15 @@
 //	         section count u32
 //	section: id u32, payload length u64, CRC32C u32, payload
 //
-// with four sections — meta (design name, universe/vertex counts,
+// with five sections — meta (design name, universe/vertex counts,
 // iteration metadata, visited bitset), inputs (the solved port tables,
 // sorted for deterministic bytes), plan (the CSR subterm table that
 // both reconstructs the closed forms and restores the compiled plan
-// without re-interning), and avf (the solved per-vertex AVF vector,
-// raw float64 bits). Every section is integrity-checked with CRC32C
+// without re-interning), avf (the solved per-vertex AVF vector, raw
+// float64 bits), and fubstate (the term dictionary plus per-FUB name,
+// structural fingerprint, and vertex extent that let DecodePrior rebuild
+// per-FUB walk state with no analyzer, seeding incremental re-solves of
+// edited designs). Every section is integrity-checked with CRC32C
 // (Castagnoli) before any of it is trusted; declared lengths and counts
 // are capped against the remaining input before allocation, so
 // arbitrary bytes fail cleanly instead of panicking or ballooning
@@ -57,17 +60,23 @@ import (
 // layout below MUST bump it: decoders refuse other versions with
 // ErrFormatVersion instead of misreading them (the golden-fixture test
 // pins the current bytes so an unbumped layout change fails in CI).
-const FormatVersion = 1
+//
+// Version 2 added the fubstate section (term dictionary + per-FUB
+// fingerprints) for incremental re-solves. Version 1 artifacts are
+// refused with the usual "regenerate" error; the store overwrites them
+// on the next Put.
+const FormatVersion = 2
 
 // magic opens every artifact file.
 const magic = "SQAVFART"
 
-// Section IDs. Version 1 requires exactly these four, in this order.
+// Section IDs. Version 2 requires exactly these five, in this order.
 const (
-	secMeta   = 1
-	secInputs = 2
-	secPlan   = 3
-	secAVF    = 4
+	secMeta     = 1
+	secInputs   = 2
+	secPlan     = 3
+	secAVF      = 4
+	secFubState = 5
 )
 
 var (
@@ -116,16 +125,17 @@ func Encode(res *core.Result, plan *sweep.Plan) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	fubSec := encodeFubState(a)
 
 	var buf bytes.Buffer
 	buf.WriteString(magic)
 	writeU32(&buf, FormatVersion)
 	writeU64(&buf, a.Fingerprint())
-	writeU32(&buf, 4)
+	writeU32(&buf, 5)
 	for _, sec := range []struct {
 		id      uint32
 		payload []byte
-	}{{secMeta, meta}, {secInputs, inputs}, {secPlan, planSec}, {secAVF, avfSec}} {
+	}{{secMeta, meta}, {secInputs, inputs}, {secPlan, planSec}, {secAVF, avfSec}, {secFubState, fubSec}} {
 		writeU32(&buf, sec.id)
 		writeU64(&buf, uint64(len(sec.payload)))
 		writeU32(&buf, crc32.Checksum(sec.payload, castagnoli))
@@ -161,30 +171,20 @@ func Decode(data []byte, a *core.Analyzer) (*core.Result, *sweep.Plan, error) {
 		return nil, nil, fmt.Errorf("%w (artifact %016x, design %q %016x)",
 			ErrFingerprint, fp, a.G.Design.Name, a.Fingerprint())
 	}
-	if nSec != 4 {
-		return nil, nil, fmt.Errorf("%w: version 1 carries 4 sections, found %d", ErrCorrupt, nSec)
+	if nSec != 5 {
+		return nil, nil, fmt.Errorf("%w: version 2 carries 5 sections, found %d", ErrCorrupt, nSec)
 	}
 
 	var meta *metaSection
 	var in *core.Inputs
 	var raw sweep.Raw
 	var avf []float64
-	for _, want := range []uint32{secMeta, secInputs, secPlan, secAVF} {
-		id := r.u32()
-		length := r.u64()
-		sum := r.u32()
-		payload := r.bytes(int(length))
-		if r.err != nil {
-			return nil, nil, fmt.Errorf("%w: truncated section %d", ErrCorrupt, want)
+	for _, want := range []uint32{secMeta, secInputs, secPlan, secAVF, secFubState} {
+		payload, err := section(r, want)
+		if err != nil {
+			return nil, nil, err
 		}
-		if id != want {
-			return nil, nil, fmt.Errorf("%w: section %d where %d expected", ErrCorrupt, id, want)
-		}
-		if crc32.Checksum(payload, castagnoli) != sum {
-			return nil, nil, fmt.Errorf("%w: section %d CRC32C mismatch", ErrCorrupt, id)
-		}
-		var err error
-		switch id {
+		switch want {
 		case secMeta:
 			meta, err = decodeMeta(payload, a)
 		case secInputs:
@@ -193,6 +193,11 @@ func Decode(data []byte, a *core.Analyzer) (*core.Result, *sweep.Plan, error) {
 			raw, err = decodePlan(payload, meta.numVerts)
 		case secAVF:
 			avf, err = decodeAVF(payload, meta.numVerts)
+		case secFubState:
+			// The analyzer regenerates per-FUB state from its own graph;
+			// the stored copy only needs to be self-consistent. (Its real
+			// consumer is DecodePrior, which has no analyzer.)
+			_, _, err = decodeFubState(payload, meta.uniLen, meta.numVerts)
 		}
 		if err != nil {
 			return nil, nil, err
@@ -232,8 +237,29 @@ func Decode(data []byte, a *core.Analyzer) (*core.Result, *sweep.Plan, error) {
 	return res, plan, nil
 }
 
+// section reads one section envelope (id, length, CRC32C, payload) off
+// r, verifying the id and checksum.
+func section(r *reader, want uint32) ([]byte, error) {
+	id := r.u32()
+	length := r.u64()
+	sum := r.u32()
+	payload := r.bytes(int(length))
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: truncated section %d", ErrCorrupt, want)
+	}
+	if id != want {
+		return nil, fmt.Errorf("%w: section %d where %d expected", ErrCorrupt, id, want)
+	}
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, fmt.Errorf("%w: section %d CRC32C mismatch", ErrCorrupt, id)
+	}
+	return payload, nil
+}
+
 // metaSection is the decoded meta payload.
 type metaSection struct {
+	name       string
+	uniLen     int
 	numVerts   int
 	iterations int
 	converged  bool
@@ -267,7 +293,28 @@ func encodeMeta(res *core.Result) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// decodeMeta parses and validates the meta payload against the analyzer.
 func decodeMeta(payload []byte, a *core.Analyzer) (*metaSection, error) {
+	m, err := decodeMetaRaw(payload)
+	if err != nil {
+		return nil, err
+	}
+	if m.name != a.G.Design.Name {
+		return nil, fmt.Errorf("%w: artifact design %q, analyzer design %q", ErrFingerprint, m.name, a.G.Design.Name)
+	}
+	if m.uniLen != a.Universe().Len() {
+		return nil, fmt.Errorf("%w: artifact universe has %d terms, analyzer %d", ErrCorrupt, m.uniLen, a.Universe().Len())
+	}
+	if m.numVerts != a.G.NumVerts() {
+		return nil, fmt.Errorf("%w: artifact covers %d vertices, design has %d", ErrCorrupt, m.numVerts, a.G.NumVerts())
+	}
+	return m, nil
+}
+
+// decodeMetaRaw parses the meta payload with no analyzer to check
+// against — the DecodePrior path, where the artifact itself is the only
+// source of the design's shape.
+func decodeMetaRaw(payload []byte) (*metaSection, error) {
 	r := &reader{b: payload}
 	name := r.str()
 	uniLen := r.u32()
@@ -277,15 +324,6 @@ func decodeMeta(payload []byte, a *core.Analyzer) (*metaSection, error) {
 	if r.err != nil {
 		return nil, fmt.Errorf("%w: meta section truncated", ErrCorrupt)
 	}
-	if name != a.G.Design.Name {
-		return nil, fmt.Errorf("%w: artifact design %q, analyzer design %q", ErrFingerprint, name, a.G.Design.Name)
-	}
-	if int(uniLen) != a.Universe().Len() {
-		return nil, fmt.Errorf("%w: artifact universe has %d terms, analyzer %d", ErrCorrupt, uniLen, a.Universe().Len())
-	}
-	if int(n) != a.G.NumVerts() {
-		return nil, fmt.Errorf("%w: artifact covers %d vertices, design has %d", ErrCorrupt, n, a.G.NumVerts())
-	}
 	if conv > 1 {
 		return nil, fmt.Errorf("%w: converged flag %d", ErrCorrupt, conv)
 	}
@@ -294,6 +332,8 @@ func decodeMeta(payload []byte, a *core.Analyzer) (*metaSection, error) {
 		return nil, fmt.Errorf("%w: meta visited bitset malformed", ErrCorrupt)
 	}
 	m := &metaSection{
+		name:       name,
+		uniLen:     int(uniLen),
 		numVerts:   int(n),
 		iterations: int(iters),
 		converged:  conv == 1,
@@ -498,6 +538,228 @@ func decodeAVF(payload []byte, numVerts int) ([]float64, error) {
 		avf[v] = f
 	}
 	return avf, nil
+}
+
+// encodeFubState writes the incremental-reuse section: the full term
+// dictionary (TermID order, so DecodePrior can rebuild the universe and
+// reuse the plan section's IDs verbatim) followed by one entry per FUB —
+// name, structural fingerprint, vertex count — in FUB declaration order,
+// which is also the vertex-array order the plan and avf sections use.
+func encodeFubState(a *core.Analyzer) []byte {
+	var buf bytes.Buffer
+	u := a.Universe()
+	writeU32(&buf, uint32(u.Len()))
+	for t := 0; t < u.Len(); t++ {
+		term := u.Term(pavf.TermID(t))
+		buf.WriteByte(byte(term.Kind))
+		writeStr(&buf, term.Name)
+	}
+	counts := make([]uint32, len(a.G.FubNames))
+	for v := 0; v < a.G.NumVerts(); v++ {
+		counts[a.G.Verts[v].Fub]++
+	}
+	fps := a.FubFingerprints()
+	writeU32(&buf, uint32(len(a.G.FubNames)))
+	for f, name := range a.G.FubNames {
+		writeStr(&buf, name)
+		writeU64(&buf, fps[f])
+		writeU32(&buf, counts[f])
+	}
+	return buf.Bytes()
+}
+
+// fubEntry is one decoded fubstate FUB record.
+type fubEntry struct {
+	name        string
+	fingerprint uint64
+	verts       int
+}
+
+// decodeFubState parses the fubstate payload and checks it against the
+// meta section's universe and vertex counts: the dictionary must carry
+// exactly uniLen terms starting with ⊤ and free of duplicates, and the
+// per-FUB vertex counts must partition numVerts exactly.
+func decodeFubState(payload []byte, uniLen, numVerts int) ([]pavf.Term, []fubEntry, error) {
+	r := &reader{b: payload}
+	nTerms := r.count(5) // kind byte + name length at minimum
+	if r.err != nil {
+		return nil, nil, fmt.Errorf("%w: fubstate dictionary truncated", ErrCorrupt)
+	}
+	if nTerms != uniLen || nTerms == 0 {
+		return nil, nil, fmt.Errorf("%w: fubstate dictionary has %d terms, meta declares %d", ErrCorrupt, nTerms, uniLen)
+	}
+	dict := make([]pavf.Term, nTerms)
+	seen := make(map[pavf.Term]bool, nTerms)
+	for i := range dict {
+		kind := pavf.TermKind(r.u8())
+		name := r.str()
+		if r.err != nil {
+			return nil, nil, fmt.Errorf("%w: fubstate dictionary truncated at term %d", ErrCorrupt, i)
+		}
+		if kind > pavf.KindPseudo {
+			return nil, nil, fmt.Errorf("%w: fubstate term %d has unknown kind %d", ErrCorrupt, i, kind)
+		}
+		t := pavf.Term{Kind: kind, Name: name}
+		if (i == 0) != (kind == pavf.KindTop) {
+			return nil, nil, fmt.Errorf("%w: fubstate dictionary must open with exactly one ⊤ term", ErrCorrupt)
+		}
+		if seen[t] {
+			return nil, nil, fmt.Errorf("%w: fubstate dictionary repeats term %v", ErrCorrupt, t)
+		}
+		seen[t] = true
+		dict[i] = t
+	}
+	nFubs := r.count(16) // name length + fingerprint + count at minimum
+	if r.err != nil || nFubs == 0 {
+		return nil, nil, fmt.Errorf("%w: fubstate FUB table truncated", ErrCorrupt)
+	}
+	fubs := make([]fubEntry, nFubs)
+	total := 0
+	names := make(map[string]bool, nFubs)
+	for i := range fubs {
+		fubs[i] = fubEntry{name: r.str(), fingerprint: r.u64(), verts: int(r.u32())}
+		if r.err != nil {
+			return nil, nil, fmt.Errorf("%w: fubstate FUB table truncated at entry %d", ErrCorrupt, i)
+		}
+		if names[fubs[i].name] {
+			return nil, nil, fmt.Errorf("%w: fubstate repeats FUB %q", ErrCorrupt, fubs[i].name)
+		}
+		names[fubs[i].name] = true
+		total += fubs[i].verts
+	}
+	if total != numVerts {
+		return nil, nil, fmt.Errorf("%w: fubstate vertex counts sum to %d, meta declares %d", ErrCorrupt, total, numVerts)
+	}
+	if r.remaining() != 0 {
+		return nil, nil, fmt.Errorf("%w: fubstate section malformed", ErrCorrupt)
+	}
+	return dict, fubs, nil
+}
+
+// DecodePrior reconstructs a prior-solve seed from artifact bytes with
+// no analyzer: unlike Decode, which requires the identical design, the
+// caller here holds an edited design and wants the old design's per-FUB
+// walk state to seed core.ResolveIncremental. Everything is validated
+// from the artifact alone — the dictionary rebuilds the term universe,
+// the plan CSR is checked against it, and the per-FUB extents partition
+// the vertex space — so corrupt, truncated, or version-skewed bytes fail
+// with explicit errors (ErrCorrupt / ErrFormatVersion), never a panic.
+func DecodePrior(data []byte) (*core.PriorState, error) {
+	r := &reader{b: data}
+	if string(r.bytes(len(magic))) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	version := r.u32()
+	r.u64() // fingerprint: the edited design's differs by construction
+	nSec := r.u32()
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	if version != FormatVersion {
+		return nil, fmt.Errorf("%w (artifact version %d, this build reads %d)",
+			ErrFormatVersion, version, FormatVersion)
+	}
+	if nSec != 5 {
+		return nil, fmt.Errorf("%w: version 2 carries 5 sections, found %d", ErrCorrupt, nSec)
+	}
+	var meta *metaSection
+	var in *core.Inputs
+	var raw sweep.Raw
+	var avf []float64
+	var dict []pavf.Term
+	var fubs []fubEntry
+	for _, want := range []uint32{secMeta, secInputs, secPlan, secAVF, secFubState} {
+		payload, err := section(r, want)
+		if err != nil {
+			return nil, err
+		}
+		switch want {
+		case secMeta:
+			meta, err = decodeMetaRaw(payload)
+		case secInputs:
+			in, err = decodeInputs(payload)
+		case secPlan:
+			raw, err = decodePlan(payload, meta.numVerts)
+		case secAVF:
+			avf, err = decodeAVF(payload, meta.numVerts)
+		case secFubState:
+			dict, fubs, err = decodeFubState(payload, meta.uniLen, meta.numVerts)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, r.remaining())
+	}
+
+	// Rebuild the universe in dictionary order: interning into a fresh
+	// universe assigns dense sequential IDs, so position i keeps ID i and
+	// the plan's term IDs apply unchanged.
+	uni := pavf.NewUniverse()
+	for i := 1; i < len(dict); i++ {
+		if id := uni.Intern(dict[i]); int(id) != i {
+			return nil, fmt.Errorf("%w: fubstate dictionary term %d re-interned as %d", ErrCorrupt, i, id)
+		}
+	}
+
+	// Validate the plan CSR against the dictionary — the same structural
+	// rules sweep.Restore enforces, minus the analyzer-specific ones.
+	nSets := len(raw.SetOff) - 1
+	if nSets < 0 || raw.SetOff[0] != 0 || int(raw.SetOff[nSets]) != len(raw.SetIDs) {
+		return nil, fmt.Errorf("%w: plan offsets do not cover the term table", ErrCorrupt)
+	}
+	sets := make([]pavf.Set, nSets)
+	for s := 0; s < nSets; s++ {
+		lo, hi := raw.SetOff[s], raw.SetOff[s+1]
+		if lo > hi || int(hi) > len(raw.SetIDs) {
+			return nil, fmt.Errorf("%w: plan set %d has malformed extent [%d,%d)", ErrCorrupt, s, lo, hi)
+		}
+		ids := raw.SetIDs[lo:hi]
+		for i, id := range ids {
+			if id < 0 || int(id) >= len(dict) {
+				return nil, fmt.Errorf("%w: plan set %d references term %d outside the dictionary", ErrCorrupt, s, id)
+			}
+			if i > 0 && ids[i-1] >= id {
+				return nil, fmt.Errorf("%w: plan set %d terms not strictly ascending", ErrCorrupt, s)
+			}
+		}
+		sets[s] = pavf.SetFromSorted(ids)
+	}
+	checkIdx := func(idx []int32) error {
+		for _, i := range idx {
+			if i < -1 || int(i) >= nSets {
+				return fmt.Errorf("%w: plan vertex references set %d of %d", ErrCorrupt, i, nSets)
+			}
+		}
+		return nil
+	}
+	if err := checkIdx(raw.FwdIdx); err != nil {
+		return nil, err
+	}
+	if err := checkIdx(raw.BwdIdx); err != nil {
+		return nil, err
+	}
+
+	ps := &core.PriorState{
+		Design:   meta.name,
+		Universe: uni,
+		Inputs:   in,
+		Sets:     sets,
+		Fubs:     make([]core.FubPrior, len(fubs)),
+	}
+	off := 0
+	for i, fe := range fubs {
+		ps.Fubs[i] = core.FubPrior{
+			Name:        fe.name,
+			Fingerprint: fe.fingerprint,
+			FwdIdx:      raw.FwdIdx[off : off+fe.verts],
+			BwdIdx:      raw.BwdIdx[off : off+fe.verts],
+			AVF:         avf[off : off+fe.verts],
+		}
+		off += fe.verts
+	}
+	return ps, nil
 }
 
 func writeU32(buf *bytes.Buffer, v uint32) {

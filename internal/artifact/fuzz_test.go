@@ -1,6 +1,7 @@
 package artifact
 
 import (
+	"errors"
 	"sync"
 	"testing"
 
@@ -73,6 +74,71 @@ func FuzzDecodeArtifact(f *testing.F) {
 		}
 		if _, err := plan.Eval(res.Inputs, nil); err != nil {
 			t.Fatalf("accepted plan failed to evaluate its own inputs: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeFUBState feeds arbitrary bytes to the prior-state decoder —
+// the path that must survive artifacts written by crashed processes,
+// older binaries, and eviction races. Every input must either decode
+// into a self-consistent PriorState or fail with one of the explicit
+// "regenerate" sentinel errors (ErrCorrupt / ErrFormatVersion) — never
+// panic. Seeds cover the valid artifact plus truncated, bit-flipped,
+// and version-skewed variants so the mutator starts on each error path.
+func FuzzDecodeFUBState(f *testing.F) {
+	_, valid := fuzzSetup(f)
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	flipped := append([]byte(nil), valid...)
+	flipped[2*len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+	// Version skew: a v1-era header (format version field at offset 8)
+	// must be rejected up front, not misparsed section by section.
+	skewed := append([]byte(nil), valid...)
+	skewed[len(magic)] = 1
+	f.Add(skewed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ps, err := DecodePrior(data)
+		if err != nil {
+			if ps != nil {
+				t.Fatal("DecodePrior returned partial state alongside an error")
+			}
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrFormatVersion) {
+				t.Fatalf("DecodePrior failed without a regenerate sentinel: %v", err)
+			}
+			return
+		}
+		// Accepted priors must be fully usable by ResolveIncremental: every
+		// per-FUB index lands inside the set table (or is -1), the slices
+		// agree on each FUB's vertex count, and AVFs are probabilities.
+		if ps.Design == "" || ps.Universe == nil {
+			t.Fatalf("accepted prior missing design name or universe: %+v", ps)
+		}
+		for _, fp := range ps.Fubs {
+			if len(fp.FwdIdx) != len(fp.BwdIdx) || len(fp.FwdIdx) != len(fp.AVF) {
+				t.Fatalf("FUB %s slice lengths disagree: %d fwd / %d bwd / %d avf",
+					fp.Name, len(fp.FwdIdx), len(fp.BwdIdx), len(fp.AVF))
+			}
+			for i := range fp.FwdIdx {
+				for _, idx := range [2]int32{fp.FwdIdx[i], fp.BwdIdx[i]} {
+					if idx < -1 || int(idx) >= len(ps.Sets) {
+						t.Fatalf("FUB %s vertex %d set index %d outside table of %d", fp.Name, i, idx, len(ps.Sets))
+					}
+				}
+				if !(fp.AVF[i] >= 0 && fp.AVF[i] <= 1) {
+					t.Fatalf("FUB %s vertex %d AVF %v out of [0,1]", fp.Name, i, fp.AVF[i])
+				}
+			}
+		}
+		for _, s := range ps.Sets {
+			for _, id := range s.IDs() {
+				if int(id) >= ps.Universe.Len() {
+					t.Fatalf("set term %d outside universe of %d", id, ps.Universe.Len())
+				}
+			}
 		}
 	})
 }

@@ -1,0 +1,148 @@
+package artifact
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"seqavf/internal/core"
+	"seqavf/internal/graph"
+	"seqavf/internal/graph/graphtest"
+	"seqavf/internal/tinycore"
+	"seqavf/internal/uarch"
+	"seqavf/internal/workload"
+)
+
+// incrementalStep is one line of the golden edit script: which edit ran,
+// what the incremental re-solver invalidated, how hard it worked, and
+// where the design-level answer landed.
+type incrementalStep struct {
+	Edit           string   `json:"edit"`
+	Desc           string   `json:"desc"`
+	DirtyFubs      []string `json:"dirty_fubs"`
+	FubsDirty      int      `json:"fubs_dirty"`
+	FubsReused     int      `json:"fubs_reused"`
+	Iterations     int      `json:"iterations"`
+	Converged      bool     `json:"converged"`
+	WeightedSeqAVF string   `json:"weighted_seq_avf"`
+}
+
+// dirtyFubNames recomputes which FUBs the fingerprint diff invalidates —
+// the same comparison ResolveIncremental performs — so the golden can pin
+// the dirty *set*, not just its size.
+func dirtyFubNames(prior *core.PriorState, a *core.Analyzer) []string {
+	byName := make(map[string]uint64, len(prior.Fubs))
+	for _, f := range prior.Fubs {
+		byName[f.Name] = f.Fingerprint
+	}
+	var dirty []string
+	fps := a.FubFingerprints()
+	for i, name := range a.G.FubNames {
+		if fp, ok := byName[name]; !ok || fp != fps[i] {
+			dirty = append(dirty, name)
+		}
+	}
+	return dirty
+}
+
+// TestGoldenIncrementalEditScript drives a fixed edit script over the
+// tinycore design, chaining each step's converged state into the next
+// incremental re-solve, and pins the full trajectory — dirty sets,
+// iteration counts, and the resulting weighted seqAVF — as a golden
+// fixture. Behavioural drift in the fingerprint scheme, the frontier
+// rule, or the solver itself shows up here as a diff instead of a silent
+// accuracy change. Regenerate with -update.
+func TestGoldenIncrementalEditScript(t *testing.T) {
+	p := workload.MD5Like(60)
+	fd, err := tinycore.FlatDesign(len(p.Code))
+	if err != nil {
+		t.Fatalf("FlatDesign: %v", err)
+	}
+	g, err := graph.Build(fd)
+	if err != nil {
+		t.Fatalf("graph.Build: %v", err)
+	}
+	a, err := core.NewAnalyzer(g, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("NewAnalyzer: %v", err)
+	}
+	perf, err := uarch.Run(p, uarch.DefaultConfig())
+	if err != nil {
+		t.Fatalf("uarch.Run: %v", err)
+	}
+	in, err := tinycore.BindInputs(perf.Report)
+	if err != nil {
+		t.Fatalf("BindInputs: %v", err)
+	}
+	res, err := a.SolvePartitioned(in)
+	if err != nil {
+		t.Fatalf("SolvePartitioned: %v", err)
+	}
+
+	// The script exercises every structural edit family tinycore's single
+	// FUB supports, plus the no-op measurement step; each step re-solves
+	// from the previous step's converged state.
+	script := []struct {
+		kind graphtest.EditKind
+		seed uint64
+	}{
+		{graphtest.EditAddFlop, 11},
+		{graphtest.EditRetimeCell, 22},
+		{graphtest.EditRemoveFlop, 33},
+		{graphtest.EditPavfOnly, 44},
+	}
+	var steps []incrementalStep
+	for _, sc := range script {
+		prior, err := res.PriorState()
+		if err != nil {
+			t.Fatalf("PriorState: %v", err)
+		}
+		var edit *graphtest.Edit
+		fd, g, edit, err = graphtest.ApplyEditFlat(fd, g, sc.kind, sc.seed)
+		if err != nil {
+			t.Fatalf("%v seed %d: %v", sc.kind, sc.seed, err)
+		}
+		a, err = core.NewAnalyzer(g, core.DefaultOptions())
+		if err != nil {
+			t.Fatalf("edited analyzer: %v", err)
+		}
+		var st *core.Incremental
+		res, st, err = a.ResolveIncremental(in, prior)
+		if err != nil {
+			t.Fatalf("ResolveIncremental (%s): %v", edit.Desc, err)
+		}
+		steps = append(steps, incrementalStep{
+			Edit:           edit.Kind.String(),
+			Desc:           edit.Desc,
+			DirtyFubs:      dirtyFubNames(prior, a),
+			FubsDirty:      st.FubsDirty,
+			FubsReused:     st.FubsReused,
+			Iterations:     st.Iterations,
+			Converged:      st.Converged,
+			WeightedSeqAVF: fmt.Sprintf("%.12f", res.Summarize().WeightedSeqAVF),
+		})
+	}
+
+	got, err := json.MarshalIndent(steps, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", "tinycore_edit_script.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden unreadable (regenerate: go test ./internal/artifact/ -run TestGoldenIncrementalEditScript -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("incremental edit-script trajectory changed:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

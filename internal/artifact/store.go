@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -19,6 +20,13 @@ import (
 // ext names artifact files; the content address (design fingerprint) is
 // the file name.
 const ext = ".sart"
+
+// headExt names head-pointer files: one per design name, holding the
+// fingerprint of that design's most recently Put artifact. Content
+// addressing alone cannot answer "what did this design look like before
+// the edit?" — the edited design hashes to a fingerprint no artifact
+// carries — so Put leaves a name-keyed breadcrumb for Prior to follow.
+const headExt = ".head"
 
 // Options configure a Store. The zero value is usable: unbounded disk,
 // no telemetry.
@@ -61,6 +69,16 @@ func (s *Store) Dir() string { return s.dir }
 
 func (s *Store) path(fp uint64) string {
 	return filepath.Join(s.dir, fmt.Sprintf("%016x%s", fp, ext))
+}
+
+// headPath names the head-pointer file for a design name. The name is
+// hashed rather than embedded: design names are arbitrary strings, file
+// names are not. Prior re-checks the decoded artifact's design name, so
+// a hash collision degrades to a miss, never to wrong state.
+func (s *Store) headPath(designName string) string {
+	h := fnv.New64a()
+	h.Write([]byte(designName))
+	return filepath.Join(s.dir, fmt.Sprintf("%016x%s", h.Sum64(), headExt))
 }
 
 // Get loads and decodes the artifact for a's fingerprint. A clean miss
@@ -145,10 +163,71 @@ func (s *Store) Put(res *core.Result, plan *sweep.Plan) error {
 		return fmt.Errorf("artifact: writing %s: %w", path, werr)
 	}
 	s.opts.Obs.Counter("artifact.store_puts").Inc()
+	// Leave the name-keyed head pointer for incremental re-solves.
+	// Best-effort: the pointer is an optimization, and a stale or missing
+	// one only costs a cold solve.
+	head := res.Analyzer.Fingerprint()
+	if werr := os.WriteFile(s.headPath(res.Analyzer.G.Design.Name), []byte(fmt.Sprintf("%016x", head)), 0o644); werr != nil {
+		s.opts.Obs.Counter("artifact.store_errors").Inc()
+	}
 	if s.opts.MaxBytes > 0 {
 		s.evictLocked(filepath.Base(path))
 	}
 	return nil
+}
+
+// Prior loads the most recently Put artifact for a design *name* —
+// regardless of fingerprint — and distills it into the seed state
+// core.ResolveIncremental consumes. This is the edited-design path: the
+// edit changed the fingerprint, so GetContext misses, but the prior
+// artifact still describes every FUB the edit left alone. A clean miss
+// (no head pointer, or it names an evicted artifact) returns (nil, nil);
+// unreadable bytes return the decode error so callers can report before
+// regenerating.
+func (s *Store) Prior(ctx context.Context, designName string) (*core.PriorState, error) {
+	sp := s.opts.Obs.StartSpanContext(ctx, "artifact.prior")
+	defer sp.End()
+	sp.SetAttr("design", designName)
+	headData, err := os.ReadFile(s.headPath(designName))
+	if errors.Is(err, fs.ErrNotExist) {
+		sp.SetAttr("outcome", "miss")
+		return nil, nil
+	}
+	if err != nil {
+		sp.SetAttr("outcome", "error")
+		return nil, fmt.Errorf("artifact: reading head pointer for %q: %w", designName, err)
+	}
+	var fp uint64
+	if _, err := fmt.Sscanf(string(headData), "%16x", &fp); err != nil {
+		sp.SetAttr("outcome", "error")
+		return nil, fmt.Errorf("artifact: head pointer for %q is malformed", designName)
+	}
+	path := s.path(fp)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		sp.SetAttr("outcome", "miss")
+		return nil, nil
+	}
+	if err != nil {
+		sp.SetAttr("outcome", "error")
+		return nil, fmt.Errorf("artifact: reading %s: %w", path, err)
+	}
+	ps, err := DecodePrior(data)
+	if err != nil {
+		s.opts.Obs.Counter("artifact.decode_errors").Inc()
+		sp.SetAttr("outcome", "error")
+		return nil, fmt.Errorf("artifact: %s: %w", path, err)
+	}
+	if ps.Design != designName {
+		// Head-pointer hash collision between two design names.
+		sp.SetAttr("outcome", "miss")
+		return nil, nil
+	}
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
+	sp.SetAttr("outcome", "hit")
+	sp.SetAttr("fingerprint", fmt.Sprintf("%016x", fp))
+	return ps, nil
 }
 
 // evictLocked removes least-recently-used artifacts until the store

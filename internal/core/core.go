@@ -177,25 +177,33 @@ func (in *Inputs) Equal(other *Inputs) bool {
 	if in == nil || other == nil {
 		return in == other
 	}
-	eqPorts := func(a, b map[StructPort]float64) bool {
-		if len(a) != len(b) {
+	return equalPortTable(in.ReadPorts, other.ReadPorts) &&
+		equalPortTable(in.WritePorts, other.WritePorts) &&
+		equalStructTable(in.StructAVF, other.StructAVF)
+}
+
+// equalPortTable compares one per-port measurement table. Factored out of
+// Equal so callers deciding invalidation granularity (the incremental
+// re-solve path) compare exactly what the warm-start path compares:
+// measurement identity, never structure.
+func equalPortTable(a, b map[StructPort]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if w, ok := b[k]; !ok || w != v {
 			return false
 		}
-		for k, v := range a {
-			if w, ok := b[k]; !ok || w != v {
-				return false
-			}
-		}
-		return true
 	}
-	if !eqPorts(in.ReadPorts, other.ReadPorts) || !eqPorts(in.WritePorts, other.WritePorts) {
+	return true
+}
+
+func equalStructTable(a, b map[string]float64) bool {
+	if len(a) != len(b) {
 		return false
 	}
-	if len(in.StructAVF) != len(other.StructAVF) {
-		return false
-	}
-	for k, v := range in.StructAVF {
-		if w, ok := other.StructAVF[k]; !ok || w != v {
+	for k, v := range a {
+		if w, ok := b[k]; !ok || w != v {
 			return false
 		}
 	}
@@ -231,6 +239,11 @@ type Analyzer struct {
 
 	fingerprint uint64 // design-identity hash, see Fingerprint
 
+	// Per-FUB identity hashes, built lazily on first FubFingerprints call
+	// (only the incremental re-solve path needs them).
+	fubFpOnce sync.Once
+	fubFps    []uint64
+
 	// buildEnv's precomputed shape, built lazily on first use: the
 	// workload-independent terms (Top, control, loop, pseudo) prefilled in
 	// a template the per-workload environment is copied from, and the
@@ -240,6 +253,19 @@ type Analyzer struct {
 	envTemplate pavf.Env
 	readBind    []portBind
 	writeBind   []portBind
+
+	// Per-FUB topological schedules and the visited bitmap are
+	// structural properties of the graph — independent of inputs — so
+	// they are computed once and shared by every subsequent solve on
+	// this analyzer. An incremental (ECO) re-solve in particular must
+	// not pay O(V+E) schedule construction for work proportional to the
+	// dirty region.
+	topoOnce           sync.Once
+	fwdTopos, bwdTopos [][]graph.VertexID
+	topoErr            error
+
+	visitedOnce sync.Once
+	visitedBits []bool
 }
 
 // portBind is one structure port's term slot in the flattened form the
@@ -324,6 +350,12 @@ func (a *Analyzer) computeFingerprint() uint64 {
 		wInt(int(vx.Node.Kind))
 		wInt(int(vx.Node.Class))
 		wInt(int(a.roles[v]))
+		// Structure binding and clock determine the vertex's terms and
+		// control-register detection: a port rebound to a different
+		// structure changes the equations even with identical edges.
+		wStr(vx.Node.Struct)
+		wStr(vx.Node.Port)
+		wStr(vx.Node.Clock)
 		for _, s := range a.G.Succs(graph.VertexID(v)) {
 			wInt(int(s))
 		}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"seqavf/internal/graph/graphtest"
+	"seqavf/internal/stats"
+)
+
+// randPortInputs fills every structure port of a with seeded pAVFs.
+// Ports are filled in sorted order, so two designs exposing the same
+// port set receive bit-identical tables from the same seed — which is
+// what lets the harness hold the workload fixed across an edit.
+func randPortInputs(a *Analyzer, seed uint64) *Inputs {
+	rng := stats.New(seed)
+	in := NewInputs()
+	fill := func(ports []StructPort, m map[StructPort]float64) {
+		sort.Slice(ports, func(i, j int) bool { return ports[i].String() < ports[j].String() })
+		for _, sp := range ports {
+			m[sp] = rng.Float64()
+		}
+	}
+	fill(a.ReadPortTerms(), in.ReadPorts)
+	fill(a.WritePortTerms(), in.WritePorts)
+	return in
+}
+
+// editHarness solves a seeded base design, applies one seeded edit, and
+// returns everything the differential assertions need.
+type editHarness struct {
+	base    *graphtest.Design
+	baseRes *Result
+	prior   *PriorState
+	aNew    *Analyzer
+	edit    *graphtest.Edit
+	inSeed  uint64
+}
+
+func buildEditHarness(t *testing.T, seed uint64, kind graphtest.EditKind) *editHarness {
+	t.Helper()
+	cfg := graphtest.Small(seed)
+	// Four FUBs so even a three-FUB rewire leaves a clean one: the
+	// locality assertion (dirty < total) must be satisfiable for every
+	// edit kind.
+	cfg.Fubs = 4
+	base, err := graphtest.Generate(cfg)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	aBase, err := NewAnalyzer(base.Graph, DefaultOptions())
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	inSeed := seed ^ 0xABCD1234
+	res, err := aBase.SolvePartitioned(randPortInputs(aBase, inSeed))
+	if err != nil {
+		t.Fatalf("seed %d: base solve: %v", seed, err)
+	}
+	prior, err := res.PriorState()
+	if err != nil {
+		t.Fatalf("seed %d: PriorState: %v", seed, err)
+	}
+	_, g2, edit, err := base.ApplyEdit(kind, seed^0x9E3779B97F4A7C15)
+	if err != nil {
+		t.Fatalf("seed %d kind %v: %v", seed, kind, err)
+	}
+	aNew, err := NewAnalyzer(g2, DefaultOptions())
+	if err != nil {
+		t.Fatalf("seed %d kind %v: edited analyzer: %v", seed, kind, err)
+	}
+	return &editHarness{base: base, baseRes: res, prior: prior, aNew: aNew, edit: edit, inSeed: inSeed}
+}
+
+// TestIncrementalMatchesFromScratch is the differential harness: across
+// 200 seeds spread over the four structural edit kinds, an incremental
+// re-solve seeded from the pre-edit artifact state must converge to the
+// same per-node AVFs as solving the edited design from scratch, while
+// dirtying no more FUBs than the edit actually touched.
+func TestIncrementalMatchesFromScratch(t *testing.T) {
+	kinds := []graphtest.EditKind{
+		graphtest.EditAddFlop, graphtest.EditRemoveFlop,
+		graphtest.EditRetimeCell, graphtest.EditRewireFubio,
+	}
+	const seeds = 50 // × 4 kinds = 200 differential cases
+	for _, kind := range kinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			for seed := uint64(1); seed <= seeds; seed++ {
+				h := buildEditHarness(t, seed, kind)
+				in := randPortInputs(h.aNew, h.inSeed)
+				incr, st, err := h.aNew.ResolveIncremental(in, h.prior)
+				if err != nil {
+					t.Fatalf("seed %d (%s): ResolveIncremental: %v", seed, h.edit.Desc, err)
+				}
+				scratch, err := h.aNew.SolvePartitioned(randPortInputs(h.aNew, h.inSeed))
+				if err != nil {
+					t.Fatalf("seed %d: scratch solve: %v", seed, err)
+				}
+				d := MaxAbsDiff(incr, scratch)
+				if math.IsNaN(d) || d > h.aNew.Opts.Epsilon {
+					t.Fatalf("seed %d (%s): incremental diverges from scratch by %v (dirty=%d active=%d iters=%d)",
+						seed, h.edit.Desc, d, st.FubsDirty, st.FubsActive, st.Iterations)
+				}
+				if !incr.Converged || !scratch.Converged {
+					t.Fatalf("seed %d (%s): converged incremental=%v scratch=%v",
+						seed, h.edit.Desc, incr.Converged, scratch.Converged)
+				}
+				// Locality: the fingerprint diff may dirty only FUBs the
+				// edit touched, and a local edit must leave reuse on the
+				// table.
+				if st.FubsDirty > len(h.edit.TouchedFubs) {
+					t.Fatalf("seed %d (%s): %d FUBs dirty but the edit touched only %v",
+						seed, h.edit.Desc, st.FubsDirty, h.edit.TouchedFubs)
+				}
+				if st.FubsDirty >= st.FubsTotal {
+					t.Fatalf("seed %d (%s): local edit dirtied all %d FUBs", seed, h.edit.Desc, st.FubsTotal)
+				}
+				if st.FubsActive+st.FubsReused != st.FubsTotal {
+					t.Fatalf("seed %d: inconsistent stats %+v", seed, st)
+				}
+			}
+		})
+	}
+}
+
+// TestPavfOnlyEditDirtiesNothing is the satellite regression: an edit
+// that changes only measured pAVFs — no structure — must invalidate zero
+// FUBs and skip the relaxation entirely. Under new inputs the result must
+// match the §5.1 closed-form contract bit-for-bit (prior equations
+// re-evaluated, i.e. Reevaluate on the prior result); under the original
+// inputs the prior's evaluated AVFs must come back bit-identically.
+func TestPavfOnlyEditDirtiesNothing(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		h := buildEditHarness(t, seed, graphtest.EditPavfOnly)
+		if len(h.edit.TouchedFubs) != 0 {
+			t.Fatalf("seed %d: pavf-only edit reports touched FUBs %v", seed, h.edit.TouchedFubs)
+		}
+		// Perturbed workload: new pAVF values, same structure.
+		in := randPortInputs(h.aNew, h.inSeed+777)
+		incr, st, err := h.aNew.ResolveIncremental(in, h.prior)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if st.FubsDirty != 0 || st.FubsReused != st.FubsTotal || st.Iterations != 0 {
+			t.Fatalf("seed %d: pavf-only edit produced stats %+v, want zero dirty and zero iterations", seed, st)
+		}
+		// The differential baseline for unchanged structure + new inputs is
+		// the repo's standing warm-start semantics: plug the new pAVFs into
+		// the prior closed forms (Reevaluate), not a fresh walk — the walk's
+		// value-based stopping rule makes fresh sets env-dependent.
+		if err := h.baseRes.Reevaluate(randPortInputs(h.baseRes.Analyzer, h.inSeed+777)); err != nil {
+			t.Fatalf("seed %d: Reevaluate: %v", seed, err)
+		}
+		for v := range h.baseRes.AVF {
+			if incr.AVF[v] != h.baseRes.AVF[v] {
+				t.Fatalf("seed %d: vertex %d AVF %v != reevaluated prior %v (must be bit-identical)",
+					seed, v, incr.AVF[v], h.baseRes.AVF[v])
+			}
+		}
+		// Identical workload: the prior's evaluated AVFs must be reused
+		// bit-for-bit without touching the expressions at all.
+		same, st2, err := h.aNew.ResolveIncremental(randPortInputs(h.aNew, h.inSeed), h.prior)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if st2.FubsDirty != 0 {
+			t.Fatalf("seed %d: equal-input re-solve dirtied %d FUBs", seed, st2.FubsDirty)
+		}
+		base := 0
+		for _, fp := range h.prior.Fubs {
+			for i, want := range fp.AVF {
+				if got := same.AVF[base+i]; got != want {
+					t.Fatalf("seed %d: FUB %s vertex %d: reused AVF %v != prior %v", seed, fp.Name, i, got, want)
+				}
+			}
+			base += len(fp.AVF)
+		}
+	}
+}
+
+// TestFubFingerprintsStability pins the per-FUB fingerprint contract:
+// deterministic across analyzer constructions, invariant under pAVF-only
+// regeneration, and perturbed for exactly the touched FUBs by a
+// structural edit.
+func TestFubFingerprintsStability(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		cfg := graphtest.Small(seed)
+		cfg.Fubs = 4
+		d1, err := graphtest.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := graphtest.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a1, err := NewAnalyzer(d1.Graph, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, err := NewAnalyzer(d2.Graph, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		f1, f2 := a1.FubFingerprints(), a2.FubFingerprints()
+		if len(f1) != len(f2) {
+			t.Fatalf("seed %d: fingerprint counts differ", seed)
+		}
+		for i := range f1 {
+			if f1[i] != f2[i] {
+				t.Fatalf("seed %d: FUB %s fingerprint not deterministic", seed, d1.Graph.FubNames[i])
+			}
+		}
+		// A structural edit must change the touched FUBs' fingerprints
+		// and no others.
+		_, g2, edit, err := d1.ApplyEdit(graphtest.EditAddFlop, seed+99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aEd, err := NewAnalyzer(g2, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fEd := aEd.FubFingerprints()
+		touched := make(map[string]bool)
+		for _, f := range edit.TouchedFubs {
+			touched[f] = true
+		}
+		for i, name := range d1.Graph.FubNames {
+			changed := f1[i] != fEd[i]
+			if changed != touched[name] {
+				t.Fatalf("seed %d: FUB %s fingerprint changed=%v but touched=%v (%s)",
+					seed, name, changed, touched[name], edit.Desc)
+			}
+		}
+	}
+}

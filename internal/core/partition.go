@@ -250,9 +250,18 @@ func (a *Analyzer) bwdUnionLocal(v graph.VertexID, fub int32, cur []pavf.Set, cu
 	return acc, true
 }
 
-// localTopos builds per-FUB topological orders over intra-FUB edges only:
-// the schedule for one down-walk (and, reversed, one up-walk) per FUB.
-func (a *Analyzer) localTopos() (fwd [][]graph.VertexID, bwd [][]graph.VertexID, err error) {
+// localTopos returns per-FUB topological orders over intra-FUB edges
+// only: the schedule for one down-walk (and, reversed, one up-walk) per
+// FUB. The schedules are built once per analyzer and shared — callers
+// must not mutate the returned slices.
+func (a *Analyzer) localTopos() ([][]graph.VertexID, [][]graph.VertexID, error) {
+	a.topoOnce.Do(func() {
+		a.fwdTopos, a.bwdTopos, a.topoErr = a.buildLocalTopos()
+	})
+	return a.fwdTopos, a.bwdTopos, a.topoErr
+}
+
+func (a *Analyzer) buildLocalTopos() (fwd [][]graph.VertexID, bwd [][]graph.VertexID, err error) {
 	numFubs := len(a.G.FubNames)
 	fwd = make([][]graph.VertexID, numFubs)
 	bwd = make([][]graph.VertexID, numFubs)

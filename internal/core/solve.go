@@ -189,6 +189,16 @@ func (a *Analyzer) bwdUnion(v graph.VertexID, get func(graph.VertexID) (pavf.Set
 
 // finish assembles per-vertex closed forms and statistics.
 func (a *Analyzer) finish(in *Inputs, env pavf.Env, fwd, bwd []pavf.Set, bwdKnown []bool) *Result {
+	return a.finishReuse(in, env, fwd, bwd, bwdKnown, nil, nil)
+}
+
+// finishReuse is finish with an optional per-vertex AVF bypass: where
+// reuseOK[v] holds, reuseAVF[v] is taken verbatim instead of evaluating
+// the vertex's expression. The incremental path uses this for FUBs whose
+// closed forms carried over unchanged under identical inputs — their
+// prior values are already the evaluation result, bit for bit. Both
+// slices nil means evaluate everything.
+func (a *Analyzer) finishReuse(in *Inputs, env pavf.Env, fwd, bwd []pavf.Set, bwdKnown []bool, reuseAVF []float64, reuseOK []bool) *Result {
 	n := a.G.NumVerts()
 	r := &Result{
 		Analyzer: a,
@@ -227,7 +237,11 @@ func (a *Analyzer) finish(in *Inputs, env pavf.Env, fwd, bwd []pavf.Set, bwdKnow
 			x.Fwd, x.KnownFwd = pavf.TopSet(), true
 		}
 		r.Exprs[v] = x
-		r.AVF[v] = x.Eval(env)
+		if reuseOK != nil && reuseOK[v] {
+			r.AVF[v] = reuseAVF[v]
+		} else {
+			r.AVF[v] = x.Eval(env)
+		}
 	}
 	r.Visited = a.visited()
 	return r
@@ -235,8 +249,17 @@ func (a *Analyzer) finish(in *Inputs, env pavf.Env, fwd, bwd []pavf.Set, bwdKnow
 
 // visited marks vertices reached by a forward walk from any source or a
 // backward walk from any sink — the paper's ">98% of all RTL nodes"
-// coverage metric.
+// coverage metric. The bitmap depends only on graph structure, so it is
+// computed once per analyzer and the same slice is attached to every
+// Result — holders must treat Result.Visited as read-only.
 func (a *Analyzer) visited() []bool {
+	a.visitedOnce.Do(func() {
+		a.visitedBits = a.buildVisited()
+	})
+	return a.visitedBits
+}
+
+func (a *Analyzer) buildVisited() []bool {
 	n := a.G.NumVerts()
 	vis := make([]bool, n)
 	// Forward BFS from forward-fixed vertices with non-empty sources.

@@ -1,0 +1,310 @@
+package graphtest
+
+import (
+	"fmt"
+	"sort"
+
+	"seqavf/internal/graph"
+	"seqavf/internal/netlist"
+	"seqavf/internal/stats"
+)
+
+// EditKind names one family of seeded netlist edits. The four structural
+// kinds model the local ECOs an incremental re-solver must survive; the
+// fifth changes nothing structural so measurement-only workload swaps
+// can be proven to invalidate no FUB state.
+type EditKind int
+
+const (
+	// EditAddFlop registers an existing signal behind a fresh flop.
+	EditAddFlop EditKind = iota
+	// EditRemoveFlop de-retimes: an eligible flop becomes a pass-through.
+	EditRemoveFlop
+	// EditRetimeCell moves a register across its driving combinational
+	// cell (forward retiming of one stage).
+	EditRetimeCell
+	// EditRewireFubio re-points one cross-FUB connect at a different
+	// upstream output port (or severs it when no alternative exists).
+	EditRewireFubio
+	// EditPavfOnly applies no structural change at all: the caller
+	// perturbs the pAVF input tables instead.
+	EditPavfOnly
+)
+
+func (k EditKind) String() string {
+	switch k {
+	case EditAddFlop:
+		return "add-flop"
+	case EditRemoveFlop:
+		return "remove-flop"
+	case EditRetimeCell:
+		return "retime-cell"
+	case EditRewireFubio:
+		return "rewire-fubio"
+	case EditPavfOnly:
+		return "pavf-only"
+	default:
+		return fmt.Sprintf("EditKind(%d)", int(k))
+	}
+}
+
+// Edit describes one applied edit: the kind that actually ran (a kind
+// with no eligible site falls back to EditAddFlop, which always has
+// one), a human-readable description, and the FUBs whose structure the
+// edit touched — the set an incremental re-solver is allowed to mark
+// dirty.
+type Edit struct {
+	Kind        EditKind
+	Desc        string
+	TouchedFubs []string
+}
+
+// ApplyEdit clones d.Flat, applies one seeded edit of the given kind,
+// and rebuilds the bit graph. The original design is never mutated. The
+// same (design, kind, seed) triple always yields the same edit.
+func (d *Design) ApplyEdit(kind EditKind, seed uint64) (*netlist.FlatDesign, *graph.Graph, *Edit, error) {
+	return ApplyEditFlat(d.Flat, d.Graph, kind, seed)
+}
+
+// ApplyEditFlat is ApplyEdit for a bare flattened design plus its
+// extracted graph (used for loop-membership checks: removing a register
+// on a feedback path would create a combinational loop, so such sites
+// are never eligible).
+func ApplyEditFlat(fd *netlist.FlatDesign, g *graph.Graph, kind EditKind, seed uint64) (*netlist.FlatDesign, *graph.Graph, *Edit, error) {
+	out := fd.Clone()
+	rng := stats.New(seed)
+	var ed *Edit
+	switch kind {
+	case EditAddFlop:
+		ed = addFlop(out, rng)
+	case EditRemoveFlop:
+		ed = removeFlop(out, g, rng)
+	case EditRetimeCell:
+		ed = retimeCell(out, g, rng)
+	case EditRewireFubio:
+		ed = rewireFubio(out, rng)
+	case EditPavfOnly:
+		ed = &Edit{Kind: EditPavfOnly, Desc: "no structural change (perturb pAVF tables)"}
+	default:
+		return nil, nil, nil, fmt.Errorf("graphtest: unknown edit kind %v", kind)
+	}
+	if ed == nil {
+		// No eligible site for the requested kind on this seed; adding a
+		// flop is always possible and keeps the harness total.
+		ed = addFlop(out, rng)
+		ed.Desc = fmt.Sprintf("%s (no eligible site; fell back): %s", kind, ed.Desc)
+	}
+	sort.Strings(ed.TouchedFubs)
+	ng, err := graph.Build(out)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("graphtest: edited design invalid (%s): %w", ed.Desc, err)
+	}
+	return out, ng, ed, nil
+}
+
+// freshName returns a node name not yet used in f.
+func freshName(f *netlist.FlatFub, prefix string) string {
+	used := make(map[string]bool, len(f.Nodes))
+	for _, n := range f.Nodes {
+		used[n.Name] = true
+	}
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("%s%d", prefix, i)
+		if !used[name] {
+			return name
+		}
+	}
+}
+
+// producesSignal reports whether a flat node yields a value another node
+// may consume as an input.
+func producesSignal(n *netlist.Node) bool {
+	switch n.Kind {
+	case netlist.KindStructWrite, netlist.KindOutput:
+		return false
+	}
+	return n.Class != netlist.ClassDebug
+}
+
+// nodeInLoop reports whether any bit of the named node sits on a
+// sequential feedback loop in the pre-edit graph.
+func nodeInLoop(g *graph.Graph, fub, node string) bool {
+	base, width, ok := g.VertexBase(fub, node)
+	if !ok {
+		return true // unknown to the graph: treat as ineligible
+	}
+	for i := 0; i < width; i++ {
+		if g.Verts[int(base)+i].InLoop {
+			return true
+		}
+	}
+	return false
+}
+
+func addFlop(fd *netlist.FlatDesign, rng *stats.RNG) *Edit {
+	type site struct {
+		fub *netlist.FlatFub
+		src *netlist.Node
+	}
+	var sites []site
+	for _, f := range fd.Fubs {
+		for _, n := range f.Nodes {
+			if producesSignal(n) {
+				sites = append(sites, site{f, n})
+			}
+		}
+	}
+	s := sites[rng.Intn(len(sites))]
+	name := freshName(s.fub, "eco_add_q")
+	s.fub.AddNode(&netlist.Node{
+		Name: name, Kind: netlist.KindSeq, Width: s.src.Width, Inputs: []string{s.src.Name},
+	})
+	return &Edit{
+		Kind:        EditAddFlop,
+		Desc:        fmt.Sprintf("add flop %s/%s registering %s", s.fub.Name, name, s.src.Name),
+		TouchedFubs: []string{s.fub.Name},
+	}
+}
+
+func removeFlop(fd *netlist.FlatDesign, g *graph.Graph, rng *stats.RNG) *Edit {
+	type site struct {
+		fub *netlist.FlatFub
+		q   *netlist.Node
+	}
+	var sites []site
+	for _, f := range fd.Fubs {
+		for _, n := range f.Nodes {
+			// A looped flop cannot lose its register (the cut becomes a
+			// combinational cycle); an enabled flop holds state the pass
+			// node cannot express.
+			if n.Kind == netlist.KindSeq && !n.HasEnable() && n.Class != netlist.ClassDebug &&
+				!nodeInLoop(g, f.Name, n.Name) {
+				sites = append(sites, site{f, n})
+			}
+		}
+	}
+	if len(sites) == 0 {
+		return nil
+	}
+	s := sites[rng.Intn(len(sites))]
+	s.q.Kind = netlist.KindComb
+	s.q.Op = netlist.OpPass
+	s.q.Clock = ""
+	s.q.Init = 0
+	return &Edit{
+		Kind:        EditRemoveFlop,
+		Desc:        fmt.Sprintf("remove flop %s/%s (now a pass-through)", s.fub.Name, s.q.Name),
+		TouchedFubs: []string{s.fub.Name},
+	}
+}
+
+func retimeCell(fd *netlist.FlatDesign, g *graph.Graph, rng *stats.RNG) *Edit {
+	type site struct {
+		fub  *netlist.FlatFub
+		q, c *netlist.Node
+	}
+	var sites []site
+	for _, f := range fd.Fubs {
+		for _, n := range f.Nodes {
+			if n.Kind != netlist.KindSeq || n.HasEnable() || n.Class == netlist.ClassDebug ||
+				nodeInLoop(g, f.Name, n.Name) {
+				continue
+			}
+			c := f.Node(n.Inputs[0])
+			if c == nil || c.Kind != netlist.KindComb || len(c.Inputs) == 0 {
+				continue
+			}
+			sites = append(sites, site{f, n, c})
+		}
+	}
+	if len(sites) == 0 {
+		return nil
+	}
+	s := sites[rng.Intn(len(sites))]
+	src := s.fub.Node(s.c.Inputs[0])
+	name := freshName(s.fub, "eco_ret_q")
+	// The register moves from the cell's output to its first input: the
+	// old flop becomes a pass-through of the cell, and a fresh flop of
+	// the input signal's width takes its place upstream.
+	s.q.Kind = netlist.KindComb
+	s.q.Op = netlist.OpPass
+	s.q.Clock = ""
+	s.q.Init = 0
+	s.fub.AddNode(&netlist.Node{
+		Name: name, Kind: netlist.KindSeq, Width: src.Width, Inputs: []string{src.Name},
+	})
+	s.c.Inputs[0] = name
+	return &Edit{
+		Kind:        EditRetimeCell,
+		Desc:        fmt.Sprintf("retime %s/%s across cell %s (new flop %s)", s.fub.Name, s.q.Name, s.c.Name, name),
+		TouchedFubs: []string{s.fub.Name},
+	}
+}
+
+func rewireFubio(fd *netlist.FlatDesign, rng *stats.RNG) *Edit {
+	if len(fd.Connects) == 0 {
+		return nil
+	}
+	ci := rng.Intn(len(fd.Connects))
+	conn := &fd.Connects[ci]
+	fubIdx := make(map[string]int, len(fd.Fubs))
+	for i, f := range fd.Fubs {
+		fubIdx[f.Name] = i
+	}
+	toIdx := fubIdx[conn.To.Fub]
+	toFub := fd.Fub(conn.To.Fub)
+	var width int
+	if toFub != nil {
+		if in := toFub.Node(conn.To.Port); in != nil {
+			width = in.Width
+		}
+	}
+	// Alternative sources: same-width output ports of strictly earlier
+	// FUBs, preserving the feed-forward FUB order generated designs
+	// guarantee (no new cross-FUB cycles, so no role changes outside the
+	// touched set).
+	type src struct{ fub, port string }
+	var cands []src
+	for i, f := range fd.Fubs {
+		if i >= toIdx {
+			break
+		}
+		for _, n := range f.Nodes {
+			if n.Kind == netlist.KindOutput && n.Width == width &&
+				!(f.Name == conn.From.Fub && n.Name == conn.From.Port) {
+				cands = append(cands, src{f.Name, n.Name})
+			}
+		}
+	}
+	oldFrom, to := conn.From, conn.To
+	if len(cands) == 0 {
+		// No alternative driver: sever the connect; the input port falls
+		// back to its boundary pseudo-structure. (conn dangles once the
+		// slice is spliced, hence the copies above.)
+		fd.Connects = append(fd.Connects[:ci], fd.Connects[ci+1:]...)
+		return &Edit{
+			Kind:        EditRewireFubio,
+			Desc:        fmt.Sprintf("sever connect %s -> %s", oldFrom, to),
+			TouchedFubs: dedupFubs(oldFrom.Fub, to.Fub),
+		}
+	}
+	c := cands[rng.Intn(len(cands))]
+	conn.From = netlist.PortRef{Fub: c.fub, Port: c.port}
+	return &Edit{
+		Kind:        EditRewireFubio,
+		Desc:        fmt.Sprintf("rewire %s: %s -> %s.%s", conn.To, oldFrom, c.fub, c.port),
+		TouchedFubs: dedupFubs(oldFrom.Fub, c.fub, conn.To.Fub),
+	}
+}
+
+func dedupFubs(names ...string) []string {
+	seen := make(map[string]bool, len(names))
+	out := names[:0]
+	for _, n := range names {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -14,6 +14,16 @@ type FlatFub struct {
 	index map[string]*Node
 }
 
+// AddNode appends n to the FUB, keeping the lazy name index coherent.
+// Mutating Nodes directly after Node has been called would leave the
+// index stale; edit tooling must go through this.
+func (f *FlatFub) AddNode(n *Node) {
+	f.Nodes = append(f.Nodes, n)
+	if f.index != nil {
+		f.index[n.Name] = n
+	}
+}
+
 // Node returns the flat node named name, or nil.
 func (f *FlatFub) Node(name string) *Node {
 	if f.index == nil {
@@ -32,6 +42,27 @@ type FlatDesign struct {
 	Structures map[string]*Structure
 	Fubs       []*FlatFub
 	Connects   []Connect
+}
+
+// Clone returns a deep copy of the flat design, sharing only the
+// immutable Structure definitions. Netlist-edit tooling (ECO flows, the
+// edit-generator test harness) mutates the clone and rebuilds the graph
+// while the original keeps serving.
+func (fd *FlatDesign) Clone() *FlatDesign {
+	out := &FlatDesign{
+		Name:       fd.Name,
+		Structures: fd.Structures,
+		Connects:   append([]Connect(nil), fd.Connects...),
+		Fubs:       make([]*FlatFub, len(fd.Fubs)),
+	}
+	for i, f := range fd.Fubs {
+		nf := &FlatFub{Name: f.Name, Module: f.Module, Nodes: make([]*Node, len(f.Nodes))}
+		for j, n := range f.Nodes {
+			nf.Nodes[j] = cloneNode(n)
+		}
+		out.Fubs[i] = nf
+	}
+	return out
 }
 
 // Fub returns the flat FUB named name, or nil.

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"seqavf/internal/core"
+	"seqavf/internal/design"
+	"seqavf/internal/graph"
+	"seqavf/internal/netlist"
+)
+
+// TestEditDesignEndpoint drives the ECO path end to end over HTTP: upload
+// a design, POST an edited netlist to /v1/designs/{name}/edit, and check
+// that the re-solve was incremental (some FUBs reused), the registration
+// was replaced in place, the replacement still sweeps, and the answer
+// matches a cold solve of the edited netlist.
+func TestEditDesignEndpoint(t *testing.T) {
+	s, reg, _ := newTestServer(t, Config{MaxBodyBytes: 64 << 20})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cfg := design.DefaultConfig(7)
+	cfg.NumFubs = 4
+	gen, err := design.Generate(cfg)
+	if err != nil {
+		t.Fatalf("design.Generate: %v", err)
+	}
+	var nl bytes.Buffer
+	if err := netlist.Write(&nl, gen.Design); err != nil {
+		t.Fatalf("netlist.Write: %v", err)
+	}
+	resp, b := postJSON(t, http.DefaultClient, ts.URL+"/v1/designs", nl.Bytes())
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload returned %d: %s", resp.StatusCode, b)
+	}
+	name := gen.Design.Name
+	before := s.Design(name)
+	designsBefore := reg.Gauge("server.designs").Load()
+
+	// The ECO: register one existing signal of the first FUB's module
+	// behind a fresh flop — the hierarchical form of graphtest's add-flop.
+	mod := gen.Design.Modules[gen.Design.Fubs[0].Module]
+	var src *netlist.Node
+	for _, n := range mod.Nodes {
+		if (n.Kind == netlist.KindComb || n.Kind == netlist.KindSeq) && n.Class != netlist.ClassDebug {
+			src = n
+			break
+		}
+	}
+	if src == nil {
+		t.Fatalf("module %s has no eligible source node", mod.Name)
+	}
+	mod.Nodes = append(mod.Nodes, &netlist.Node{
+		Name: "eco_q", Kind: netlist.KindSeq, Width: src.Width, Inputs: []string{src.Name},
+	})
+	var edited bytes.Buffer
+	if err := netlist.Write(&edited, gen.Design); err != nil {
+		t.Fatalf("netlist.Write (edited): %v", err)
+	}
+
+	resp, b = postJSON(t, http.DefaultClient, ts.URL+"/v1/designs/"+name+"/edit", edited.Bytes())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("edit returned %d: %s", resp.StatusCode, b)
+	}
+	var er EditResponse
+	if err := json.Unmarshal(b, &er); err != nil {
+		t.Fatalf("edit response: %v", err)
+	}
+	if er.Incremental == nil {
+		t.Fatalf("edit fell back to a cold solve: %s", b)
+	}
+	if er.Incremental.FubsDirty == 0 || er.Incremental.FubsDirty >= er.Incremental.FubsTotal {
+		t.Fatalf("add-flop dirtied %d of %d FUBs", er.Incremental.FubsDirty, er.Incremental.FubsTotal)
+	}
+	if !er.Incremental.Converged {
+		t.Fatalf("incremental re-solve did not converge: %+v", er.Incremental)
+	}
+	if er.Vertices != before.Vertices+src.Width {
+		t.Fatalf("edited design has %d vertices, want %d + %d", er.Vertices, before.Vertices, src.Width)
+	}
+
+	// Replaced, not added: same design count, new registration.
+	if got := reg.Gauge("server.designs").Load(); got != designsBefore {
+		t.Fatalf("designs gauge moved %v -> %v on edit", designsBefore, got)
+	}
+	after := s.Design(name)
+	if after == before {
+		t.Fatal("edit did not replace the registered design")
+	}
+
+	// The replacement must agree with a cold solve of the edited netlist.
+	parsed, err := netlist.Parse(bytes.NewReader(edited.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := netlist.Flatten(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Build(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.NewAnalyzer(g, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := a.Solve(neutralInputs(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := core.MaxAbsDiff(after.Result, cold); !(d <= a.Opts.Epsilon) {
+		t.Fatalf("edited design diverges from cold solve by %v", d)
+	}
+
+	// And it still serves sweeps.
+	body := sweepBody(t, name, after.Result, 2, 500)
+	resp, b = postJSON(t, http.DefaultClient, ts.URL+"/v1/sweep", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep of edited design returned %d: %s", resp.StatusCode, b)
+	}
+
+	// Editing an unregistered name is 404, not a fresh registration.
+	resp, b = postJSON(t, http.DefaultClient, ts.URL+"/v1/designs/nonexistent/edit", edited.Bytes())
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("edit of unknown design returned %d: %s", resp.StatusCode, b)
+	}
+	if got := reg.Counter("server.edit_requests").Load(); got != 2 {
+		t.Fatalf("edit_requests counter = %v, want 2", got)
+	}
+}

@@ -61,6 +61,14 @@ type DesignInfo struct {
 	Plan     sweep.Stats `json:"plan"`
 }
 
+// EditResponse describes an applied ECO on POST /v1/designs/{name}/edit:
+// the replacement design plus what the incremental re-solve reused.
+// Incremental is null when the re-solve fell back to a cold solve.
+type EditResponse struct {
+	DesignInfo
+	Incremental *core.Incremental `json:"incremental"`
+}
+
 // Handler returns the service mux:
 //
 //	GET  /healthz        — liveness + design count
@@ -70,6 +78,7 @@ type DesignInfo struct {
 //	GET  /debug/pprof/   — net/http/pprof profiles
 //	GET  /v1/designs     — registered designs and plan shapes
 //	POST /v1/designs     — upload a textual netlist; solve + register it
+//	POST /v1/designs/{name}/edit — ECO: incremental re-solve + atomic replace
 //	POST /v1/sweep       — evaluate workload pAVF tables through one design
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -79,6 +88,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /debug/requests", s.flight.Handler())
 	mux.HandleFunc("GET /v1/designs", s.handleListDesigns)
 	mux.HandleFunc("POST /v1/designs", s.handleUploadDesign)
+	mux.HandleFunc("POST /v1/designs/{name}/edit", s.handleEditDesign)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -251,6 +261,55 @@ func (s *Server) handleUploadDesign(w http.ResponseWriter, r *http.Request) {
 	rec.Design = d.Name
 	rec.Fingerprint = fmt.Sprintf("%016x", d.Result.Analyzer.Fingerprint())
 	writeJSON(w, http.StatusCreated, DesignInfo{Name: d.Name, Vertices: d.Vertices, SeqBits: d.SeqBits, Plan: d.Plan})
+}
+
+// handleEditDesign applies an ECO to a registered design: the body is
+// the full edited netlist, the re-solve is seeded from the live design's
+// converged per-FUB state, and the registration is swapped atomically.
+// The response reports how much of the prior solve survived the edit.
+func (s *Server) handleEditDesign(w http.ResponseWriter, r *http.Request) {
+	s.reg.Counter("server.edit_requests").Inc()
+	name := r.PathValue("name")
+	rsp, ctx := s.startRequest(w, r, "/v1/designs/{name}/edit")
+	start := time.Now()
+	rec := obs.RequestRecord{Endpoint: "/v1/designs/{name}/edit", Design: name, Status: http.StatusOK, Outcome: "ok"}
+	defer func() { s.finishRequest(rsp, start, rec) }()
+	fail := func(write func(), status int, outcome string) {
+		rec.Status, rec.Outcome = status, outcome
+		write()
+	}
+	if !s.acquire() {
+		fail(func() { s.rejectBusy(w) }, http.StatusTooManyRequests, "busy")
+		return
+	}
+	defer s.release()
+	isp := rsp.Child("ingest")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	isp.End()
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		fail(func() { s.writeBodyErr(w, err) }, status, err.Error())
+		return
+	}
+	d, st, err := s.EditNetlistContext(ctx, name, strings.NewReader(string(body)), core.DefaultOptions())
+	if err != nil {
+		var unknown *UnknownDesignError
+		status := http.StatusUnprocessableEntity
+		if errors.As(err, &unknown) {
+			status = http.StatusNotFound
+		}
+		fail(func() { s.writeErr(w, status, "%v", err) }, status, err.Error())
+		return
+	}
+	rec.Fingerprint = fmt.Sprintf("%016x", d.Result.Analyzer.Fingerprint())
+	writeJSON(w, http.StatusOK, EditResponse{
+		DesignInfo:  DesignInfo{Name: d.Name, Vertices: d.Vertices, SeqBits: d.SeqBits, Plan: d.Plan},
+		Incremental: st,
+	})
 }
 
 // writeBodyErr maps body-read failures: 413 for the size cap, 400 otherwise.

@@ -233,6 +233,49 @@ func (s *Server) LoadNetlist(name string, r io.Reader, opts core.Options) (*Desi
 // ("warm" or "cold") that the flight recorder surfaces as the upload's
 // plan disposition.
 func (s *Server) LoadNetlistContext(ctx context.Context, name string, r io.Reader, opts core.Options) (*Design, error) {
+	a, err := s.analyzeNetlist(r, opts)
+	if err != nil {
+		return nil, err
+	}
+	if st := s.cfg.Artifacts; st != nil {
+		res, _, err := st.GetContext(ctx, a)
+		if err != nil {
+			// A stale or corrupt artifact is never fatal: fall through to
+			// the cold solve and regenerate it.
+			s.reg.Counter("server.artifact_errors").Inc()
+		}
+		if res != nil {
+			// Uploads and startup loads always solve against the neutral
+			// baseline, so a warm start usually skips even the
+			// re-evaluation; a store shared with CLI runs may hold other
+			// inputs, which are plugged back in.
+			if in := neutralInputs(a); !res.Inputs.Equal(in) {
+				if err := res.Reevaluate(in); err != nil {
+					return nil, fmt.Errorf("server: re-evaluating stored artifact for %q: %w", a.G.Design.Name, err)
+				}
+			}
+			s.reg.Counter("artifact.warm_start").Inc()
+			obs.SpanFromContext(ctx).SetAttr("artifact", "warm")
+			return s.AddResult(name, res)
+		}
+	}
+	res, err := a.SolveContext(ctx, neutralInputs(a))
+	if err != nil {
+		return nil, fmt.Errorf("server: solving %q: %w", a.G.Design.Name, err)
+	}
+	if s.cfg.Artifacts != nil {
+		// AddResult compiles the plan through the sweep engine, whose
+		// second-level store (wired in New) persists the artifact —
+		// result and plan together — so the next restart warm-starts.
+		s.reg.Counter("artifact.cold_start").Inc()
+		obs.SpanFromContext(ctx).SetAttr("artifact", "cold")
+	}
+	return s.AddResult(name, res)
+}
+
+// analyzeNetlist runs the shared upload prelude: parse, validate,
+// flatten, extract the bit graph, and build the analyzer.
+func (s *Server) analyzeNetlist(r io.Reader, opts core.Options) (*core.Analyzer, error) {
 	d, err := netlist.Parse(r)
 	if err != nil {
 		return nil, fmt.Errorf("server: parsing netlist: %w", err)
@@ -253,40 +296,99 @@ func (s *Server) LoadNetlistContext(ctx context.Context, name string, r io.Reade
 	if err != nil {
 		return nil, fmt.Errorf("server: analyzing %q: %w", d.Name, err)
 	}
-	if st := s.cfg.Artifacts; st != nil {
-		res, _, err := st.GetContext(ctx, a)
-		if err != nil {
-			// A stale or corrupt artifact is never fatal: fall through to
-			// the cold solve and regenerate it.
-			s.reg.Counter("server.artifact_errors").Inc()
-		}
-		if res != nil {
-			// Uploads and startup loads always solve against the neutral
-			// baseline, so a warm start usually skips even the
-			// re-evaluation; a store shared with CLI runs may hold other
-			// inputs, which are plugged back in.
-			if in := neutralInputs(a); !res.Inputs.Equal(in) {
-				if err := res.Reevaluate(in); err != nil {
-					return nil, fmt.Errorf("server: re-evaluating stored artifact for %q: %w", d.Name, err)
-				}
-			}
-			s.reg.Counter("artifact.warm_start").Inc()
-			obs.SpanFromContext(ctx).SetAttr("artifact", "warm")
-			return s.AddResult(name, res)
-		}
+	return a, nil
+}
+
+// UnknownDesignError reports an edit against a name with no registered
+// design: there is nothing to re-solve incrementally from.
+type UnknownDesignError struct {
+	Name string
+}
+
+func (e *UnknownDesignError) Error() string {
+	return fmt.Sprintf("server: design %q not registered", e.Name)
+}
+
+// ReplaceResult registers a solved design under name, replacing any
+// design already live there. The swap is atomic under the registry lock:
+// requests in flight keep sweeping the result they resolved, new
+// requests see the replacement. This is the ECO path's registration —
+// uploads that must not silently displace a live design use AddResult.
+func (s *Server) ReplaceResult(name string, res *core.Result) (*Design, error) {
+	if name == "" {
+		name = res.Analyzer.G.Design.Name
 	}
-	res, err := a.SolveContext(ctx, neutralInputs(a))
+	plan, err := s.eng.Plan(res)
 	if err != nil {
-		return nil, fmt.Errorf("server: solving %q: %w", d.Name, err)
+		return nil, fmt.Errorf("server: compiling plan for %q: %w", name, err)
 	}
-	if s.cfg.Artifacts != nil {
-		// AddResult compiles the plan through the sweep engine, whose
-		// second-level store (wired in New) persists the artifact —
-		// result and plan together — so the next restart warm-starts.
-		s.reg.Counter("artifact.cold_start").Inc()
-		obs.SpanFromContext(ctx).SetAttr("artifact", "cold")
+	seq := 0
+	for v := 0; v < res.Analyzer.G.NumVerts(); v++ {
+		if res.IsSequentialBit(graph.VertexID(v)) {
+			seq++
+		}
 	}
-	return s.AddResult(name, res)
+	d := &Design{
+		Name:     name,
+		Result:   res,
+		Plan:     plan.Stats(),
+		Vertices: res.Analyzer.G.NumVerts(),
+		SeqBits:  seq,
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.designs[name] = d
+	s.reg.Gauge("server.designs").Set(float64(len(s.designs)))
+	return d, nil
+}
+
+// EditNetlistContext applies an ECO: it parses the edited netlist,
+// re-solves it incrementally from the registered design's converged
+// state — walking only the FUBs whose fingerprints the edit moved — and
+// atomically replaces the live design. The returned statistics report
+// what was reused. A re-solve failure falls back to a cold solve (nil
+// statistics) rather than failing the edit: incremental is an
+// optimization. The request span gains artifact="incremental" (or
+// "cold") so the flight recorder shows the disposition. With
+// Config.Artifacts set, the replacement is persisted through the plan
+// compile exactly like an upload.
+func (s *Server) EditNetlistContext(ctx context.Context, name string, r io.Reader, opts core.Options) (*Design, *core.Incremental, error) {
+	old := s.Design(name)
+	if old == nil {
+		return nil, nil, &UnknownDesignError{Name: name}
+	}
+	a, err := s.analyzeNetlist(r, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	in := neutralInputs(a)
+	var (
+		res *core.Result
+		st  *core.Incremental
+	)
+	prior, err := old.Result.PriorState()
+	if err == nil {
+		res, st, err = a.ResolveIncrementalContext(ctx, in, prior)
+	}
+	if err != nil {
+		// The prior was unusable (e.g. a design rename swapped in an
+		// unrelated circuit): solve cold, the edit still lands.
+		s.reg.Counter("server.edit_cold_fallbacks").Inc()
+		res, err = a.SolveContext(ctx, in)
+		if err != nil {
+			return nil, nil, fmt.Errorf("server: solving %q: %w", a.G.Design.Name, err)
+		}
+	}
+	disp := "cold"
+	if st != nil {
+		disp = "incremental"
+	}
+	obs.SpanFromContext(ctx).SetAttr("artifact", disp)
+	d, err := s.ReplaceResult(name, res)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, st, nil
 }
 
 // neutralInputs assigns 0.5 to every structure port the design has; the

@@ -12,6 +12,7 @@ GO=${GO:-go}
 
 # package floor
 GATES="
+internal/core 75.0
 internal/sweep 75.0
 internal/pavf 78.0
 "
