@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz-smoke cover run-seqavfd ci
+.PHONY: all build vet test race bench fuzz-smoke cover run-seqavfd run-fleet-smoke ci
 
 all: build
 
@@ -33,6 +33,8 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzEnvMatrix -fuzztime=10s ./internal/sweep/
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeArtifact -fuzztime=10s ./internal/artifact/
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeFUBState -fuzztime=10s ./internal/artifact/
+	$(GO) test -run=^$$ -fuzz=FuzzParseReplicaList -fuzztime=10s ./internal/fleet/
+	$(GO) test -run=^$$ -fuzz=FuzzMergeExposition -fuzztime=10s ./internal/fleet/
 
 # Coverage floors on the numerical core (solver, sweep engine, pAVF
 # closed forms); see scripts/cover.sh for the gated packages and
@@ -44,5 +46,12 @@ cover:
 # seqavfd, probe /healthz, run one sweep, then SIGTERM it.
 run-seqavfd: build
 	./scripts/seqavfd_smoke.sh
+
+# End-to-end smoke of the sweep fleet: 3 replicas with cross-wired
+# artifact peers behind seqavf-gateway, a routed sweep, the merged
+# /metrics, and a rolling restart that warm-starts over the remote
+# artifact tier.
+run-fleet-smoke: build
+	./scripts/fleet_smoke.sh
 
 ci: vet build race cover fuzz-smoke

@@ -2,9 +2,12 @@ package cliutil
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"time"
 
 	"seqavf/internal/artifact"
 	"seqavf/internal/core"
@@ -12,29 +15,49 @@ import (
 )
 
 // Artifacts carries the shared artifact-store flags: -artifacts selects
-// the store directory (empty disables persistence entirely) and
-// -artifacts-max bounds its disk usage.
+// the store directory (empty disables persistence entirely),
+// -artifacts-max bounds its disk usage, and -peers enables the fleet
+// pull-through tier — on a local miss the store fetches the artifact
+// from the owning peer before solving cold.
 type Artifacts struct {
-	Dir      string
-	MaxBytes int64
+	Dir         string
+	MaxBytes    int64
+	Peers       *Replicas
+	PeerTimeout time.Duration
 }
 
-// ArtifactFlags registers -artifacts and -artifacts-max on the default
-// FlagSet.
+// ArtifactFlags registers -artifacts, -artifacts-max, -peers, and
+// -peer-timeout on the default FlagSet.
 func ArtifactFlags() *Artifacts {
 	a := &Artifacts{}
 	flag.StringVar(&a.Dir, "artifacts", "", "artifact store directory: persist solved results and compiled plans, keyed by design fingerprint (empty = no persistence)")
 	flag.Int64Var(&a.MaxBytes, "artifacts-max", 1<<30, "artifact store disk bound in bytes; least-recently-used artifacts are evicted beyond it (0 = unbounded)")
+	a.Peers = ReplicasFlag("peers", "fleet peer base URLs (repeatable, comma-separated): on a local artifact miss, pull the artifact from the owning peer (requires -artifacts)")
+	flag.DurationVar(&a.PeerTimeout, "peer-timeout", 5*time.Second, "per-fetch timeout for -peers pull-through requests")
 	return a
 }
 
 // Open opens the configured store, or returns nil when -artifacts was
 // not given.
 func (a *Artifacts) Open(reg *obs.Registry) (*artifact.Store, error) {
+	peers := 0
+	if a.Peers != nil {
+		peers = len(a.Peers.URLs)
+	}
 	if a.Dir == "" {
+		if peers > 0 {
+			return nil, errors.New("-peers requires -artifacts (the pull-through tier installs into the local store)")
+		}
 		return nil, nil
 	}
-	return artifact.Open(a.Dir, artifact.Options{MaxBytes: a.MaxBytes, Obs: reg})
+	opts := artifact.Options{MaxBytes: a.MaxBytes, Obs: reg}
+	if peers > 0 {
+		opts.Remote = &artifact.Remote{
+			Peers:  a.Peers.URLs,
+			Client: &http.Client{Timeout: a.PeerTimeout},
+		}
+	}
+	return artifact.Open(a.Dir, opts)
 }
 
 // Disposition reports which path SolveWithStore took to produce its

@@ -1,0 +1,51 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"seqavf/internal/fleet"
+)
+
+// Replicas is a flag.Value collecting replica base URLs: the flag is
+// repeatable, each occurrence may carry a comma-separated list, and
+// entries are normalized (explicit scheme, no trailing slash) and
+// deduplicated across occurrences — the same replica given twice would
+// double its share of the hash space.
+type Replicas struct {
+	URLs []string
+	seen map[string]bool
+}
+
+// ReplicasFlag registers a replica-list flag with the given name on the
+// default FlagSet and returns its accumulator.
+func ReplicasFlag(name, usage string) *Replicas {
+	r := &Replicas{seen: make(map[string]bool)}
+	flag.Var(r, name, usage)
+	return r
+}
+
+// String renders the accumulated list (flag.Value).
+func (r *Replicas) String() string {
+	if r == nil {
+		return ""
+	}
+	return strings.Join(r.URLs, ",")
+}
+
+// Set parses one flag occurrence (flag.Value).
+func (r *Replicas) Set(value string) error {
+	urls, err := fleet.ParseReplicaList(value)
+	if err != nil {
+		return err
+	}
+	for _, u := range urls {
+		if r.seen[u] {
+			return fmt.Errorf("duplicate replica %q", u)
+		}
+		r.seen[u] = true
+		r.URLs = append(r.URLs, u)
+	}
+	return nil
+}

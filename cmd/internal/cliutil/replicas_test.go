@@ -1,0 +1,45 @@
+package cliutil
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestReplicasAccumulates(t *testing.T) {
+	r := &Replicas{seen: make(map[string]bool)}
+	if err := r.Set("a:1,b:2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Set("https://c:3"); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"http://a:1", "http://b:2", "https://c:3"}
+	if !reflect.DeepEqual(r.URLs, want) {
+		t.Fatalf("URLs = %v, want %v", r.URLs, want)
+	}
+	if r.String() != "http://a:1,http://b:2,https://c:3" {
+		t.Fatalf("String() = %q", r.String())
+	}
+	// Duplicates are rejected across occurrences, not just within one.
+	if err := r.Set("http://a:1"); err == nil {
+		t.Fatal("cross-occurrence duplicate accepted")
+	}
+	if err := r.Set("ftp://x"); err == nil {
+		t.Fatal("bad scheme accepted")
+	}
+}
+
+func TestArtifactsPeersRequireDir(t *testing.T) {
+	a := &Artifacts{Peers: &Replicas{seen: make(map[string]bool)}}
+	if err := a.Peers.Set("peer:8091"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Open(nil); err == nil {
+		t.Fatal("-peers without -artifacts accepted")
+	}
+	a.Dir = t.TempDir()
+	st, err := a.Open(nil)
+	if err != nil || st == nil {
+		t.Fatalf("Open with dir+peers = (%v, %v)", st, err)
+	}
+}

@@ -14,6 +14,7 @@
 //	GET  /v1/designs     registered designs
 //	POST /v1/designs     upload a netlist (body = netlist text)
 //	POST /v1/sweep       {"design": ..., "workloads": [{"name","pavf"}]}
+//	GET  /v1/artifacts/{fingerprint}  raw artifact bytes (fleet pull-through)
 //
 // Every request runs under a trace: an incoming W3C traceparent header
 // is honored and echoed, and requests slower than -slow-sweep-ms emit
@@ -33,6 +34,14 @@
 // fingerprint: a restarted daemon warm-starts each known design from
 // disk instead of solving it again, and designs uploaded at runtime are
 // persisted back. The startup log reports warm vs cold counts.
+//
+// With -peers URL,... the store additionally pulls through the fleet: a
+// replica that misses locally fetches the artifact from the peer that
+// owns its fingerprint (rendezvous order), verifies the bytes with the
+// CRC-checked decoder, and installs them locally — so a replica
+// restarted with an empty artifact directory warm-starts from its peers
+// instead of re-solving. Run seqavf-gateway in front of the replica set
+// to route clients consistently.
 package main
 
 import (

@@ -5,14 +5,19 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"io/fs"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"seqavf/internal/core"
+	"seqavf/internal/fleet"
 	"seqavf/internal/obs"
 	"seqavf/internal/sweep"
 )
@@ -28,16 +33,49 @@ const ext = ".sart"
 // carries — so Put leaves a name-keyed breadcrumb for Prior to follow.
 const headExt = ".head"
 
+// tmpMaxAge gates the stale-staging sweep in Open: a put-*.tmp file
+// older than this was stranded by a crash between CreateTemp and
+// Rename (a live Put holds its tmp for milliseconds) and is removed so
+// dead staging bytes stop eating the MaxBytes budget's disk. Younger
+// tmp files may belong to a concurrent writer and are left alone.
+const tmpMaxAge = time.Hour
+
+// maxRemoteArtifactBytes caps how much of a peer's response the remote
+// tier will buffer: the codec's own section caps mean a genuine
+// artifact decodes from far less, so anything bigger is a broken or
+// hostile peer.
+const maxRemoteArtifactBytes = 1 << 30
+
+// Remote configures the store's pull-through tier: on a local miss the
+// store fetches the artifact from the fleet peer that owns its
+// fingerprint (rendezvous order over Peers), verifies the bytes with
+// the same CRC-checked Decode every local read gets, and installs the
+// artifact atomically so the next read is local. Replication is safe
+// by construction — artifacts are immutable, versioned, checksummed,
+// and keyed by content.
+type Remote struct {
+	// Peers are the other replicas' base URLs (this process excluded),
+	// each serving GET /v1/artifacts/{fingerprint}.
+	Peers []string
+	// Client performs the fetches. nil uses a client with a 5s timeout.
+	Client *http.Client
+}
+
 // Options configure a Store. The zero value is usable: unbounded disk,
-// no telemetry.
+// no remote tier, no telemetry.
 type Options struct {
-	// MaxBytes bounds the store's total size. When a Put pushes the
+	// MaxBytes bounds the store's total size — artifacts plus head
+	// pointers, the same set eviction accounts. When a Put pushes the
 	// store past the bound, least-recently-used artifacts (by access
 	// time; Get touches) are evicted until it fits, keeping at least the
 	// entry just written. 0 means unbounded.
 	MaxBytes int64
-	// Obs receives store telemetry: hit/miss/put/eviction counters and
-	// decode-failure counts. nil disables instrumentation.
+	// Remote, when non-nil, enables the pull-through tier: local misses
+	// consult the owning peers before reporting a miss.
+	Remote *Remote
+	// Obs receives store telemetry: hit/miss/put/eviction counters,
+	// remote-tier counters, and decode-failure counts. nil disables
+	// instrumentation.
 	Obs *obs.Registry
 }
 
@@ -50,10 +88,16 @@ type Options struct {
 type Store struct {
 	dir  string
 	opts Options
-	mu   sync.Mutex
+
+	mu     sync.Mutex
+	remote *Remote // guarded by mu; set at Open or via SetRemote
 }
 
 // Open returns a Store rooted at dir, creating the directory if needed.
+// Staging files stranded by a crashed writer (put-*.tmp older than an
+// hour) are swept here so they cannot silently eat the disk budget
+// forever; a concurrent writer's fresh tmp is age-gated out of the
+// sweep.
 func Open(dir string, opts Options) (*Store, error) {
 	if dir == "" {
 		return nil, errors.New("artifact: empty store directory")
@@ -61,7 +105,18 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("artifact: creating store: %w", err)
 	}
-	return &Store{dir: dir, opts: opts}, nil
+	s := &Store{dir: dir, opts: opts, remote: opts.Remote}
+	s.sweepStaleTmp()
+	return s, nil
+}
+
+// SetRemote installs (or clears) the pull-through tier after Open —
+// the late-binding hook for callers that learn their peer addresses
+// only once listeners are up.
+func (s *Store) SetRemote(rem *Remote) {
+	s.mu.Lock()
+	s.remote = rem
+	s.mu.Unlock()
 }
 
 // Dir returns the store's root directory.
@@ -81,6 +136,46 @@ func (s *Store) headPath(designName string) string {
 	return filepath.Join(s.dir, fmt.Sprintf("%016x%s", h.Sum64(), headExt))
 }
 
+// parseHead validates a head-pointer payload: exactly one 16-hex-digit
+// token, nothing else. Sscanf-style parsing accepted trailing garbage —
+// a torn or concatenated write would quietly resolve to a wrong-but-
+// well-formed fingerprint — so anything but the canonical form Put
+// writes is malformed.
+func parseHead(b []byte) (uint64, bool) {
+	if len(b) != 16 {
+		return 0, false
+	}
+	for _, c := range b {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return 0, false
+		}
+	}
+	fp, err := strconv.ParseUint(string(b), 16, 64)
+	return fp, err == nil
+}
+
+// sweepStaleTmp removes staging files stranded by crashed writers.
+func (s *Store) sweepStaleTmp() {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	cutoff := time.Now().Add(-tmpMaxAge)
+	for _, de := range ents {
+		name := de.Name()
+		if de.IsDir() || !strings.HasPrefix(name, "put-") || !strings.HasSuffix(name, ".tmp") {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil || info.ModTime().After(cutoff) {
+			continue
+		}
+		if os.Remove(filepath.Join(s.dir, name)) == nil {
+			s.opts.Obs.Counter("artifact.tmp_sweeps").Inc()
+		}
+	}
+}
+
 // Get loads and decodes the artifact for a's fingerprint. A clean miss
 // returns (nil, nil, nil); a present-but-unreadable artifact (version
 // skew, corruption) returns the decode error so callers can report it
@@ -91,9 +186,11 @@ func (s *Store) Get(a *core.Analyzer) (*core.Result, *sweep.Plan, error) {
 
 // GetContext is Get with request-scoped tracing: the "artifact.restore"
 // span nests under ctx's current span, its "outcome" attribute
-// distinguishes warm-start hits from misses and decode errors, and
-// successful restores feed the artifact.restore_seconds latency
-// histogram — the warm-start half of the warm-vs-cold budget.
+// distinguishes warm-start hits from misses, remote-tier hits, and
+// decode errors, and successful restores feed the
+// artifact.restore_seconds latency histogram — the warm-start half of
+// the warm-vs-cold budget. With a Remote configured, a local miss
+// consults the owning peers before reporting a miss.
 func (s *Store) GetContext(ctx context.Context, a *core.Analyzer) (*core.Result, *sweep.Plan, error) {
 	fp := a.Fingerprint()
 	sp := s.opts.Obs.StartSpanContext(ctx, "artifact.restore")
@@ -104,6 +201,13 @@ func (s *Store) GetContext(ctx context.Context, a *core.Analyzer) (*core.Result,
 	data, err := os.ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {
 		s.opts.Obs.Counter("artifact.store_misses").Inc()
+		if res, plan, n := s.fetchRemote(ctx, a, fp); res != nil {
+			s.opts.Obs.FixedHistogram("artifact.restore_seconds", obs.LatencyBuckets).
+				Observe(time.Since(start).Seconds())
+			sp.SetAttr("outcome", "remote")
+			sp.SetAttr("bytes", n)
+			return res, plan, nil
+		}
 		sp.SetAttr("outcome", "miss")
 		return nil, nil, nil
 	}
@@ -131,6 +235,96 @@ func (s *Store) GetContext(ctx context.Context, a *core.Analyzer) (*core.Result,
 	return res, plan, nil
 }
 
+// fetchRemote is the pull-through tier: peers are tried in rendezvous
+// order for the fingerprint (the first choice is the peer a
+// consistently-hashed fleet would have routed this design's solve to),
+// fetched bytes are verified with the full CRC-checked Decode before
+// anything is trusted, and a verified artifact is installed locally so
+// the warm start survives the next restart too. Every failure mode is
+// soft: a dead peer, a 404, or bytes that fail verification move on to
+// the next peer and at worst degrade to a clean local miss.
+func (s *Store) fetchRemote(ctx context.Context, a *core.Analyzer, fp uint64) (*core.Result, *sweep.Plan, int) {
+	s.mu.Lock()
+	rem := s.remote
+	s.mu.Unlock()
+	if rem == nil || len(rem.Peers) == 0 {
+		return nil, nil, 0
+	}
+	client := rem.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	key := fmt.Sprintf("%016x", fp)
+	sp := obs.SpanFromContext(ctx)
+	for _, peer := range fleet.Rank(key, rem.Peers) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/artifacts/"+key, nil)
+		if err != nil {
+			s.opts.Obs.Counter("artifact.remote_errors").Inc()
+			continue
+		}
+		if sp != nil && !sp.TraceID().IsZero() {
+			req.Header.Set("traceparent", obs.FormatTraceparent(sp.TraceID(), sp.SpanID()))
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			s.opts.Obs.Counter("artifact.remote_errors").Inc()
+			continue
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+			resp.Body.Close()
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+			resp.Body.Close()
+			s.opts.Obs.Counter("artifact.remote_errors").Inc()
+			continue
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, maxRemoteArtifactBytes))
+		resp.Body.Close()
+		if err != nil {
+			s.opts.Obs.Counter("artifact.remote_errors").Inc()
+			continue
+		}
+		// Verify before trusting: the peer's bytes go through the same
+		// fingerprint + CRC gates a local read gets, so a stale, torn, or
+		// hostile payload is indistinguishable from a miss, never state.
+		res, plan, err := Decode(data, a)
+		if err != nil {
+			s.opts.Obs.Counter("artifact.remote_errors").Inc()
+			continue
+		}
+		// Install locally (atomic temp + rename) so the pulled artifact
+		// survives this process and serves the next peer's pull. Failure
+		// to persist must not fail the hit.
+		s.mu.Lock()
+		if err := s.installLocked(data, fp, res.Analyzer.G.Design.Name); err != nil {
+			s.opts.Obs.Counter("artifact.store_errors").Inc()
+		}
+		s.mu.Unlock()
+		s.opts.Obs.Counter("artifact.remote_hits").Inc()
+		return res, plan, len(data)
+	}
+	s.opts.Obs.Counter("artifact.remote_misses").Inc()
+	return nil, nil, 0
+}
+
+// Raw returns the stored artifact bytes for a fingerprint without
+// decoding — the serving side of the remote tier (the peer verifies).
+// The read counts as an access for LRU purposes. Missing entries
+// return an error satisfying errors.Is(err, fs.ErrNotExist).
+func (s *Store) Raw(fp uint64) ([]byte, error) {
+	path := s.path(fp)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
+	return data, nil
+}
+
 // Put encodes res (compiling its plan when plan is nil) and installs it
 // under the design fingerprint via an atomic write-rename, then evicts
 // least-recently-used entries beyond MaxBytes. An existing entry for
@@ -140,9 +334,17 @@ func (s *Store) Put(res *core.Result, plan *sweep.Plan) error {
 	if err != nil {
 		return err
 	}
-	path := s.path(res.Analyzer.Fingerprint())
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.installLocked(data, res.Analyzer.Fingerprint(), res.Analyzer.G.Design.Name)
+}
+
+// installLocked writes encoded artifact bytes under fp (atomic temp +
+// rename), leaves the name-keyed head pointer, and evicts beyond
+// MaxBytes. Requires s.mu held. Shared by Put and the remote tier's
+// pull-through install.
+func (s *Store) installLocked(data []byte, fp uint64, designName string) error {
+	path := s.path(fp)
 	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
 	if err != nil {
 		return fmt.Errorf("artifact: staging write: %w", err)
@@ -163,17 +365,42 @@ func (s *Store) Put(res *core.Result, plan *sweep.Plan) error {
 		return fmt.Errorf("artifact: writing %s: %w", path, werr)
 	}
 	s.opts.Obs.Counter("artifact.store_puts").Inc()
-	// Leave the name-keyed head pointer for incremental re-solves.
-	// Best-effort: the pointer is an optimization, and a stale or missing
-	// one only costs a cold solve.
-	head := res.Analyzer.Fingerprint()
-	if werr := os.WriteFile(s.headPath(res.Analyzer.G.Design.Name), []byte(fmt.Sprintf("%016x", head)), 0o644); werr != nil {
+	// Leave the name-keyed head pointer for incremental re-solves — also
+	// temp + rename, so a racing Prior (possibly in another process
+	// sharing the directory) never reads a torn pointer. Best-effort: the
+	// pointer is an optimization, and a stale or missing one only costs a
+	// cold solve.
+	if werr := s.writeHeadAtomic(designName, fp); werr != nil {
 		s.opts.Obs.Counter("artifact.store_errors").Inc()
 	}
 	if s.opts.MaxBytes > 0 {
 		s.evictLocked(filepath.Base(path))
 	}
 	return nil
+}
+
+// writeHeadAtomic installs the head pointer for designName via the same
+// temp + rename protocol artifacts use.
+func (s *Store) writeHeadAtomic(designName string, fp uint64) error {
+	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+	if err != nil {
+		return err
+	}
+	_, werr := fmt.Fprintf(tmp, "%016x", fp)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Chmod(tmp.Name(), 0o644)
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), s.headPath(designName))
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+	}
+	return werr
 }
 
 // Prior loads the most recently Put artifact for a design *name* —
@@ -197,8 +424,8 @@ func (s *Store) Prior(ctx context.Context, designName string) (*core.PriorState,
 		sp.SetAttr("outcome", "error")
 		return nil, fmt.Errorf("artifact: reading head pointer for %q: %w", designName, err)
 	}
-	var fp uint64
-	if _, err := fmt.Sscanf(string(headData), "%16x", &fp); err != nil {
+	fp, ok := parseHead(headData)
+	if !ok {
 		sp.SetAttr("outcome", "error")
 		return nil, fmt.Errorf("artifact: head pointer for %q is malformed", designName)
 	}
@@ -230,9 +457,16 @@ func (s *Store) Prior(ctx context.Context, designName string) (*core.PriorState,
 	return ps, nil
 }
 
-// evictLocked removes least-recently-used artifacts until the store
-// fits MaxBytes, never removing keep (the entry just written). Requires
-// s.mu held.
+// evictLocked brings the store under MaxBytes and sweeps head-pointer
+// debris. Requires s.mu held.
+//
+// Accounting covers everything the store writes: artifact bytes AND
+// head-pointer bytes (SizeBytes reports the same set). The pass first
+// removes orphaned heads — pointers whose target artifact no longer
+// exists, stranded by an earlier eviction or crash; left alone they
+// accumulate one per design name forever. Then least-recently-used
+// artifacts go (never keep, the entry just written), and each evicted
+// artifact takes its now-dangling head pointers with it.
 func (s *Store) evictLocked(keep string) {
 	type entry struct {
 		name  string
@@ -245,16 +479,44 @@ func (s *Store) evictLocked(keep string) {
 	}
 	var files []entry
 	var total int64
+	live := make(map[string]bool)         // artifact file names present
+	headsFor := make(map[string][]string) // artifact file name → head file names
+	headSize := make(map[string]int64)
 	for _, de := range ents {
-		if de.IsDir() || filepath.Ext(de.Name()) != ext {
+		if de.IsDir() {
 			continue
 		}
 		info, err := de.Info()
 		if err != nil {
 			continue
 		}
-		files = append(files, entry{name: de.Name(), size: info.Size(), mtime: info.ModTime()})
-		total += info.Size()
+		switch filepath.Ext(de.Name()) {
+		case ext:
+			files = append(files, entry{name: de.Name(), size: info.Size(), mtime: info.ModTime()})
+			live[de.Name()] = true
+			total += info.Size()
+		case headExt:
+			headSize[de.Name()] = info.Size()
+			total += info.Size()
+		}
+	}
+	for head := range headSize {
+		target := ""
+		if data, err := os.ReadFile(filepath.Join(s.dir, head)); err == nil {
+			if fp, ok := parseHead(data); ok {
+				target = fmt.Sprintf("%016x%s", fp, ext)
+			}
+		}
+		if target == "" || !live[target] {
+			// Orphaned (dangling or unreadable) head: its artifact is gone,
+			// so the breadcrumb leads nowhere. Sweep it.
+			if os.Remove(filepath.Join(s.dir, head)) == nil {
+				total -= headSize[head]
+				s.opts.Obs.Counter("artifact.head_evictions").Inc()
+			}
+			continue
+		}
+		headsFor[target] = append(headsFor[target], head)
 	}
 	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
 	for _, f := range files {
@@ -267,11 +529,20 @@ func (s *Store) evictLocked(keep string) {
 		if os.Remove(filepath.Join(s.dir, f.name)) == nil {
 			total -= f.size
 			s.opts.Obs.Counter("artifact.evictions").Inc()
+			// The artifact is gone; its heads now dangle. Take them too so
+			// the next pass (and SizeBytes) never sees them.
+			for _, head := range headsFor[f.name] {
+				if os.Remove(filepath.Join(s.dir, head)) == nil {
+					total -= headSize[head]
+					s.opts.Obs.Counter("artifact.head_evictions").Inc()
+				}
+			}
 		}
 	}
 }
 
-// Len reports the number of artifacts currently stored.
+// Len reports the number of artifacts currently stored (head pointers
+// are bookkeeping, not artifacts, and are not counted).
 func (s *Store) Len() int {
 	ents, err := os.ReadDir(s.dir)
 	if err != nil {
@@ -286,7 +557,8 @@ func (s *Store) Len() int {
 	return n
 }
 
-// SizeBytes reports the store's total artifact size on disk.
+// SizeBytes reports the store's total size on disk: artifacts plus
+// head pointers — the same set eviction accounts against MaxBytes.
 func (s *Store) SizeBytes() int64 {
 	ents, err := os.ReadDir(s.dir)
 	if err != nil {
@@ -294,11 +566,14 @@ func (s *Store) SizeBytes() int64 {
 	}
 	var total int64
 	for _, de := range ents {
-		if de.IsDir() || filepath.Ext(de.Name()) != ext {
+		if de.IsDir() {
 			continue
 		}
-		if info, err := de.Info(); err == nil {
-			total += info.Size()
+		switch filepath.Ext(de.Name()) {
+		case ext, headExt:
+			if info, err := de.Info(); err == nil {
+				total += info.Size()
+			}
 		}
 	}
 	return total

@@ -1,0 +1,547 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"seqavf/internal/netlist"
+	"seqavf/internal/obs"
+)
+
+// Config parameterizes a Gateway. Replicas is required; everything else
+// has serviceable defaults.
+type Config struct {
+	// Replicas is the static fleet: normalized base URLs (see
+	// ParseReplicaList). Routing keys rendezvous-hash over this list.
+	Replicas []string
+	// Obs receives gateway telemetry: per-route counters, the unhealthy-
+	// replica gauge, and request spans. nil disables instrumentation.
+	Obs *obs.Registry
+	// Client performs proxied requests. nil uses a client with a 10s
+	// timeout.
+	Client *http.Client
+	// MaxBodyBytes caps request bodies buffered for routing. 0 means 8MB.
+	MaxBodyBytes int64
+	// Retries bounds additional replicas tried after the owner fails
+	// (dead replica → next hash choice). 0 means every remaining replica.
+	Retries int
+	// Backoff is the pause between fail-over attempts. 0 means 50ms.
+	Backoff time.Duration
+	// Cooldown quarantines a replica after a transport failure: it drops
+	// to the back of every preference list until the cooldown elapses.
+	// 0 means 5s.
+	Cooldown time.Duration
+}
+
+// Gateway fronts a fleet of seqavfd replicas: it consistent-hash routes
+// design traffic (sweeps, uploads, edits, artifact fetches) to the
+// owning replica, fails over with backoff when the owner is dead,
+// propagates W3C trace context so a request's span tree continues
+// inside the replica, and aggregates the fleet's Prometheus
+// expositions on its own /metrics.
+type Gateway struct {
+	cfg    Config
+	reg    *obs.Registry
+	client *http.Client
+
+	mu   sync.Mutex
+	down map[string]time.Time // replica → quarantined until
+}
+
+// New validates cfg and returns a Gateway.
+func New(cfg Config) (*Gateway, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, errors.New("fleet: gateway needs at least one replica")
+	}
+	seen := make(map[string]bool)
+	for _, r := range cfg.Replicas {
+		norm, err := NormalizeReplica(r)
+		if err != nil {
+			return nil, err
+		}
+		if norm != r {
+			return nil, fmt.Errorf("fleet: replica %q is not normalized (want %q)", r, norm)
+		}
+		if seen[r] {
+			return nil, fmt.Errorf("fleet: duplicate replica %q", r)
+		}
+		seen[r] = true
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.Retries <= 0 || cfg.Retries > len(cfg.Replicas)-1 {
+		cfg.Retries = len(cfg.Replicas) - 1
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 50 * time.Millisecond
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 5 * time.Second
+	}
+	return &Gateway{
+		cfg:    cfg,
+		reg:    cfg.Obs,
+		client: cfg.Client,
+		down:   make(map[string]time.Time),
+	}, nil
+}
+
+// Replicas returns the configured replica list.
+func (g *Gateway) Replicas() []string { return append([]string(nil), g.cfg.Replicas...) }
+
+// Handler returns the gateway mux:
+//
+//	GET  /healthz        — fleet health: per-replica liveness fan-out
+//	GET  /metrics        — fleet-wide Prometheus exposition (merged)
+//	GET  /metrics.json   — the gateway's own obs registry snapshot
+//	GET  /v1/designs     — union of every replica's registered designs
+//	POST /v1/designs     — routed to the design's owner (netlist name)
+//	POST /v1/designs/{name}/edit — routed to the design's owner
+//	POST /v1/sweep       — routed to the design's owner
+//	GET  /v1/artifacts/{fingerprint} — routed by artifact fingerprint
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	mux.Handle("GET /metrics.json", g.reg.MetricsHandler())
+	mux.HandleFunc("GET /v1/designs", g.handleListDesigns)
+	mux.HandleFunc("POST /v1/designs", g.handleUpload)
+	mux.HandleFunc("POST /v1/designs/{name}/edit", g.handleEdit)
+	mux.HandleFunc("POST /v1/sweep", g.handleSweep)
+	mux.HandleFunc("GET /v1/artifacts/{fingerprint}", g.handleArtifact)
+	return mux
+}
+
+// startRequest opens the gateway's request span, adopting an incoming
+// traceparent and echoing the assigned one, exactly like the replica
+// does — so client → gateway → replica is one trace.
+func (g *Gateway) startRequest(w http.ResponseWriter, r *http.Request, endpoint string) (*obs.Span, context.Context) {
+	ctx := r.Context()
+	if tid, pid, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		ctx = obs.ContextWithRemoteParent(ctx, tid, pid)
+	}
+	sp := g.reg.StartSpanContext(ctx, "gateway.request")
+	sp.SetAttr("endpoint", endpoint)
+	if tid := sp.TraceID(); !tid.IsZero() {
+		w.Header().Set("traceparent", obs.FormatTraceparent(tid, sp.SpanID()))
+	}
+	return sp, obs.ContextWithSpan(ctx, sp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (g *Gateway) writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	g.reg.Counter("gateway.errors").Inc()
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// healthy reports whether a replica is outside its quarantine window.
+func (g *Gateway) healthy(replica string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	until, quarantined := g.down[replica]
+	if quarantined && time.Now().After(until) {
+		delete(g.down, replica)
+		g.reg.Gauge("gateway.replica_unhealthy").Set(float64(len(g.down)))
+		return true
+	}
+	return !quarantined
+}
+
+// markDown quarantines a replica for the cooldown; markUp clears it on
+// the first successful response.
+func (g *Gateway) markDown(replica string) {
+	g.mu.Lock()
+	g.down[replica] = time.Now().Add(g.cfg.Cooldown)
+	g.reg.Gauge("gateway.replica_unhealthy").Set(float64(len(g.down)))
+	g.mu.Unlock()
+}
+
+func (g *Gateway) markUp(replica string) {
+	g.mu.Lock()
+	if _, ok := g.down[replica]; ok {
+		delete(g.down, replica)
+		g.reg.Gauge("gateway.replica_unhealthy").Set(float64(len(g.down)))
+	}
+	g.mu.Unlock()
+}
+
+// rank orders the fleet for a routing key: rendezvous order, with
+// quarantined replicas demoted to the tail (they are still tried last —
+// a fully dark fleet should produce connection errors, not a routing
+// dead end).
+func (g *Gateway) rank(key string) []string {
+	ranked := Rank(key, g.cfg.Replicas)
+	healthy := make([]string, 0, len(ranked))
+	var quarantined []string
+	for _, r := range ranked {
+		if g.healthy(r) {
+			healthy = append(healthy, r)
+		} else {
+			quarantined = append(quarantined, r)
+		}
+	}
+	return append(healthy, quarantined...)
+}
+
+// retryableStatus reports replica responses worth failing over: the
+// gateway-ish 5xx family a dying or draining replica emits. Everything
+// else — including 429 backpressure and 4xx client errors — passes
+// through, because the next hash choice would answer no differently
+// (and a 429 must reach the client so it backs off).
+func retryableStatus(code int) bool {
+	return code == http.StatusBadGateway || code == http.StatusServiceUnavailable || code == http.StatusGatewayTimeout
+}
+
+// forward proxies one request to the fleet: replicas are tried in rank
+// order (owner first), transport failures and retryable statuses
+// quarantine the replica and fail over to the next choice after the
+// backoff, and the first conclusive response streams back to the
+// client. key is the routing key; pathAndQuery is the upstream path;
+// body may be nil for GETs.
+func (g *Gateway) forward(ctx context.Context, w http.ResponseWriter, key, method, pathAndQuery, contentType string, body []byte) {
+	ranked := g.rank(key)
+	attempts := g.cfg.Retries + 1
+	if attempts > len(ranked) {
+		attempts = len(ranked)
+	}
+	sp := obs.SpanFromContext(ctx)
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		replica := ranked[i]
+		if i > 0 {
+			g.reg.Counter("gateway.retries").Inc()
+			select {
+			case <-time.After(g.cfg.Backoff):
+			case <-ctx.Done():
+				g.reg.Counter("gateway.proxy_errors").Inc()
+				g.writeErr(w, http.StatusBadGateway, "fleet: %v", ctx.Err())
+				return
+			}
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, replica+pathAndQuery, rd)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		if sp != nil && !sp.TraceID().IsZero() {
+			req.Header.Set("traceparent", obs.FormatTraceparent(sp.TraceID(), sp.SpanID()))
+		}
+		resp, err := g.client.Do(req)
+		if err != nil {
+			lastErr = err
+			g.reg.Counter("gateway.replica_errors").Inc()
+			g.markDown(replica)
+			continue
+		}
+		if retryableStatus(resp.StatusCode) && i+1 < attempts {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+			resp.Body.Close()
+			lastErr = fmt.Errorf("replica %s returned %s", replica, resp.Status)
+			g.reg.Counter("gateway.replica_errors").Inc()
+			g.markDown(replica)
+			continue
+		}
+		g.markUp(replica)
+		g.reg.Counter("gateway.route_total").Inc()
+		sp.SetAttr("replica", replica)
+		sp.SetAttr("attempts", i+1)
+		if ct := resp.Header.Get("Content-Type"); ct != "" {
+			w.Header().Set("Content-Type", ct)
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			w.Header().Set("Retry-After", ra)
+		}
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+		resp.Body.Close()
+		return
+	}
+	g.reg.Counter("gateway.proxy_errors").Inc()
+	sp.SetAttr("error", fmt.Sprint(lastErr))
+	g.writeErr(w, http.StatusBadGateway, "fleet: no replica answered for key %q: %v", key, lastErr)
+}
+
+// readBody buffers a routed request's body under the configured cap.
+func (g *Gateway) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			g.writeErr(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
+		} else {
+			g.writeErr(w, http.StatusBadRequest, "reading body: %v", err)
+		}
+		return nil, false
+	}
+	return body, true
+}
+
+func (g *Gateway) handleSweep(w http.ResponseWriter, r *http.Request) {
+	g.reg.Counter("gateway.sweep_requests").Inc()
+	sp, ctx := g.startRequest(w, r, "/v1/sweep")
+	defer sp.End()
+	body, ok := g.readBody(w, r)
+	if !ok {
+		return
+	}
+	// Only the routing key is needed here; the owning replica re-decodes
+	// and fully validates the envelope.
+	var env struct {
+		Design string `json:"design"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		g.writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if env.Design == "" {
+		g.writeErr(w, http.StatusBadRequest, "request names no design to route by")
+		return
+	}
+	sp.SetAttr("design", env.Design)
+	g.forward(ctx, w, env.Design, http.MethodPost, "/v1/sweep", "application/json", body)
+}
+
+func (g *Gateway) handleUpload(w http.ResponseWriter, r *http.Request) {
+	g.reg.Counter("gateway.upload_requests").Inc()
+	sp, ctx := g.startRequest(w, r, "/v1/designs")
+	defer sp.End()
+	body, ok := g.readBody(w, r)
+	if !ok {
+		return
+	}
+	// The routing key is the name the design will register under: the
+	// ?name= override when present, else the netlist's own design name.
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		d, err := netlist.Parse(bytes.NewReader(body))
+		if err != nil {
+			g.writeErr(w, http.StatusUnprocessableEntity, "parsing netlist to route upload: %v", err)
+			return
+		}
+		name = d.Name
+	}
+	sp.SetAttr("design", name)
+	path := "/v1/designs"
+	if q := r.URL.RawQuery; q != "" {
+		path += "?" + q
+	}
+	g.forward(ctx, w, name, http.MethodPost, path, r.Header.Get("Content-Type"), body)
+}
+
+func (g *Gateway) handleEdit(w http.ResponseWriter, r *http.Request) {
+	g.reg.Counter("gateway.edit_requests").Inc()
+	name := r.PathValue("name")
+	sp, ctx := g.startRequest(w, r, "/v1/designs/{name}/edit")
+	defer sp.End()
+	sp.SetAttr("design", name)
+	body, ok := g.readBody(w, r)
+	if !ok {
+		return
+	}
+	g.forward(ctx, w, name, http.MethodPost,
+		"/v1/designs/"+strings.ReplaceAll(name, "/", "%2F")+"/edit",
+		r.Header.Get("Content-Type"), body)
+}
+
+func (g *Gateway) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	g.reg.Counter("gateway.artifact_requests").Inc()
+	fp := r.PathValue("fingerprint")
+	sp, ctx := g.startRequest(w, r, "/v1/artifacts/{fingerprint}")
+	defer sp.End()
+	sp.SetAttr("fingerprint", fp)
+	g.forward(ctx, w, fp, http.MethodGet, "/v1/artifacts/"+fp, "", nil)
+}
+
+// handleListDesigns unions GET /v1/designs across the fleet: with
+// rendezvous routing each design registers on one owner, so the fleet's
+// catalog is the deduplicated union of the replicas' catalogs.
+func (g *Gateway) handleListDesigns(w http.ResponseWriter, r *http.Request) {
+	sp, ctx := g.startRequest(w, r, "/v1/designs")
+	defer sp.End()
+	type reply struct {
+		replica string
+		infos   []json.RawMessage
+		err     error
+	}
+	replies := fanout(g, func(replica string) reply {
+		var infos []json.RawMessage
+		err := g.getJSON(ctx, replica+"/v1/designs", &infos)
+		return reply{replica, infos, err}
+	})
+	seen := make(map[string]json.RawMessage)
+	errs := 0
+	for _, rep := range replies {
+		if rep.err != nil {
+			errs++
+			continue
+		}
+		for _, raw := range rep.infos {
+			var named struct {
+				Name string `json:"name"`
+			}
+			if json.Unmarshal(raw, &named) == nil && named.Name != "" {
+				seen[named.Name] = raw
+			}
+		}
+	}
+	if errs == len(replies) {
+		g.writeErr(w, http.StatusBadGateway, "fleet: no replica answered /v1/designs")
+		return
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]json.RawMessage, len(names))
+	for i, n := range names {
+		out[i] = seen[n]
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ReplicaHealth is one replica's row in the gateway /healthz reply.
+type ReplicaHealth struct {
+	Replica string `json:"replica"`
+	OK      bool   `json:"ok"`
+	Designs int    `json:"designs,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	_, ctx := g.startRequest(w, r, "/healthz")
+	rows := fanout(g, func(replica string) ReplicaHealth {
+		var hz struct {
+			Designs int `json:"designs"`
+		}
+		if err := g.getJSON(ctx, replica+"/healthz", &hz); err != nil {
+			return ReplicaHealth{Replica: replica, Error: err.Error()}
+		}
+		return ReplicaHealth{Replica: replica, OK: true, Designs: hz.Designs}
+	})
+	up := 0
+	for _, row := range rows {
+		if row.OK {
+			up++
+		}
+	}
+	status, state := http.StatusOK, "ok"
+	switch {
+	case up == 0:
+		status, state = http.StatusServiceUnavailable, "down"
+	case up < len(rows):
+		state = "degraded"
+	}
+	writeJSON(w, status, map[string]any{
+		"status":   state,
+		"replicas": rows,
+	})
+}
+
+// handleMetrics serves the fleet-wide exposition: every reachable
+// replica's /metrics page plus the gateway's own registry, summed
+// point-wise. Unreachable or unparseable replicas are skipped and
+// counted (gateway.scrape_errors) — a dead replica must not take the
+// fleet's dashboards down with it.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	_, ctx := g.startRequest(w, r, "/metrics")
+	pages := fanout(g, func(replica string) *Exposition {
+		data, err := g.get(ctx, replica+"/metrics")
+		if err != nil {
+			g.reg.Counter("gateway.scrape_errors").Inc()
+			return nil
+		}
+		exp, err := ParseExposition(data)
+		if err != nil {
+			g.reg.Counter("gateway.scrape_errors").Inc()
+			return nil
+		}
+		return exp
+	})
+	var own strings.Builder
+	_ = g.reg.WriteProm(&own)
+	if exp, err := ParseExposition([]byte(own.String())); err == nil {
+		pages = append(pages, exp)
+	}
+	merged, err := Merge(pages...)
+	if err != nil {
+		g.writeErr(w, http.StatusInternalServerError, "merging expositions: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", obs.PromContentType)
+	var sb strings.Builder
+	merged.WriteTo(&sb)
+	io.WriteString(w, sb.String())
+}
+
+// fanout runs fn against every replica concurrently and returns the
+// results in replica order. Methods cannot be generic, so the
+// aggregation endpoints call this free function with the gateway as the
+// first argument.
+func fanout[T any](g *Gateway, fn func(replica string) T) []T {
+	out := make([]T, len(g.cfg.Replicas))
+	var wg sync.WaitGroup
+	for i, replica := range g.cfg.Replicas {
+		wg.Add(1)
+		go func(i int, replica string) {
+			defer wg.Done()
+			out[i] = fn(replica)
+		}(i, replica)
+	}
+	wg.Wait()
+	return out
+}
+
+// get fetches a URL through the gateway's client.
+func (g *Gateway) get(ctx context.Context, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, maxExpositionBytes+1))
+}
+
+// getJSON fetches and decodes a JSON endpoint.
+func (g *Gateway) getJSON(ctx context.Context, url string, v any) error {
+	data, err := g.get(ctx, url)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}

@@ -1,0 +1,238 @@
+package fleet
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, page string) *Exposition {
+	t.Helper()
+	exp, err := ParseExposition([]byte(page))
+	if err != nil {
+		t.Fatalf("ParseExposition: %v\npage:\n%s", err, page)
+	}
+	return exp
+}
+
+func sampleValue(t *testing.T, exp *Exposition, family, name, labels string) float64 {
+	t.Helper()
+	fam, ok := exp.byName[family]
+	if !ok {
+		t.Fatalf("family %q missing", family)
+	}
+	for _, s := range fam.Samples {
+		if s.Name == name && s.Labels == labels {
+			return s.Value
+		}
+	}
+	t.Fatalf("sample %s%s missing from family %q", name, labels, family)
+	return 0
+}
+
+func TestMergeCountersAndGauges(t *testing.T) {
+	a := mustParse(t, `# TYPE server_sweep_ok counter
+server_sweep_ok 3
+# TYPE gateway_replica_unhealthy gauge
+gateway_replica_unhealthy 1
+`)
+	b := mustParse(t, `# TYPE server_sweep_ok counter
+server_sweep_ok 4
+# TYPE gateway_replica_unhealthy gauge
+gateway_replica_unhealthy 0
+# TYPE only_here counter
+only_here 9
+`)
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sampleValue(t, m, "server_sweep_ok", "server_sweep_ok", ""); got != 7 {
+		t.Fatalf("merged counter = %v, want 7", got)
+	}
+	if got := sampleValue(t, m, "gateway_replica_unhealthy", "gateway_replica_unhealthy", ""); got != 1 {
+		t.Fatalf("merged gauge = %v, want 1", got)
+	}
+	if got := sampleValue(t, m, "only_here", "only_here", ""); got != 9 {
+		t.Fatalf("one-sided family = %v, want 9", got)
+	}
+}
+
+func TestMergeHistogramBuckets(t *testing.T) {
+	page := `# TYPE req_seconds histogram
+req_seconds_bucket{le="0.05"} 2
+req_seconds_bucket{le="0.5"} 5
+req_seconds_bucket{le="+Inf"} 6
+req_seconds_sum 1.25
+req_seconds_count 6
+`
+	a, b := mustParse(t, page), mustParse(t, page)
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam := m.byName["req_seconds"]
+	if fam == nil || fam.Type != "histogram" {
+		t.Fatalf("merged histogram family missing or untyped: %+v", fam)
+	}
+	if got := sampleValue(t, m, "req_seconds", "req_seconds_bucket", `{le="0.5"}`); got != 10 {
+		t.Fatalf("bucket le=0.5 = %v, want 10", got)
+	}
+	if got := sampleValue(t, m, "req_seconds", "req_seconds_bucket", `{le="+Inf"}`); got != 12 {
+		t.Fatalf("bucket le=+Inf = %v, want 12", got)
+	}
+	if got := sampleValue(t, m, "req_seconds", "req_seconds_sum", ""); got != 2.5 {
+		t.Fatalf("sum = %v, want 2.5", got)
+	}
+	if got := sampleValue(t, m, "req_seconds", "req_seconds_count", ""); got != 12 {
+		t.Fatalf("count = %v, want 12", got)
+	}
+	// The rendered page must re-parse and keep bucket order.
+	re := mustParse(t, m.String())
+	if got := sampleValue(t, re, "req_seconds", "req_seconds_count", ""); got != 12 {
+		t.Fatalf("re-parsed count = %v, want 12", got)
+	}
+	var bounds []string
+	for _, s := range re.byName["req_seconds"].Samples {
+		if strings.HasSuffix(s.Name, "_bucket") {
+			bounds = append(bounds, s.Labels)
+		}
+	}
+	want := []string{`{le="0.05"}`, `{le="0.5"}`, `{le="+Inf"}`}
+	if strings.Join(bounds, " ") != strings.Join(want, " ") {
+		t.Fatalf("bucket order drifted: %v, want %v", bounds, want)
+	}
+}
+
+func TestMergeTypeConflict(t *testing.T) {
+	a := mustParse(t, "# TYPE x counter\nx 1\n")
+	b := mustParse(t, "# TYPE x gauge\nx 2\n")
+	if _, err := Merge(a, b); err == nil {
+		t.Fatal("merging counter-vs-gauge family succeeded, want error")
+	}
+}
+
+func TestParseExpositionErrors(t *testing.T) {
+	bad := []string{
+		"# TYPE onlythree counter extra junk\n",
+		"# TYPE 9name counter\n",
+		"# TYPE x wat\n",
+		"name_no_value\n",
+		"x notanumber\n",
+		`x{le="0.5` + "\n", // unterminated label block
+		"9name 1\n",
+		"x 1 2 3\n",
+	}
+	for _, page := range bad {
+		if _, err := ParseExposition([]byte(page)); err == nil {
+			t.Fatalf("accepted malformed page %q", page)
+		}
+	}
+	// Oversized input is rejected outright.
+	if _, err := ParseExposition(make([]byte, maxExpositionBytes+1)); err == nil {
+		t.Fatal("accepted oversized exposition")
+	}
+}
+
+func TestParseExpositionTolerates(t *testing.T) {
+	exp := mustParse(t, "# HELP x helpful words here\n# just a comment\n\r\nx 1 1712345678\nx{a=\"b c}d\"} 2\n")
+	if got := sampleValue(t, exp, "x", "x", ""); got != 1 {
+		t.Fatalf("timestamped sample = %v, want 1", got)
+	}
+	if got := sampleValue(t, exp, "x", "x", `{a="b c}d"}`); got != 2 {
+		t.Fatalf("quoted-brace label sample = %v, want 2", got)
+	}
+}
+
+func TestFormatPromValueSpecials(t *testing.T) {
+	for v, want := range map[float64]string{
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+		2.5:          "2.5",
+	} {
+		if got := formatPromValue(v); got != want {
+			t.Fatalf("formatPromValue(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := formatPromValue(math.NaN()); got != "NaN" {
+		t.Fatalf("formatPromValue(NaN) = %q", got)
+	}
+}
+
+// FuzzMergeExposition: parsing never panics; an accepted page merged
+// with itself re-parses, and every sample's value exactly doubles (or
+// stays NaN) — the point-wise-sum contract.
+func FuzzMergeExposition(f *testing.F) {
+	f.Add("# TYPE a counter\na 1\na{x=\"y\"} 2\n")
+	f.Add("# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 0.5\nh_count 3\n")
+	f.Add("free 1 99\n# HELP free text\n")
+	f.Fuzz(func(t *testing.T, page string) {
+		exp, err := ParseExposition([]byte(page))
+		if err != nil {
+			return
+		}
+		exp2, err := ParseExposition([]byte(page))
+		if err != nil {
+			t.Fatalf("page parsed once but not twice: %v", err)
+		}
+		merged, err := Merge(exp, exp2)
+		if err != nil {
+			t.Fatalf("self-merge failed: %v", err)
+		}
+		re, err := ParseExposition([]byte(merged.String()))
+		if err != nil {
+			t.Fatalf("merged page does not re-parse: %v\npage:\n%s", err, merged.String())
+		}
+		for _, fam := range exp.Families {
+			for _, s := range fam.Samples {
+				reFam, ok := re.byName[fam.Name]
+				if !ok {
+					// The family may have been folded into a histogram family
+					// under a different name; find the sample anywhere.
+					reFam = findSampleFamily(re, s.Name, s.Labels)
+					if reFam == nil {
+						t.Fatalf("sample %s%s lost in merge", s.Name, s.Labels)
+					}
+				}
+				got, found := lookup(reFam, s.Name, s.Labels)
+				if !found {
+					reFam = findSampleFamily(re, s.Name, s.Labels)
+					if reFam == nil {
+						t.Fatalf("sample %s%s lost in merge", s.Name, s.Labels)
+					}
+					got, _ = lookup(reFam, s.Name, s.Labels)
+				}
+				want := s.Value * 2
+				if math.IsNaN(s.Value) {
+					if !math.IsNaN(got) {
+						t.Fatalf("sample %s%s: NaN became %v", s.Name, s.Labels, got)
+					}
+					continue
+				}
+				// Compare through the same format round-trip the merged page
+				// went through.
+				if formatPromValue(got) != formatPromValue(want) {
+					t.Fatalf("sample %s%s: self-merge = %v, want %v", s.Name, s.Labels, got, want)
+				}
+			}
+		}
+	})
+}
+
+func findSampleFamily(e *Exposition, name, labels string) *Family {
+	for _, fam := range e.Families {
+		if _, ok := lookup(fam, name, labels); ok {
+			return fam
+		}
+	}
+	return nil
+}
+
+func lookup(f *Family, name, labels string) (float64, bool) {
+	for _, s := range f.Samples {
+		if s.Name == name && s.Labels == labels {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,84 @@
+// Package fleet turns a set of independent seqavfd replicas into one
+// horizontally scaled sweep service. It provides the three pieces the
+// gateway and the artifact store's remote tier share:
+//
+//   - rendezvous (highest-random-weight) hashing, the consistent-hash
+//     scheme that assigns every routing key a stable, fully ordered
+//     preference list over the replica set — adding or removing one
+//     replica only remaps the keys that replica owned;
+//   - replica-list parsing for the -replicas / -peers CLI flags;
+//   - Prometheus text-exposition parsing and merging, so a gateway can
+//     serve one fleet-wide /metrics from N per-replica scrapes.
+//
+// The gateway itself (Gateway) proxies sweep and design traffic to the
+// owning replica with trace-context propagation, quarantines dead
+// replicas, and re-routes to the next hash choice.
+package fleet
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// score is the HRW weight of (replica, key): a 64-bit FNV-1a over the
+// replica identity, a NUL separator, and the key, pushed through a
+// splitmix64 finalizer. Each replica gets an independent pseudo-random
+// draw per key; the ranking orders replicas by draw. The separator
+// keeps ("ab","c") and ("a","bc") from colliding. The finalizer is
+// load-bearing: each FNV-1a step (h^b)*p is affine enough that, for a
+// fixed key suffix, replicas' raw digests preserve their pre-key
+// ordering for most keys — without the avalanche, one replica owns the
+// whole keyspace.
+func score(replica, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(replica))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Rank orders replicas by rendezvous weight for key, best first. The
+// first entry is the key's owner; the rest are the fail-over order. The
+// ordering is stable across processes (it depends only on the strings)
+// and minimal under membership change: removing a replica promotes the
+// next choice for exactly the keys that replica owned, and every other
+// key keeps its owner. The input slice is not modified; ties (which
+// require a 64-bit hash collision) break toward the lexicographically
+// smaller replica so all routers agree.
+func Rank(key string, replicas []string) []string {
+	ranked := append([]string(nil), replicas...)
+	scores := make(map[string]uint64, len(ranked))
+	for _, r := range ranked {
+		scores[r] = score(r, key)
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		si, sj := scores[ranked[i]], scores[ranked[j]]
+		if si != sj {
+			return si > sj
+		}
+		return ranked[i] < ranked[j]
+	})
+	return ranked
+}
+
+// Owner returns the rendezvous owner of key, or "" for an empty
+// replica list.
+func Owner(key string, replicas []string) string {
+	if len(replicas) == 0 {
+		return ""
+	}
+	best, bestScore := "", uint64(0)
+	for _, r := range replicas {
+		s := score(r, key)
+		if best == "" || s > bestScore || (s == bestScore && r < best) {
+			best, bestScore = r, s
+		}
+	}
+	return best
+}

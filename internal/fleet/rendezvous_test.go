@@ -1,0 +1,157 @@
+package fleet
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func replicaSet(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://replica-%d:8091", i)
+	}
+	return out
+}
+
+func TestRankDeterministic(t *testing.T) {
+	reps := replicaSet(5)
+	for _, key := range []string{"", "xeonlike_1", "a", "design/with/slashes"} {
+		a := Rank(key, reps)
+		b := Rank(key, reps)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("key %q: two rankings differ: %v vs %v", key, a, b)
+		}
+		if len(a) != len(reps) {
+			t.Fatalf("key %q: ranking lost replicas: %v", key, a)
+		}
+		if Owner(key, reps) != a[0] {
+			t.Fatalf("key %q: Owner %q != Rank[0] %q", key, Owner(key, reps), a[0])
+		}
+	}
+}
+
+func TestRankInputUnmodified(t *testing.T) {
+	reps := replicaSet(4)
+	orig := append([]string(nil), reps...)
+	Rank("some-design", reps)
+	if !reflect.DeepEqual(reps, orig) {
+		t.Fatalf("Rank reordered its input slice: %v", reps)
+	}
+}
+
+// Removing one replica must only remap the keys that replica owned:
+// every other key keeps its owner, and the orphaned keys move to their
+// previous second choice.
+func TestRankMinimalRemap(t *testing.T) {
+	reps := replicaSet(6)
+	removed := reps[2]
+	shrunk := append(append([]string(nil), reps[:2]...), reps[3:]...)
+	moved := 0
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("design-%d", i)
+		before := Rank(key, reps)
+		after := Owner(key, shrunk)
+		if before[0] == removed {
+			moved++
+			if after != before[1] {
+				t.Fatalf("key %q: orphaned by %s, expected promotion of %s, got %s",
+					key, removed, before[1], after)
+			}
+		} else if after != before[0] {
+			t.Fatalf("key %q: owner changed from %s to %s though %s was not its owner",
+				key, before[0], after, removed)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("test vacuous: removed replica owned no keys")
+	}
+}
+
+// Rendezvous hashing should spread keys roughly evenly: with 1000 keys
+// over 4 replicas no replica should stray wildly from 250.
+func TestRankDistribution(t *testing.T) {
+	reps := replicaSet(4)
+	counts := make(map[string]int)
+	for i := 0; i < 1000; i++ {
+		counts[Owner(fmt.Sprintf("design-%d", i), reps)]++
+	}
+	for _, r := range reps {
+		if counts[r] < 150 || counts[r] > 350 {
+			t.Fatalf("replica %s owns %d of 1000 keys; distribution badly skewed: %v",
+				r, counts[r], counts)
+		}
+	}
+}
+
+func TestOwnerEmpty(t *testing.T) {
+	if got := Owner("k", nil); got != "" {
+		t.Fatalf("Owner of empty fleet = %q, want empty", got)
+	}
+}
+
+func TestParseReplicaList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+		err  string
+	}{
+		{in: "", want: nil},
+		{in: " , ,", want: nil},
+		{in: "host:8091", want: []string{"http://host:8091"}},
+		{in: "http://a:1,https://b:2/base/", want: []string{"http://a:1", "https://b:2/base"}},
+		{in: "a:1, a:1", err: "duplicate"},
+		{in: "a:1,http://a:1", err: "duplicate"},
+		{in: "ftp://a:1", err: "scheme"},
+		{in: "http://", err: "host"},
+		{in: "http://a:1?x=1", err: "scheme://host"},
+		{in: "http://a:1#frag", err: "scheme://host"},
+		{in: "http://user@a:1", err: "scheme://host"},
+	}
+	for _, tc := range cases {
+		got, err := ParseReplicaList(tc.in)
+		if tc.err != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.err) {
+				t.Fatalf("ParseReplicaList(%q) err = %v, want containing %q", tc.in, err, tc.err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("ParseReplicaList(%q): %v", tc.in, err)
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Fatalf("ParseReplicaList(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// FuzzParseReplicaList: no input may panic, and accepted lists must
+// round-trip — every entry re-normalizes to itself, so routing by the
+// parsed list is stable across processes.
+func FuzzParseReplicaList(f *testing.F) {
+	f.Add("host:8091")
+	f.Add("http://a:1,https://b:2/base/,c")
+	f.Add(" ,,x,")
+	f.Add("http://a:1?q=1")
+	f.Fuzz(func(t *testing.T, s string) {
+		urls, err := ParseReplicaList(s)
+		if err != nil {
+			return
+		}
+		seen := make(map[string]bool)
+		for _, u := range urls {
+			norm, nerr := NormalizeReplica(u)
+			if nerr != nil {
+				t.Fatalf("accepted entry %q fails NormalizeReplica: %v", u, nerr)
+			}
+			if norm != u {
+				t.Fatalf("accepted entry %q is not a fixed point (normalizes to %q)", u, norm)
+			}
+			if seen[u] {
+				t.Fatalf("accepted list has duplicate %q", u)
+			}
+			seen[u] = true
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package fleet
+
+import (
+	"fmt"
+	"net/url"
+	"strings"
+)
+
+// ParseReplicaList parses a comma-separated list of replica base URLs —
+// the -replicas / -peers flag syntax. Entries are trimmed; empty
+// entries are skipped (so trailing commas are harmless); an entry
+// without a scheme gets "http://"; trailing slashes are stripped so
+// path joining is uniform. Duplicates (after normalization) and URLs
+// with anything beyond scheme://host[:port][/path] are rejected: a
+// replica address with a query or fragment is almost certainly a typo,
+// and routing the same replica twice would double its share of the
+// hash space.
+func ParseReplicaList(s string) ([]string, error) {
+	var out []string
+	seen := make(map[string]bool)
+	for _, raw := range strings.Split(s, ",") {
+		entry := strings.TrimSpace(raw)
+		if entry == "" {
+			continue
+		}
+		norm, err := NormalizeReplica(entry)
+		if err != nil {
+			return nil, err
+		}
+		if seen[norm] {
+			return nil, fmt.Errorf("fleet: duplicate replica %q", norm)
+		}
+		seen[norm] = true
+		out = append(out, norm)
+	}
+	return out, nil
+}
+
+// NormalizeReplica validates one replica base URL and returns its
+// canonical form (explicit scheme, no trailing slash).
+func NormalizeReplica(entry string) (string, error) {
+	if !strings.Contains(entry, "://") {
+		entry = "http://" + entry
+	}
+	u, err := url.Parse(entry)
+	if err != nil {
+		return "", fmt.Errorf("fleet: replica %q: %v", entry, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", fmt.Errorf("fleet: replica %q: scheme must be http or https", entry)
+	}
+	if u.Host == "" {
+		return "", fmt.Errorf("fleet: replica %q: missing host", entry)
+	}
+	if u.RawQuery != "" || u.Fragment != "" || u.User != nil {
+		return "", fmt.Errorf("fleet: replica %q: must be scheme://host[:port][/path]", entry)
+	}
+	u.Path = strings.TrimRight(u.Path, "/")
+	return u.String(), nil
+}

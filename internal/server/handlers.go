@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"net/http"
 	"net/http/pprof"
 	"sort"
@@ -80,6 +81,7 @@ type EditResponse struct {
 //	POST /v1/designs     — upload a textual netlist; solve + register it
 //	POST /v1/designs/{name}/edit — ECO: incremental re-solve + atomic replace
 //	POST /v1/sweep       — evaluate workload pAVF tables through one design
+//	GET  /v1/artifacts/{fingerprint} — raw .sart bytes (fleet pull-through)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -90,6 +92,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/designs", s.handleUploadDesign)
 	mux.HandleFunc("POST /v1/designs/{name}/edit", s.handleEditDesign)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/artifacts/{fingerprint}", s.handleGetArtifact)
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
@@ -310,6 +313,43 @@ func (s *Server) handleEditDesign(w http.ResponseWriter, r *http.Request) {
 		DesignInfo:  DesignInfo{Name: d.Name, Vertices: d.Vertices, SeqBits: d.SeqBits, Plan: d.Plan},
 		Incremental: st,
 	})
+}
+
+// handleGetArtifact serves raw .sart bytes by fingerprint — the fleet's
+// pull-through source. Peers verify what they fetch with the CRC-checked
+// decoder, so this endpoint ships bytes as-is; it never decodes. A node
+// without an artifact store (or without the artifact) answers 404 and
+// the fetching peer moves down its rendezvous list.
+func (s *Server) handleGetArtifact(w http.ResponseWriter, r *http.Request) {
+	s.reg.Counter("server.artifact_requests").Inc()
+	st := s.cfg.Artifacts
+	if st == nil {
+		s.writeErr(w, http.StatusNotFound, "artifact store not configured")
+		return
+	}
+	key := r.PathValue("fingerprint")
+	if len(key) != 16 {
+		s.writeErr(w, http.StatusBadRequest, "fingerprint must be 16 hex digits")
+		return
+	}
+	fp, err := strconv.ParseUint(key, 16, 64)
+	if err != nil || strings.ContainsAny(key, "ABCDEF+-") {
+		s.writeErr(w, http.StatusBadRequest, "fingerprint must be 16 lowercase hex digits")
+		return
+	}
+	data, err := st.Raw(fp)
+	if errors.Is(err, fs.ErrNotExist) {
+		s.writeErr(w, http.StatusNotFound, "no artifact for fingerprint %s", key)
+		return
+	}
+	if err != nil {
+		s.writeErr(w, http.StatusInternalServerError, "reading artifact: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
 }
 
 // writeBodyErr maps body-read failures: 413 for the size cap, 400 otherwise.
