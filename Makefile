@@ -35,6 +35,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeFUBState -fuzztime=10s ./internal/artifact/
 	$(GO) test -run=^$$ -fuzz=FuzzParseReplicaList -fuzztime=10s ./internal/fleet/
 	$(GO) test -run=^$$ -fuzz=FuzzMergeExposition -fuzztime=10s ./internal/fleet/
+	$(GO) test -run=^$$ -fuzz=FuzzParseHardenRequest -fuzztime=10s ./internal/harden/
 
 # Coverage floors on the numerical core (solver, sweep engine, pAVF
 # closed forms); see scripts/cover.sh for the gated packages and

@@ -22,6 +22,7 @@ import (
 	"seqavf/internal/experiments"
 	"seqavf/internal/graph"
 	"seqavf/internal/graph/graphtest"
+	"seqavf/internal/harden"
 	"seqavf/internal/netlist"
 	"seqavf/internal/obs"
 	"seqavf/internal/pavf"
@@ -293,6 +294,52 @@ func BenchmarkHardeningPlan(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkHardenOptimize times the selective-hardening optimizer
+// (internal/harden) on the XeonLike design: one protection plan per
+// solver at half the design's total bit cost, plus the analytical
+// term-sensitivity gradient over the compiled plan.
+func BenchmarkHardenOptimize(b *testing.B) {
+	e := env(b)
+	res, err := e.Analyzer.Solve(e.AvgInputs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := harden.NewModel(res, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := 0.0
+	for _, c := range model.Candidates() {
+		total += c.Cost
+	}
+	budget := total / 2
+	for _, solver := range []string{harden.SolverGreedy, harden.SolverDP} {
+		b.Run(solver, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := model.Optimize(budget, solver); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("sensitivity", func(b *testing.B) {
+		plan, err := sweep.Compile(res)
+		if err != nil {
+			b.Fatal(err)
+		}
+		penv, err := e.Analyzer.CheckedEnv(res.Inputs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := harden.TermDerivs(plan, penv); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkProtectionSweep regenerates the §1 protection projection.

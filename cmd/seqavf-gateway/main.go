@@ -18,9 +18,11 @@
 //	GET  /metrics        fleet-wide Prometheus exposition (all replicas merged)
 //	GET  /metrics.json   the gateway's own obs registry snapshot
 //	GET  /v1/designs     union of every replica's registered designs
-//	POST /v1/designs     routed to the design's owner
-//	POST /v1/designs/{name}/edit  routed to the design's owner
+//	POST /v1/designs     routed to the owner, replicated to the runner-up
+//	POST /v1/designs/{name}/edit  routed to the owner, replicated likewise
 //	POST /v1/sweep       routed to the design's owner
+//	POST /v1/harden      routed to the owner; multi-budget sweeps split
+//	                     across the top-2 candidates and merge
 //	GET  /v1/artifacts/{fingerprint}  routed by artifact fingerprint
 //
 // Every proxied request carries a W3C traceparent header, so a client's

@@ -13,7 +13,9 @@
 //	GET  /debug/pprof/   live profiles
 //	GET  /v1/designs     registered designs
 //	POST /v1/designs     upload a netlist (body = netlist text)
+//	POST /v1/designs/{name}/edit  incremental (ECO) re-solve of a design
 //	POST /v1/sweep       {"design": ..., "workloads": [{"name","pavf"}]}
+//	POST /v1/harden      selective-hardening optimizer: budget sweep -> plans
 //	GET  /v1/artifacts/{fingerprint}  raw artifact bytes (fleet pull-through)
 //
 // Every request runs under a trace: an incoming W3C traceparent header

@@ -1,0 +1,83 @@
+// Sensitivity-vector side artifacts (.sens). A harden request's term
+// gradient depends only on (design fingerprint, environment hash), so
+// the pair names a tiny cacheable file alongside the design's .sart
+// artifact. The store knows nothing of the payload — harden owns the
+// CRC-checked codec — it just provides the same atomic-install,
+// LRU-accounted persistence artifacts get. *Store implements
+// harden.SensStore.
+
+package artifact
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// sensExt names sensitivity-vector files; the key is the design
+// fingerprint plus the environment hash the gradient was evaluated
+// under.
+const sensExt = ".sens"
+
+func (s *Store) sensPath(fp, envHash uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%016x-%016x%s", fp, envHash, sensExt))
+}
+
+// GetSens returns the cached sensitivity vector for (fp, envHash), or
+// (nil, nil) on a clean miss. Payload integrity is the caller's job
+// (harden.DecodeVector is CRC-checked); a corrupt file surfaces there
+// and the recompute's PutSens overwrites it.
+func (s *Store) GetSens(fp, envHash uint64) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, err := os.ReadFile(s.sensPath(fp, envHash))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		s.opts.Obs.Counter("artifact.store_errors").Inc()
+		return nil, fmt.Errorf("artifact: reading sensitivity vector: %w", err)
+	}
+	// Freshen mtime so a hot vector survives LRU eviction, mirroring how
+	// artifact reads keep warm entries alive.
+	now := time.Now()
+	_ = os.Chtimes(s.sensPath(fp, envHash), now, now)
+	return data, nil
+}
+
+// PutSens installs a sensitivity vector via the store's atomic
+// temp+rename protocol, then re-evicts: .sens files count against
+// MaxBytes and age out of the same LRU as artifacts.
+func (s *Store) PutSens(fp, envHash uint64, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path := s.sensPath(fp, envHash)
+	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("artifact: staging sensitivity write: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Chmod(tmp.Name(), 0o644)
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), path)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		s.opts.Obs.Counter("artifact.store_errors").Inc()
+		return fmt.Errorf("artifact: writing %s: %w", path, werr)
+	}
+	s.opts.Obs.Counter("artifact.sens_puts").Inc()
+	if s.opts.MaxBytes > 0 {
+		s.evictLocked(filepath.Base(path))
+	}
+	return nil
+}

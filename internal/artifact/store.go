@@ -460,8 +460,9 @@ func (s *Store) Prior(ctx context.Context, designName string) (*core.PriorState,
 // evictLocked brings the store under MaxBytes and sweeps head-pointer
 // debris. Requires s.mu held.
 //
-// Accounting covers everything the store writes: artifact bytes AND
-// head-pointer bytes (SizeBytes reports the same set). The pass first
+// Accounting covers everything the store writes: artifact bytes,
+// sensitivity-vector bytes, AND head-pointer bytes (SizeBytes reports
+// the same set). The pass first
 // removes orphaned heads — pointers whose target artifact no longer
 // exists, stranded by an earlier eviction or crash; left alone they
 // accumulate one per design name forever. Then least-recently-used
@@ -494,6 +495,11 @@ func (s *Store) evictLocked(keep string) {
 		case ext:
 			files = append(files, entry{name: de.Name(), size: info.Size(), mtime: info.ModTime()})
 			live[de.Name()] = true
+			total += info.Size()
+		case sensExt:
+			// Sensitivity vectors join the same LRU as artifacts: counted
+			// against MaxBytes, evicted by age, no head bookkeeping.
+			files = append(files, entry{name: de.Name(), size: info.Size(), mtime: info.ModTime()})
 			total += info.Size()
 		case headExt:
 			headSize[de.Name()] = info.Size()
@@ -557,8 +563,9 @@ func (s *Store) Len() int {
 	return n
 }
 
-// SizeBytes reports the store's total size on disk: artifacts plus
-// head pointers — the same set eviction accounts against MaxBytes.
+// SizeBytes reports the store's total size on disk: artifacts,
+// sensitivity vectors, and head pointers — the same set eviction
+// accounts against MaxBytes.
 func (s *Store) SizeBytes() int64 {
 	ents, err := os.ReadDir(s.dir)
 	if err != nil {
@@ -570,7 +577,7 @@ func (s *Store) SizeBytes() int64 {
 			continue
 		}
 		switch filepath.Ext(de.Name()) {
-		case ext, headExt:
+		case ext, headExt, sensExt:
 			if info, err := de.Info(); err == nil {
 				total += info.Size()
 			}

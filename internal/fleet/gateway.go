@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"sort"
 	"strings"
 	"sync"
@@ -108,9 +109,12 @@ func (g *Gateway) Replicas() []string { return append([]string(nil), g.cfg.Repli
 //	GET  /metrics        — fleet-wide Prometheus exposition (merged)
 //	GET  /metrics.json   — the gateway's own obs registry snapshot
 //	GET  /v1/designs     — union of every replica's registered designs
-//	POST /v1/designs     — routed to the design's owner (netlist name)
-//	POST /v1/designs/{name}/edit — routed to the design's owner
+//	POST /v1/designs     — routed to the design's owner (netlist name),
+//	                       then replicated to the runner-up candidate
+//	POST /v1/designs/{name}/edit — routed to the owner, then replicated
 //	POST /v1/sweep       — routed to the design's owner
+//	POST /v1/harden      — routed to the owner; multi-budget sweeps are
+//	                       split across the top-2 candidates and merged
 //	GET  /v1/artifacts/{fingerprint} — routed by artifact fingerprint
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -121,6 +125,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/designs", g.handleUpload)
 	mux.HandleFunc("POST /v1/designs/{name}/edit", g.handleEdit)
 	mux.HandleFunc("POST /v1/sweep", g.handleSweep)
+	mux.HandleFunc("POST /v1/harden", g.handleHarden)
 	mux.HandleFunc("GET /v1/artifacts/{fingerprint}", g.handleArtifact)
 	return mux
 }
@@ -217,8 +222,10 @@ func retryableStatus(code int) bool {
 // quarantine the replica and fail over to the next choice after the
 // backoff, and the first conclusive response streams back to the
 // client. key is the routing key; pathAndQuery is the upstream path;
-// body may be nil for GETs.
-func (g *Gateway) forward(ctx context.Context, w http.ResponseWriter, key, method, pathAndQuery, contentType string, body []byte) {
+// body may be nil for GETs. Returns the replica that served the
+// conclusive response and its status code ("" and 502 when no replica
+// answered) so callers can replicate writes to the runner-up.
+func (g *Gateway) forward(ctx context.Context, w http.ResponseWriter, key, method, pathAndQuery, contentType string, body []byte) (string, int) {
 	ranked := g.rank(key)
 	attempts := g.cfg.Retries + 1
 	if attempts > len(ranked) {
@@ -235,7 +242,7 @@ func (g *Gateway) forward(ctx context.Context, w http.ResponseWriter, key, metho
 			case <-ctx.Done():
 				g.reg.Counter("gateway.proxy_errors").Inc()
 				g.writeErr(w, http.StatusBadGateway, "fleet: %v", ctx.Err())
-				return
+				return "", http.StatusBadGateway
 			}
 		}
 		var rd io.Reader
@@ -281,11 +288,12 @@ func (g *Gateway) forward(ctx context.Context, w http.ResponseWriter, key, metho
 		w.WriteHeader(resp.StatusCode)
 		io.Copy(w, resp.Body)
 		resp.Body.Close()
-		return
+		return replica, resp.StatusCode
 	}
 	g.reg.Counter("gateway.proxy_errors").Inc()
 	sp.SetAttr("error", fmt.Sprint(lastErr))
 	g.writeErr(w, http.StatusBadGateway, "fleet: no replica answered for key %q: %v", key, lastErr)
+	return "", http.StatusBadGateway
 }
 
 // readBody buffers a routed request's body under the configured cap.
@@ -352,7 +360,10 @@ func (g *Gateway) handleUpload(w http.ResponseWriter, r *http.Request) {
 	if q := r.URL.RawQuery; q != "" {
 		path += "?" + q
 	}
-	g.forward(ctx, w, name, http.MethodPost, path, r.Header.Get("Content-Type"), body)
+	replica, status := g.forward(ctx, w, name, http.MethodPost, path, r.Header.Get("Content-Type"), body)
+	if status >= 200 && status < 300 {
+		g.replicateDesign(ctx, replica, name, r.Header.Get("Content-Type"), body)
+	}
 }
 
 func (g *Gateway) handleEdit(w http.ResponseWriter, r *http.Request) {
@@ -365,9 +376,70 @@ func (g *Gateway) handleEdit(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	g.forward(ctx, w, name, http.MethodPost,
+	replica, status := g.forward(ctx, w, name, http.MethodPost,
 		"/v1/designs/"+strings.ReplaceAll(name, "/", "%2F")+"/edit",
 		r.Header.Get("Content-Type"), body)
+	if status >= 200 && status < 300 {
+		g.replicateDesign(ctx, replica, name, r.Header.Get("Content-Type"), body)
+	}
+}
+
+// replicateDesign best-effort copies a design write that just succeeded
+// on `served` to the highest-ranked other replica, so the top-2
+// rendezvous candidates both hold the design. Without this, an owner
+// failure strands routed reads: /v1/sweep and /v1/harden fail over to
+// the runner-up and get a 404 for a design only the dead owner ever
+// saw. The upload and edit bodies are both full netlists, so one
+// sequence covers both: try the edit endpoint (idempotent when the
+// secondary already has the design), and fall back to a named upload
+// when it answers 404. Failures only count gateway.design_fanout_errors
+// — the primary write already succeeded and was acked to the client.
+func (g *Gateway) replicateDesign(ctx context.Context, served, name, contentType string, body []byte) {
+	if served == "" || len(g.cfg.Replicas) < 2 {
+		return
+	}
+	var secondary string
+	for _, r := range Rank(name, g.cfg.Replicas) {
+		if r != served {
+			secondary = r
+			break
+		}
+	}
+	if secondary == "" {
+		return
+	}
+	editPath := "/v1/designs/" + strings.ReplaceAll(name, "/", "%2F") + "/edit"
+	status, err := g.post(ctx, secondary+editPath, contentType, body)
+	if err == nil && status == http.StatusNotFound {
+		status, err = g.post(ctx, secondary+"/v1/designs?name="+url.QueryEscape(name), contentType, body)
+	}
+	if err != nil || status < 200 || status >= 300 {
+		g.reg.Counter("gateway.design_fanout_errors").Inc()
+		return
+	}
+	g.reg.Counter("gateway.design_fanout_total").Inc()
+}
+
+// post issues an internal POST (replication traffic) and returns the
+// status code; the response body is drained and discarded.
+func (g *Gateway) post(ctx context.Context, url, contentType string, body []byte) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if sp := obs.SpanFromContext(ctx); sp != nil && !sp.TraceID().IsZero() {
+		req.Header.Set("traceparent", obs.FormatTraceparent(sp.TraceID(), sp.SpanID()))
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	return resp.StatusCode, nil
 }
 
 func (g *Gateway) handleArtifact(w http.ResponseWriter, r *http.Request) {

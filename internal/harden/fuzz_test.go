@@ -1,0 +1,70 @@
+package harden
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// FuzzParseHardenRequest: whatever bytes arrive, ParseRequest either
+// rejects with an error or returns a request whose every numeric field
+// is finite, positive, and within caps — the invariant the optimizer
+// and the cost table rely on (NaN/Inf budgets would poison every
+// comparison downstream).
+func FuzzParseHardenRequest(f *testing.F) {
+	f.Add([]byte(`{"design":"d","budgets":[10,20],"solver":"greedy"}`))
+	f.Add([]byte(`{"design":"d","budgets":[1],"costs":{"CORE/pc":2.5},"top_terms":5}`))
+	f.Add([]byte(`{"design":"d","budgets":[1],"workloads":[{"name":"w0","pavf":"G0R0.rd 0.5\n"}]}`))
+	f.Add([]byte(`{"design":"","budgets":[]}`))
+	f.Add([]byte(`{"design":"d","budgets":[null]}`))
+	f.Add([]byte(`{"design":"d","budgets":[-1]}`))
+	f.Add([]byte(`{"design":"d","budgets":[1e309]}`))
+	f.Add([]byte(`{"design":"d","budgets":[1],"solver":"anneal"}`))
+	f.Add([]byte(`{"design":"d","budgets":[1]} trailing`))
+	f.Add([]byte(`{"design":"d","budgets":[1],"unknown_field":true}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := ParseRequest(data)
+		if err != nil {
+			if r != nil {
+				t.Fatalf("error %v returned alongside a request", err)
+			}
+			return
+		}
+		if r.Design == "" {
+			t.Fatal("accepted request with empty design")
+		}
+		if len(r.Budgets) == 0 || len(r.Budgets) > MaxBudgets {
+			t.Fatalf("accepted %d budgets", len(r.Budgets))
+		}
+		for _, b := range r.Budgets {
+			if math.IsNaN(b) || math.IsInf(b, 0) || b <= 0 {
+				t.Fatalf("accepted budget %v", b)
+			}
+		}
+		if !ValidSolver(r.Solver) {
+			t.Fatalf("accepted solver %q", r.Solver)
+		}
+		for k, c := range r.Costs {
+			if math.IsNaN(c) || math.IsInf(c, 0) || c <= 0 {
+				t.Fatalf("accepted cost %q=%v", k, c)
+			}
+		}
+		if r.TopTerms < 0 || r.TopTerms > MaxTopTerms {
+			t.Fatalf("accepted top_terms %d", r.TopTerms)
+		}
+		for i, w := range r.Workloads {
+			if w.Name == "" || w.PAVF == "" {
+				t.Fatalf("accepted workload[%d] with empty name or table", i)
+			}
+		}
+		// Accepted requests re-marshal and re-parse to the same thing.
+		enc, err := json.Marshal(r)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if _, err := ParseRequest(enc); err != nil {
+			t.Fatalf("round-trip re-parse failed: %v\n%s", err, enc)
+		}
+	})
+}

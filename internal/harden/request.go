@@ -1,0 +1,114 @@
+// Wire types for POST /v1/harden and cmd/hardentool: a strict JSON
+// request parser (unknown fields, non-finite numbers, and out-of-range
+// budgets are rejected with field-level errors — the fuzz target's
+// contract) and the response shape both ends share.
+
+package harden
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+const (
+	// MaxBudgets bounds one request's budget sweep; a bigger sweep
+	// belongs in multiple requests (and the gateway fans even these out).
+	MaxBudgets = 64
+	// MaxTopTerms bounds the term-sensitivity report length.
+	MaxTopTerms = 10000
+)
+
+// Workload is one named pAVF environment in a harden request, in the
+// same inline text format /v1/sweep accepts.
+type Workload struct {
+	Name string `json:"name"`
+	PAVF string `json:"pavf"`
+}
+
+// Request is the body of POST /v1/harden.
+type Request struct {
+	// Design names a loaded design.
+	Design string `json:"design"`
+	// Workloads are optional; with none, the optimizer runs on the
+	// design's solved (neutral-input) result. With several, node gains
+	// are computed on the mean AVF across workloads.
+	Workloads []Workload `json:"workloads,omitempty"`
+	// Budgets are the protection budget points to solve, in cost units
+	// (default cost: bits). Each must be finite and positive.
+	Budgets []float64 `json:"budgets"`
+	// Solver is "auto" (default), "greedy", "dp", or "exhaustive".
+	Solver string `json:"solver,omitempty"`
+	// Costs overrides per-node hardening costs by "fub/node" key.
+	Costs map[string]float64 `json:"costs,omitempty"`
+	// TopTerms asks for the N most sensitive pAVF terms (0 = omit).
+	TopTerms int `json:"top_terms,omitempty"`
+}
+
+// ParseRequest decodes and validates a harden request body.
+func ParseRequest(data []byte) (*Request, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var r Request
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("harden: parse request: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("harden: parse request: trailing data after JSON object")
+	}
+	if r.Design == "" {
+		return nil, fmt.Errorf("harden: request missing design name")
+	}
+	if len(r.Budgets) == 0 {
+		return nil, fmt.Errorf("harden: request has no budgets")
+	}
+	if len(r.Budgets) > MaxBudgets {
+		return nil, fmt.Errorf("harden: request has %d budgets, cap is %d", len(r.Budgets), MaxBudgets)
+	}
+	for i, b := range r.Budgets {
+		if math.IsNaN(b) || math.IsInf(b, 0) || b <= 0 {
+			return nil, fmt.Errorf("harden: budget[%d] is %v, must be finite and positive", i, b)
+		}
+	}
+	if !ValidSolver(r.Solver) {
+		return nil, fmt.Errorf("harden: unknown solver %q (want auto, greedy, dp, or exhaustive)", r.Solver)
+	}
+	for key, c := range r.Costs {
+		if math.IsNaN(c) || math.IsInf(c, 0) || c <= 0 {
+			return nil, fmt.Errorf("harden: cost for %q is %v, must be finite and positive", key, c)
+		}
+	}
+	if r.TopTerms < 0 || r.TopTerms > MaxTopTerms {
+		return nil, fmt.Errorf("harden: top_terms %d out of range [0, %d]", r.TopTerms, MaxTopTerms)
+	}
+	for i, w := range r.Workloads {
+		if w.Name == "" {
+			return nil, fmt.Errorf("harden: workload[%d] missing name", i)
+		}
+		if w.PAVF == "" {
+			return nil, fmt.Errorf("harden: workload %q has an empty pavf table", w.Name)
+		}
+	}
+	return &r, nil
+}
+
+// Response is the body returned by POST /v1/harden.
+type Response struct {
+	Design    string   `json:"design"`
+	Workloads []string `json:"workloads,omitempty"`
+	// SeqBits is the protectable sequential bit count.
+	SeqBits int `json:"seq_bits"`
+	// Candidates is the number of protectable nodes.
+	Candidates  int     `json:"candidates"`
+	BaseChipAVF float64 `json:"base_chip_avf"`
+	// SensCache reports whether the term-sensitivity vector came from the
+	// artifact store ("hit"), was computed ("miss"), or wasn't requested
+	// ("").
+	SensCache string `json:"sens_cache,omitempty"`
+	// Plans holds one protection plan per requested budget, in order.
+	Plans []*Protection `json:"plans"`
+	// TopTerms, when requested, ranks pAVF terms by |∂chipAVF/∂term|.
+	TopTerms  []TermSensitivity `json:"top_terms,omitempty"`
+	ElapsedMS float64           `json:"elapsed_ms"`
+}

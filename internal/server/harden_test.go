@@ -1,0 +1,218 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"seqavf/internal/artifact"
+	"seqavf/internal/harden"
+	"seqavf/internal/obs"
+)
+
+// hardenBody builds a POST /v1/harden body.
+func hardenBody(t testing.TB, req harden.Request) []byte {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func TestHardenEndpoint(t *testing.T) {
+	s, reg, results := newTestServer(t, Config{MaxConcurrent: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := hardenBody(t, harden.Request{
+		Design: "alpha",
+		// Small-config nodes are 3 bits wide (cost 3 by default), so the
+		// smallest budget affords exactly one node and the last covers all.
+		Budgets:  []float64{3, 9, 1e6},
+		TopTerms: 5,
+	})
+	resp, raw := postJSON(t, http.DefaultClient, ts.URL+"/v1/harden", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var hr harden.Response
+	if err := json.Unmarshal(raw, &hr); err != nil {
+		t.Fatalf("bad response JSON: %v\n%s", err, raw)
+	}
+	if hr.Design != "alpha" || len(hr.Plans) != 3 {
+		t.Fatalf("response %q with %d plans, want alpha/3: %s", hr.Design, len(hr.Plans), raw)
+	}
+	if hr.SeqBits <= 0 || hr.Candidates <= 0 {
+		t.Fatalf("empty model: %s", raw)
+	}
+	for i, p := range hr.Plans {
+		if len(p.Chosen) == 0 {
+			t.Errorf("plan %d (budget %v) chose nothing", i, p.Budget)
+		}
+		if p.ResidualChipAVF > p.BaseChipAVF {
+			t.Errorf("plan %d residual %v above base %v", i, p.ResidualChipAVF, p.BaseChipAVF)
+		}
+		if p.TotalCost > p.Budget {
+			t.Errorf("plan %d overspent: %v > %v", i, p.TotalCost, p.Budget)
+		}
+		for _, c := range p.Chosen {
+			if !strings.Contains(c.Key, "/") {
+				t.Errorf("plan %d candidate key %q not fub/node", i, c.Key)
+			}
+		}
+	}
+	// The last budget covers everything: residual must be exactly zero.
+	if last := hr.Plans[2]; last.ResidualChipAVF != 0 {
+		t.Errorf("unbounded budget left residual %v", last.ResidualChipAVF)
+	}
+	if len(hr.TopTerms) == 0 || len(hr.TopTerms) > 5 {
+		t.Errorf("top_terms=5 returned %d entries", len(hr.TopTerms))
+	}
+	if hr.SensCache != "miss" {
+		t.Errorf("first request sens_cache %q, want miss", hr.SensCache)
+	}
+	if got := reg.Counter("harden.requests").Load(); got != 1 {
+		t.Errorf("harden.requests = %d, want 1", got)
+	}
+	if got := reg.Counter("harden.ok").Load(); got != 1 {
+		t.Errorf("harden.ok = %d, want 1", got)
+	}
+
+	// Workload-driven request: gains computed on the mean AVF across the
+	// supplied tables; the plans must still be well-formed and ranked.
+	res := results["beta"]
+	wbody := hardenBody(t, harden.Request{
+		Design: "beta",
+		Workloads: []harden.Workload{
+			{Name: "w0", PAVF: pavfText(t, res, 1400)},
+			{Name: "w1", PAVF: pavfText(t, res, 1401)},
+		},
+		Budgets: []float64{4},
+		Solver:  harden.SolverGreedy,
+	})
+	resp, raw = postJSON(t, http.DefaultClient, ts.URL+"/v1/harden", wbody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("workload harden status %d: %s", resp.StatusCode, raw)
+	}
+	var whr harden.Response
+	if err := json.Unmarshal(raw, &whr); err != nil {
+		t.Fatalf("bad response JSON: %v", err)
+	}
+	if len(whr.Workloads) != 2 || whr.Workloads[0] != "w0" {
+		t.Errorf("workload echo %v", whr.Workloads)
+	}
+	if len(whr.Plans) != 1 || whr.Plans[0].Solver != harden.SolverGreedy {
+		t.Errorf("plans %+v", whr.Plans)
+	}
+	for _, p := range whr.Plans {
+		for i := 1; i < len(p.Chosen); i++ {
+			if p.Chosen[i-1].Density() < p.Chosen[i].Density() {
+				t.Errorf("chosen not ranked by density: %v before %v",
+					p.Chosen[i-1].Density(), p.Chosen[i].Density())
+			}
+		}
+	}
+}
+
+func TestHardenEndpointErrors(t *testing.T) {
+	s, _, _ := newTestServer(t, Config{MaxConcurrent: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name   string
+		body   string
+		status int
+	}{
+		{"unknown design", `{"design":"nope","budgets":[5]}`, http.StatusNotFound},
+		{"no budgets", `{"design":"alpha","budgets":[]}`, http.StatusBadRequest},
+		{"negative budget", `{"design":"alpha","budgets":[-1]}`, http.StatusBadRequest},
+		{"nan budget", `{"design":"alpha","budgets":[null]}`, http.StatusBadRequest},
+		{"bad solver", `{"design":"alpha","budgets":[5],"solver":"anneal"}`, http.StatusBadRequest},
+		{"unknown field", `{"design":"alpha","budgets":[5],"frobnicate":1}`, http.StatusBadRequest},
+		{"unknown cost key", `{"design":"alpha","budgets":[5],"costs":{"no/such":1}}`, http.StatusUnprocessableEntity},
+		{"bad pavf", `{"design":"alpha","budgets":[5],"workloads":[{"name":"w","pavf":"garbage here"}]}`, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		resp, raw := postJSON(t, http.DefaultClient, ts.URL+"/v1/harden", []byte(tc.body))
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d: %s", tc.name, resp.StatusCode, tc.status, raw)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(raw, &e); err != nil || e["error"] == "" {
+			t.Errorf("%s: error body not {\"error\": ...}: %s", tc.name, raw)
+		}
+	}
+}
+
+// TestHardenSensCache: with an artifact store configured, the second
+// identical request serves its term gradient from the .sens artifact.
+func TestHardenSensCache(t *testing.T) {
+	reg := obs.New()
+	st, err := artifact.Open(t.TempDir(), artifact.Options{Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, _ := newTestServer(t, Config{MaxConcurrent: 4, Obs: reg, Artifacts: st})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := hardenBody(t, harden.Request{Design: "alpha", Budgets: []float64{8}, TopTerms: 3})
+	for i, want := range []string{"miss", "hit"} {
+		resp, raw := postJSON(t, http.DefaultClient, ts.URL+"/v1/harden", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, resp.StatusCode, raw)
+		}
+		var hr harden.Response
+		if err := json.Unmarshal(raw, &hr); err != nil {
+			t.Fatal(err)
+		}
+		if hr.SensCache != want {
+			t.Errorf("request %d sens_cache %q, want %q", i, hr.SensCache, want)
+		}
+	}
+	if hits := reg.Counter("harden.sens_cache_hits").Load(); hits != 1 {
+		t.Errorf("harden.sens_cache_hits = %d, want 1", hits)
+	}
+	if misses := reg.Counter("harden.sens_cache_misses").Load(); misses != 1 {
+		t.Errorf("harden.sens_cache_misses = %d, want 1", misses)
+	}
+	// The vector landed as a .sens artifact in the store's directory.
+	if n := globSens(t, st.Dir()); n != 1 {
+		t.Errorf("store holds %d .sens files, want 1", n)
+	}
+	// A different workload env is a different cache key.
+	body2 := hardenBody(t, harden.Request{
+		Design:    "alpha",
+		Workloads: []harden.Workload{{Name: "w", PAVF: pavfText(t, s.Design("alpha").Result, 77)}},
+		Budgets:   []float64{8},
+		TopTerms:  3,
+	})
+	resp, raw := postJSON(t, http.DefaultClient, ts.URL+"/v1/harden", body2)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var hr harden.Response
+	if err := json.Unmarshal(raw, &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.SensCache != "miss" {
+		t.Errorf("different env should miss, got %q", hr.SensCache)
+	}
+	if n := globSens(t, st.Dir()); n != 2 {
+		t.Errorf("store holds %d .sens files, want 2", n)
+	}
+}
+
+func globSens(t *testing.T, dir string) int {
+	t.Helper()
+	m, err := filepath.Glob(filepath.Join(dir, "*.sens"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(m)
+}

@@ -150,6 +150,7 @@ func New(cfg Config) *Server {
 	cfg.Obs.FixedHistogram("sweep.plan_compile_seconds", obs.LatencyBuckets)
 	cfg.Obs.FixedHistogram("sweep.block_eval_seconds", obs.LatencyBuckets)
 	cfg.Obs.FixedHistogram("artifact.restore_seconds", obs.LatencyBuckets)
+	cfg.Obs.FixedHistogram("harden.optimize_seconds", obs.LatencyBuckets)
 	return &Server{
 		cfg:     cfg,
 		eng:     sweep.New(cfg.Sweep),

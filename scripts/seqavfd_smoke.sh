@@ -68,6 +68,30 @@ run_sweep() {
 }
 run_sweep
 
+# One pass through the selective-hardening optimizer: the plan must
+# protect at least one node, and the harden counters must land on the
+# Prometheus exposition (dots render as underscores there).
+printf '{"design":"xeonlike_%s","budgets":[64],"top_terms":3}' "$SEED" >"$DIR/harden.json"
+curl -sf -X POST -H 'Content-Type: application/json' \
+    --data-binary "@$DIR/harden.json" "http://$ADDR/v1/harden" >"$DIR/harden_resp.json"
+grep -q '"chosen": *\[' "$DIR/harden_resp.json" || {
+    echo "seqavfd-smoke: harden response has no protection set:" >&2
+    cat "$DIR/harden_resp.json" >&2
+    exit 1
+}
+grep -q '"key"' "$DIR/harden_resp.json" || {
+    echo "seqavfd-smoke: harden plan chose no nodes:" >&2
+    cat "$DIR/harden_resp.json" >&2
+    exit 1
+}
+curl -sf "http://$ADDR/metrics" >"$DIR/metrics_harden.prom"
+grep -q '^harden_requests [1-9]' "$DIR/metrics_harden.prom" || {
+    echo "seqavfd-smoke: /metrics missing harden_requests:" >&2
+    grep '^harden' "$DIR/metrics_harden.prom" >&2 || true
+    exit 1
+}
+echo "seqavfd-smoke: harden ok ($(grep -o '"key"' "$DIR/harden_resp.json" | wc -l) protected nodes)"
+
 echo "seqavfd-smoke: sending SIGTERM"
 kill -TERM "$PID"
 wait "$PID"
