@@ -29,6 +29,7 @@ bench:
 # -fuzz target per invocation, hence one line each).
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzParsePavfTable -fuzztime=10s ./cmd/internal/cliutil/
+	$(GO) test -run=^$$ -fuzz=FuzzParseIntervalTable -fuzztime=10s ./internal/pavfio/
 	$(GO) test -run=^$$ -fuzz=FuzzCompilePlan -fuzztime=10s ./internal/sweep/
 	$(GO) test -run=^$$ -fuzz=FuzzEnvMatrix -fuzztime=10s ./internal/sweep/
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeArtifact -fuzztime=10s ./internal/artifact/

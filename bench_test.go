@@ -472,6 +472,51 @@ func BenchmarkBatchSweep32(b *testing.B) {
 	}
 }
 
+// BenchmarkIntervalSweep measures the windows-as-lanes payoff on
+// tinycore: a 32-window workload swept as one interval batch through a
+// warm engine (every window a lane of one compiled plan) against the
+// same 32 windows swept independently, each through a fresh engine that
+// must compile the plan itself. The arithmetic is identical — the
+// interval property test pins the per-window results bit-for-bit
+// against single-window sweeps — so the gap is pure plan-compile
+// amortization, expected to approach T× as the window count T grows
+// (EXPERIMENTS.md records the measured ratio).
+func BenchmarkIntervalSweep(b *testing.B) {
+	_, res, work := sweepSetup(b)
+	const span = 100
+	iw := sweep.IntervalWorkload{Name: "phased"}
+	for i, w := range work {
+		iw.Windows = append(iw.Windows, sweep.WindowSpan{
+			Start: uint64(i * span), End: uint64((i + 1) * span),
+		})
+		iw.Inputs = append(iw.Inputs, w.Inputs)
+	}
+	b.Run("Packed32", func(b *testing.B) {
+		eng := sweep.New(sweep.Options{})
+		if _, err := eng.Plan(res); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.SweepIntervals(res, []sweep.IntervalWorkload{iw}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(work)*b.N)/b.Elapsed().Seconds(), "windows/sec")
+	})
+	b.Run("Independent32", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, w := range work {
+				eng := sweep.New(sweep.Options{})
+				if _, err := eng.Sweep(res, []sweep.Workload{w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(work)*b.N)/b.Elapsed().Seconds(), "windows/sec")
+	})
+}
+
 // BenchmarkBlockedSweep contrasts the scalar per-workload plan walk
 // (Plan.Eval, the BenchmarkBatchSweep32 path) against the blocked SoA
 // kernel (Plan.EvalBlock) on the XeonLike design: 64 workloads, one

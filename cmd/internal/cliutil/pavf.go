@@ -40,3 +40,14 @@ func ReadPAVFDir(dir, glob string) ([]NamedInputs, error) {
 func WritePAVF(w io.Writer, in *core.Inputs) (int, error) {
 	return pavfio.Write(w, in)
 }
+
+// NamedIntervals pairs a workload name with its parsed multi-window
+// interval table.
+type NamedIntervals = pavfio.NamedIntervals
+
+// ReadIntervalDir parses every file in dir matching glob as a
+// multi-window interval table; see pavfio.ReadIntervalDir (a table's
+// "# workload" directive wins over its file name).
+func ReadIntervalDir(dir, glob string) ([]NamedIntervals, error) {
+	return pavfio.ReadIntervalDir(dir, glob)
+}

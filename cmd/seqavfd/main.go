@@ -15,6 +15,7 @@
 //	POST /v1/designs     upload a netlist (body = netlist text)
 //	POST /v1/designs/{name}/edit  incremental (ECO) re-solve of a design
 //	POST /v1/sweep       {"design": ..., "workloads": [{"name","pavf"}]}
+//	POST /v1/sweep/intervals  time-resolved sweep: multi-window tables -> AVF time series
 //	POST /v1/harden      selective-hardening optimizer: budget sweep -> plans
 //	GET  /v1/artifacts/{fingerprint}  raw artifact bytes (fleet pull-through)
 //

@@ -7,11 +7,20 @@
 // Output is one JSON document: plan statistics plus, per workload, the
 // design summary and (with -nodes) per-sequential-node seqAVFs.
 //
+// With -windows the matched files are parsed as multi-window interval
+// tables instead (see internal/pavfio: "# window <idx> <start> <end>"
+// sections), every window of every workload is evaluated as one lane of
+// a single blocked batch, and the report carries each workload's
+// per-window chip-AVF time series with its summary statistics (peak
+// window, peak/mean ratio) — and, with -nodes, the per-sequential-node
+// series.
+//
 // Usage:
 //
 //	sweeprun -netlist design.nl -pavfdir runs/ -out sweep.json
 //	sweeprun -netlist design.nl -pavfdir runs/ -glob 'spec*.pavf' -workers 8 -nodes
 //	sweeprun -netlist design.nl -pavfdir runs/ -artifacts ~/.cache/seqavf
+//	sweeprun -netlist design.nl -pavfdir runs/ -glob '*.ipavf' -windows -nodes
 //
 // With -artifacts DIR, the solved equations and compiled plan are
 // persisted to a content-addressed store keyed by the design
@@ -45,6 +54,7 @@ func main() {
 	loop := flag.Float64("loop", 0.3, "loop-boundary pAVF")
 	pseudo := flag.Float64("pseudo", 0.2, "boundary pseudo-structure pAVF")
 	nodes := flag.Bool("nodes", false, "include per-sequential-node seqAVFs for each workload")
+	windows := flag.Bool("windows", false, "parse matched tables as multi-window interval tables and report per-window AVF time series")
 	out := flag.String("out", "", "write the JSON report here instead of stdout")
 	arts := cliutil.ArtifactFlags()
 	ob := cliutil.ObsFlags()
@@ -55,7 +65,7 @@ func main() {
 		os.Exit(2)
 	}
 	reg := ob.Start("sweeprun")
-	err := run(reg, arts, *nl, *dir, *glob, *workers, *chunk, *blockW, *loop, *pseudo, *nodes, *out)
+	err := run(reg, arts, *nl, *dir, *glob, *workers, *chunk, *blockW, *loop, *pseudo, *nodes, *windows, *out)
 	if ob.Trace {
 		reg.WritePhaseSummary(os.Stderr)
 	}
@@ -82,12 +92,43 @@ type workloadReport struct {
 	SeqAVF  map[string]float64 `json:"seqavf,omitempty"`
 }
 
-func run(reg *obs.Registry, arts *cliutil.Artifacts, nlPath, dir, glob string, workers, chunk, blockW int, loop, pseudo float64, nodes bool, out string) error {
+// intervalReport is the JSON document sweeprun emits with -windows.
+type intervalReport struct {
+	Design    string                   `json:"design"`
+	Workloads int                      `json:"workloads"`
+	Windows   int                      `json:"windows_evaluated"`
+	Plan      sweep.Stats              `json:"plan"`
+	Block     int                      `json:"block"`
+	ElapsedMS float64                  `json:"eval_elapsed_ms"`
+	Results   []intervalWorkloadReport `json:"results"`
+}
+
+// intervalWorkloadReport is one workload's AVF time series: window
+// geometry, per-window chip AVF, peak statistics, and (with -nodes) the
+// per-sequential-node series, each index-aligned with Windows.
+type intervalWorkloadReport struct {
+	Name             string               `json:"name"`
+	Windows          []windowSpan         `json:"windows"`
+	ChipAVF          []float64            `json:"chip_avf"`
+	TimeWeightedMean float64              `json:"time_weighted_mean"`
+	PeakWindow       int                  `json:"peak_window"`
+	PeakChipAVF      float64              `json:"peak_chip_avf"`
+	PeakToMean       float64              `json:"peak_to_mean"`
+	SeqAVF           map[string][]float64 `json:"seqavf,omitempty"`
+}
+
+type windowSpan struct {
+	Start uint64 `json:"start"`
+	End   uint64 `json:"end"`
+}
+
+func run(reg *obs.Registry, arts *cliutil.Artifacts, nlPath, dir, glob string, workers, chunk, blockW int, loop, pseudo float64, nodes, windows bool, out string) error {
 	reg.SetManifest("netlist", nlPath)
 	reg.SetManifest("pavfdir", dir)
 	reg.SetManifest("glob", glob)
 	reg.SetManifest("workers", workers)
 	reg.SetManifest("block", blockW)
+	reg.SetManifest("windows", windows)
 
 	// The whole run is one trace: load, solve/restore, and the sweep all
 	// nest under a single root span, so -trace-jsonl output stitches into
@@ -125,11 +166,28 @@ func run(reg *obs.Registry, arts *cliutil.Artifacts, nlPath, dir, glob string, w
 	if err != nil {
 		return err
 	}
-	named, err := cliutil.ReadPAVFDir(dir, glob)
-	if err != nil {
-		return err
+	// -windows reads the same directory as interval tables; either way the
+	// solve below is primed with the first inputs seen.
+	var (
+		named []cliutil.NamedInputs
+		ivs   []cliutil.NamedIntervals
+		first *core.Inputs
+	)
+	if windows {
+		ivs, err = cliutil.ReadIntervalDir(dir, glob)
+		if err != nil {
+			return err
+		}
+		first = ivs[0].Table.Windows[0].Inputs
+		lsp.SetAttr("workloads", len(ivs))
+	} else {
+		named, err = cliutil.ReadPAVFDir(dir, glob)
+		if err != nil {
+			return err
+		}
+		first = named[0].Inputs
+		lsp.SetAttr("workloads", len(named))
 	}
-	lsp.SetAttr("workloads", len(named))
 	lsp.End()
 
 	// Solve once against the first workload; the sweep re-evaluates the
@@ -140,7 +198,7 @@ func run(reg *obs.Registry, arts *cliutil.Artifacts, nlPath, dir, glob string, w
 	if err != nil {
 		return err
 	}
-	res, disp, err := cliutil.SolveWithStore(ctx, "sweeprun", st, a, named[0].Inputs, reg)
+	res, disp, err := cliutil.SolveWithStore(ctx, "sweeprun", st, a, first, reg)
 	if err != nil {
 		return err
 	}
@@ -156,6 +214,18 @@ func run(reg *obs.Registry, arts *cliutil.Artifacts, nlPath, dir, glob string, w
 		engOpts.Store = st
 	}
 	eng := sweep.New(engOpts)
+	effBlock := blockW
+	switch {
+	case effBlock == 0:
+		effBlock = sweep.DefaultBlockSize
+	case effBlock < 1:
+		effBlock = 1
+	}
+
+	if windows {
+		return runIntervals(ctx, eng, res, d.Name, ivs, nodes, effBlock, out)
+	}
+
 	ws := make([]sweep.Workload, len(named))
 	for i, ni := range named {
 		ws[i] = sweep.Workload{Name: ni.Name, Inputs: ni.Inputs}
@@ -165,13 +235,6 @@ func run(reg *obs.Registry, arts *cliutil.Artifacts, nlPath, dir, glob string, w
 		return err
 	}
 
-	effBlock := blockW
-	switch {
-	case effBlock == 0:
-		effBlock = sweep.DefaultBlockSize
-	case effBlock < 1:
-		effBlock = 1
-	}
 	rep := report{
 		Design:    d.Name,
 		Workloads: len(batch.Results),
@@ -189,9 +252,88 @@ func run(reg *obs.Registry, arts *cliutil.Artifacts, nlPath, dir, glob string, w
 		rep.Results[i] = wr
 	}
 
-	w := os.Stdout
+	if err := emitReport(out, rep); err != nil {
+		return err
+	}
 	if out != "" {
-		g, err := os.Create(out)
+		fmt.Fprintf(os.Stderr, "sweeprun: %d workloads, %d unique subterms for %d equations, %.0f workloads/sec -> %s\n",
+			rep.Workloads, rep.Plan.UniqueSets, rep.Plan.Vertices, rep.PerSec, out)
+	}
+	return nil
+}
+
+// runIntervals is the -windows path: every window of every workload
+// becomes one lane of a single blocked batch through the shared compiled
+// plan, and the report carries each workload's per-window time series
+// with its summary statistics.
+func runIntervals(ctx context.Context, eng *sweep.Engine, res *core.Result, design string, ivs []cliutil.NamedIntervals, nodes bool, effBlock int, out string) error {
+	ws := make([]sweep.IntervalWorkload, len(ivs))
+	for i, ni := range ivs {
+		iw := sweep.IntervalWorkload{Name: ni.Name}
+		for _, win := range ni.Table.Windows {
+			iw.Windows = append(iw.Windows, sweep.WindowSpan{Start: win.Start, End: win.End})
+			iw.Inputs = append(iw.Inputs, win.Inputs)
+		}
+		ws[i] = iw
+	}
+	batch, err := eng.SweepIntervalsContext(ctx, res, ws)
+	if err != nil {
+		return err
+	}
+	rep := intervalReport{
+		Design:    design,
+		Workloads: len(batch.Workloads),
+		Windows:   batch.WindowsEvaluated,
+		Plan:      batch.Plan.Stats(),
+		Block:     effBlock,
+		ElapsedMS: float64(batch.Elapsed.Microseconds()) / 1e3,
+		Results:   make([]intervalWorkloadReport, len(batch.Workloads)),
+	}
+	for i, iw := range batch.Workloads {
+		wr := intervalWorkloadReport{
+			Name:             iw.Name,
+			Windows:          make([]windowSpan, len(iw.Windows)),
+			ChipAVF:          iw.Summary.ChipAVF,
+			TimeWeightedMean: iw.Summary.TimeWeightedMean,
+			PeakWindow:       iw.Summary.PeakWindow,
+			PeakChipAVF:      iw.Summary.PeakChipAVF,
+			PeakToMean:       iw.Summary.PeakToMean,
+		}
+		for wi, span := range iw.Windows {
+			wr.Windows[wi] = windowSpan{Start: span.Start, End: span.End}
+		}
+		if nodes {
+			// Per-node time series: node -> one AVF per window.
+			wr.SeqAVF = make(map[string][]float64)
+			for wi, r := range iw.Results {
+				for node, avf := range r.SeqAVFByNode() {
+					series, ok := wr.SeqAVF[node]
+					if !ok {
+						series = make([]float64, len(iw.Results))
+						wr.SeqAVF[node] = series
+					}
+					series[wi] = avf
+				}
+			}
+		}
+		rep.Results[i] = wr
+	}
+	if err := emitReport(out, rep); err != nil {
+		return err
+	}
+	if out != "" {
+		fmt.Fprintf(os.Stderr, "sweeprun: %d workloads, %d windows evaluated -> %s\n",
+			rep.Workloads, rep.Windows, out)
+	}
+	return nil
+}
+
+// emitReport writes v as indented JSON to path, or to stdout when path
+// is empty.
+func emitReport(path string, v any) error {
+	w := os.Stdout
+	if path != "" {
+		g, err := os.Create(path)
 		if err != nil {
 			return err
 		}
@@ -201,15 +343,8 @@ func run(reg *obs.Registry, arts *cliutil.Artifacts, nlPath, dir, glob string, w
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
+	if err := enc.Encode(v); err != nil {
 		return err
 	}
-	if err := bw.Flush(); err != nil {
-		return err
-	}
-	if out != "" {
-		fmt.Fprintf(os.Stderr, "sweeprun: %d workloads, %d unique subterms for %d equations, %.0f workloads/sec -> %s\n",
-			rep.Workloads, rep.Plan.UniqueSets, rep.Plan.Vertices, rep.PerSec, out)
-	}
-	return nil
+	return bw.Flush()
 }

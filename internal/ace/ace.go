@@ -54,6 +54,34 @@ type Port struct {
 	Dir    Dir
 	Events uint64
 	ACE    uint64
+
+	// winACE[w] counts the ACE events that landed in time window w.
+	// Populated only when the owning structure is quantized (see
+	// Structure.Quantize); the whole-run counters above are always kept.
+	winACE []uint64
+}
+
+// noteWindowACE attributes one ACE event at cycle to its window.
+func (p *Port) noteWindowACE(cycle, window uint64) {
+	w := int(cycle / window)
+	for len(p.winACE) <= w {
+		p.winACE = append(p.winACE, 0)
+	}
+	p.winACE[w]++
+}
+
+// WindowPAVF returns the port AVF of window w given the window's cycle
+// span: ACE events attributed to the window over its length — the same
+// rate definition as PAVF, restricted to one phase.
+func (p *Port) WindowPAVF(w int, span uint64) float64 {
+	if span == 0 || w < 0 || w >= len(p.winACE) {
+		return 0
+	}
+	v := float64(p.winACE[w]) / float64(span)
+	if v > 1 {
+		v = 1
+	}
+	return v
 }
 
 // PAVF returns the port AVF over the given cycle count.
@@ -186,6 +214,9 @@ func (s *Structure) WriteFields(portName string, entry int, cycle uint64, aceByF
 	if anyACE {
 		p.ACE++
 		s.aceWriteArrival++
+		if s.qavf != nil {
+			p.noteWindowACE(cycle, s.qavf.Window)
+		}
 	}
 }
 
@@ -224,6 +255,9 @@ func (s *Structure) ReadFields(portName string, entry int, cycle uint64, aceByFi
 	}
 	if anyACE {
 		p.ACE++
+		if s.qavf != nil {
+			p.noteWindowACE(cycle, s.qavf.Window)
+		}
 	}
 }
 

@@ -1,0 +1,121 @@
+package ace
+
+// Time-resolved (interval) report emission: instead of one whole-run
+// Report, a quantized model divides the run into fixed windows and emits
+// one Report per window — per-window structure AVFs (from the QAVF
+// trackers) and per-window port pAVFs (ACE events attributed to the
+// window they occurred in, over the window's span). The whole run
+// integrates back exactly: total ACE events are the sum of per-window
+// events, so the time-weighted mean of window pAVFs is the whole-run
+// pAVF, which is the identity the interval sweep path is property-tested
+// against downstream.
+
+import "fmt"
+
+// IntervalWindow is one time window of an interval report: the half-open
+// cycle range [Start, End) and the measurements confined to it.
+type IntervalWindow struct {
+	Index int
+	Start uint64
+	End   uint64
+	// Report carries the window's structure AVFs and port pAVFs. Its
+	// Cycles field is the window span (End - Start), so downstream
+	// consumers weight windows by Report.Cycles exactly as they weight
+	// whole runs.
+	Report *Report
+}
+
+// IntervalReport is the windowed counterpart of Report: the same
+// measurements, resolved over fixed windows of the run.
+type IntervalReport struct {
+	// Window is the nominal window size in cycles; the final window may
+	// be shorter when the run length is not a multiple.
+	Window uint64
+	// Cycles is the whole run length the windows tile.
+	Cycles uint64
+	// Windows are the report's time windows, ordered and non-overlapping
+	// by construction.
+	Windows []IntervalWindow
+}
+
+// Quantize attaches QAVF trackers with one shared window size to every
+// lifetime-tracked structure of the model, enabling FinishIntervals.
+// Hamming-distance-1 trackers are per-access and carry no event cycles,
+// so they are not windowed; interval reports carry their whole-run AVF
+// in every window (the best constant estimate). Call before any events
+// are recorded.
+func (m *Model) Quantize(window uint64) {
+	if window == 0 {
+		window = 1
+	}
+	m.window = window
+	for _, name := range m.order {
+		m.structs[name].Quantize(window)
+	}
+}
+
+// FinishIntervals closes the analysis at endCycle and returns both the
+// whole-run report and the windowed interval report. The model must have
+// been quantized (Quantize) before events were recorded; the per-window
+// port counters are only populated from that point on.
+func (m *Model) FinishIntervals(endCycle uint64) (*Report, *IntervalReport, error) {
+	if m.window == 0 {
+		return nil, nil, fmt.Errorf("ace: FinishIntervals without Quantize")
+	}
+	if endCycle == 0 {
+		return nil, nil, fmt.Errorf("ace: FinishIntervals with zero cycles")
+	}
+	whole := m.Finish(endCycle)
+	nw := int((endCycle + m.window - 1) / m.window)
+	ir := &IntervalReport{Window: m.window, Cycles: endCycle, Windows: make([]IntervalWindow, nw)}
+
+	// Per-structure windowed AVF series, computed once.
+	series := make(map[string][]float64, len(m.order))
+	for _, name := range m.order {
+		series[name] = m.structs[name].qavf.Series(endCycle)
+	}
+
+	for w := 0; w < nw; w++ {
+		start := uint64(w) * m.window
+		end := start + m.window
+		if end > endCycle {
+			end = endCycle
+		}
+		span := end - start
+		rep := &Report{
+			Cycles:     span,
+			StructAVF:  make(map[string]float64),
+			LittleAVF:  make(map[string]float64),
+			StructBits: make(map[string]int),
+			ReadPorts:  make(map[string]float64),
+			WritePorts: make(map[string]float64),
+		}
+		for _, name := range m.order {
+			s := m.structs[name]
+			if sv := series[name]; w < len(sv) {
+				rep.StructAVF[name] = sv[w]
+			} else {
+				rep.StructAVF[name] = 0
+			}
+			rep.StructBits[name] = s.Bits()
+			for _, p := range s.Ports() {
+				key := name + "." + p.Name
+				v := p.WindowPAVF(w, span)
+				if p.Dir == DirRead {
+					rep.ReadPorts[key] = v
+				} else {
+					rep.WritePorts[key] = v
+				}
+			}
+		}
+		// Address-based trackers report their whole-run AVF in every
+		// window: HD1 vulnerability is attributed per access, not per
+		// cycle, so the run average is the only sound windowed value.
+		for _, name := range m.hdOrder {
+			rep.StructAVF[name] = whole.StructAVF[name]
+			rep.StructBits[name] = whole.StructBits[name]
+		}
+		ir.Windows[w] = IntervalWindow{Index: w, Start: start, End: end, Report: rep}
+	}
+	return whole, ir, nil
+}

@@ -1,0 +1,200 @@
+package ace
+
+import (
+	"math"
+	"testing"
+)
+
+// buildQuantizedModel runs a two-phase workload on a quantized model:
+// phase 1 (cycles 0..500) is hot, phase 2 (500..1000) idle.
+func buildQuantizedModel(t *testing.T) (*Model, *Structure) {
+	t.Helper()
+	m := NewModel()
+	m.Quantize(100)
+	s := m.AddStructure("Q", 4, 8)
+	for c := uint64(0); c < 500; c += 10 {
+		s.Write("wr", int(c/10)%4, c, true)
+		s.Read("rd", int(c/10)%4, c+9, true)
+	}
+	for e := 0; e < 4; e++ {
+		s.Invalidate(e, 500)
+	}
+	return m, s
+}
+
+func TestFinishIntervalsRequiresQuantize(t *testing.T) {
+	m := NewModel()
+	m.AddStructure("S", 1, 8)
+	if _, _, err := m.FinishIntervals(100); err == nil {
+		t.Fatal("FinishIntervals without Quantize succeeded")
+	}
+	m.Quantize(10)
+	if _, _, err := m.FinishIntervals(0); err == nil {
+		t.Fatal("FinishIntervals with zero cycles succeeded")
+	}
+}
+
+func TestFinishIntervalsWindowGeometry(t *testing.T) {
+	m, _ := buildQuantizedModel(t)
+	whole, ir, err := m.FinishIntervals(950) // ragged final window
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole == nil || whole.Cycles != 950 {
+		t.Fatalf("whole report cycles = %+v", whole)
+	}
+	if ir.Window != 100 || ir.Cycles != 950 {
+		t.Fatalf("interval header = %+v", ir)
+	}
+	if len(ir.Windows) != 10 {
+		t.Fatalf("window count = %d, want 10", len(ir.Windows))
+	}
+	for i, w := range ir.Windows {
+		if w.Index != i {
+			t.Fatalf("window %d has index %d", i, w.Index)
+		}
+		wantStart := uint64(i) * 100
+		wantEnd := wantStart + 100
+		if wantEnd > 950 {
+			wantEnd = 950
+		}
+		if w.Start != wantStart || w.End != wantEnd {
+			t.Fatalf("window %d span [%d,%d), want [%d,%d)", i, w.Start, w.End, wantStart, wantEnd)
+		}
+		if w.Report.Cycles != w.End-w.Start {
+			t.Fatalf("window %d report cycles %d != span", i, w.Report.Cycles)
+		}
+	}
+}
+
+func TestIntervalPortPAVFIntegratesToWholeRun(t *testing.T) {
+	m, _ := buildQuantizedModel(t)
+	whole, ir, err := m.FinishIntervals(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The time-weighted mean of window pAVFs must equal the whole-run
+	// pAVF: both count the same ACE events over the same total cycles.
+	for _, key := range []string{"Q.rd", "Q.wr"} {
+		var sum float64
+		for _, w := range ir.Windows {
+			span := float64(w.Report.Cycles)
+			v, ok := w.Report.ReadPorts[key]
+			if !ok {
+				v, ok = w.Report.WritePorts[key]
+			}
+			if !ok {
+				t.Fatalf("window %d lacks port %s", w.Index, key)
+			}
+			sum += v * span
+		}
+		got := sum / float64(ir.Cycles)
+		want, ok := whole.ReadPorts[key]
+		if !ok {
+			want = whole.WritePorts[key]
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("port %s: time-weighted mean %v != whole-run %v", key, got, want)
+		}
+	}
+	// Phase structure: the hot half has traffic, the idle half none.
+	if v := ir.Windows[2].Report.ReadPorts["Q.rd"]; v == 0 {
+		t.Fatal("hot window has zero read pAVF")
+	}
+	if v := ir.Windows[8].Report.ReadPorts["Q.rd"]; v != 0 {
+		t.Fatalf("idle window read pAVF = %v, want 0", v)
+	}
+}
+
+func TestIntervalStructAVFMatchesSeries(t *testing.T) {
+	m, s := buildQuantizedModel(t)
+	_, ir, err := m.FinishIntervals(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := s.qavf.Series(1000)
+	for _, w := range ir.Windows {
+		want := 0.0
+		if w.Index < len(series) {
+			want = series[w.Index]
+		}
+		if got := w.Report.StructAVF["Q"]; got != want {
+			t.Fatalf("window %d struct AVF %v != series %v", w.Index, got, want)
+		}
+		if w.Report.StructBits["Q"] != s.Bits() {
+			t.Fatalf("window %d bits = %d", w.Index, w.Report.StructBits["Q"])
+		}
+	}
+	// Hot windows vulnerable, idle windows not.
+	if ir.Windows[2].Report.StructAVF["Q"] == 0 {
+		t.Fatal("hot window struct AVF is zero")
+	}
+	if ir.Windows[8].Report.StructAVF["Q"] != 0 {
+		t.Fatal("idle window struct AVF is non-zero")
+	}
+}
+
+func TestLateAddStructureIsQuantized(t *testing.T) {
+	m := NewModel()
+	m.Quantize(50)
+	s := m.AddStructure("Late", 1, 4)
+	s.Write("wr", 0, 10, true)
+	s.Read("rd", 0, 40, true)
+	s.Invalidate(0, 60)
+	_, ir, err := m.FinishIntervals(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ir.Windows) != 2 {
+		t.Fatalf("window count = %d", len(ir.Windows))
+	}
+	if ir.Windows[0].Report.StructAVF["Late"] == 0 {
+		t.Fatal("late-added structure was not quantized: window AVF is zero")
+	}
+	if ir.Windows[0].Report.ReadPorts["Late.rd"] == 0 {
+		t.Fatal("late-added structure has no windowed port counts")
+	}
+}
+
+func TestIntervalHD1CarriesWholeRunAVF(t *testing.T) {
+	m := NewModel()
+	m.Quantize(100)
+	s := m.AddStructure("S", 1, 8)
+	s.Write("wr", 0, 5, true)
+	s.Read("rd", 0, 50, true)
+	h := m.AddHD1("TLB", 16, 20)
+	h.Lookup(0x1234, true)
+	h.Lookup(0x1235, true)
+	whole, ir, err := m.FinishIntervals(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := whole.StructAVF["TLB"]
+	for _, w := range ir.Windows {
+		if got := w.Report.StructAVF["TLB"]; got != want {
+			t.Fatalf("window %d HD1 AVF %v != whole-run %v", w.Index, got, want)
+		}
+	}
+}
+
+func TestWindowPAVFBounds(t *testing.T) {
+	p := &Port{Name: "x", Dir: DirRead}
+	if p.WindowPAVF(0, 100) != 0 {
+		t.Fatal("empty port has non-zero window pAVF")
+	}
+	p.noteWindowACE(5, 10)
+	p.noteWindowACE(7, 10)
+	p.noteWindowACE(25, 10)
+	if got := p.WindowPAVF(0, 10); math.Abs(got-0.2) > 1e-15 {
+		t.Fatalf("window 0 pAVF = %v", got)
+	}
+	if got := p.WindowPAVF(1, 10); got != 0 {
+		t.Fatalf("window 1 pAVF = %v", got)
+	}
+	if got := p.WindowPAVF(2, 1); got != 1 {
+		t.Fatalf("capped window pAVF = %v, want 1", got)
+	}
+	if p.WindowPAVF(-1, 10) != 0 || p.WindowPAVF(99, 10) != 0 || p.WindowPAVF(0, 0) != 0 {
+		t.Fatal("out-of-range window pAVF not zero")
+	}
+}

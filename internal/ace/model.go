@@ -11,6 +11,8 @@ type Model struct {
 	hd1s    map[string]*HD1Tracker
 	order   []string
 	hdOrder []string
+	// window is the interval size set by Quantize (0 = not quantized).
+	window uint64
 }
 
 // NewModel returns an empty model.
@@ -24,6 +26,12 @@ func NewModel() *Model {
 // AddStructure registers and returns a new lifetime-tracked structure.
 func (m *Model) AddStructure(name string, entries, width int, fields ...Field) *Structure {
 	s := NewStructure(name, entries, width, fields...)
+	if m.window > 0 {
+		// The model was quantized before this structure was registered:
+		// late additions get the same window so FinishIntervals covers
+		// every lifetime tracker.
+		s.Quantize(m.window)
+	}
 	m.structs[name] = s
 	m.order = append(m.order, name)
 	return s

@@ -1,0 +1,74 @@
+package pavfio
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParseIntervalTable throws arbitrary bytes at the multi-window
+// table parser: it must never panic, and anything it accepts must be
+// well-formed — every value finite and in [0,1] (a NaN would poison the
+// solver's capped sums downstream), every window non-empty with a
+// positive span, windows strictly ordered and non-overlapping with
+// sequential indices.
+func FuzzParseIntervalTable(f *testing.F) {
+	f.Add(sampleIntervals)
+	f.Add("# window 0 0 10\nR A.p 0.5\n")
+	f.Add("# workload a\n# workload b\n# window 0 0 10\nR A.p 0.5\n")
+	f.Add("# window 0 0 10\n# window 1 10 20\nR A.p 0.5\n")
+	f.Add("# window 0 0 10\nR A.p 0.5\n# window 1 5 20\nR A.p 0.5\n")
+	f.Add("# window 1 0 10\nR A.p 0.5\n")
+	f.Add("# window 0 10 10\nR A.p 0.5\n")
+	f.Add("# window 0 0 18446744073709551615\nS x NaN\n")
+	f.Add("R A.p 0.5\n# window 0 0 10\n")
+	f.Add("#window 0 0 10\n# window 0 0 10\nS s 1\n")
+	f.Add("# window 0 0 10\nR A.p 0.1\nR A.p 0.1\n")
+	f.Fuzz(func(t *testing.T, table string) {
+		tab, err := ParseIntervals("fuzz", strings.NewReader(table))
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+		if len(tab.Windows) == 0 {
+			t.Fatalf("accepted table has no windows\ntable:\n%s", table)
+		}
+		prevEnd := uint64(0)
+		for i, w := range tab.Windows {
+			if w.Index != i {
+				t.Fatalf("window %d carries index %d\ntable:\n%s", i, w.Index, table)
+			}
+			if w.Start >= w.End {
+				t.Fatalf("window %d span [%d,%d) is empty\ntable:\n%s", i, w.Start, w.End, table)
+			}
+			if i > 0 && w.Start < prevEnd {
+				t.Fatalf("window %d overlaps its predecessor\ntable:\n%s", i, table)
+			}
+			prevEnd = w.End
+			if w.Inputs == nil {
+				t.Fatalf("window %d has nil inputs\ntable:\n%s", i, table)
+			}
+			recs := 0
+			check := func(what string, v float64) {
+				t.Helper()
+				if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > 1 {
+					t.Fatalf("accepted %s value %v outside [0,1] in window %d\ntable:\n%s", what, v, i, table)
+				}
+			}
+			for sp, v := range w.Inputs.ReadPorts {
+				check("R "+sp.String(), v)
+				recs++
+			}
+			for sp, v := range w.Inputs.WritePorts {
+				check("W "+sp.String(), v)
+				recs++
+			}
+			for s, v := range w.Inputs.StructAVF {
+				check("S "+s, v)
+				recs++
+			}
+			if recs == 0 {
+				t.Fatalf("accepted window %d has no records\ntable:\n%s", i, table)
+			}
+		}
+	})
+}

@@ -1,0 +1,201 @@
+package pavfio
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"seqavf/internal/core"
+)
+
+const sampleIntervals = `# workload md5
+# measured on tinycore, window=1000
+# window 0 0 1000
+R RegFile.rd0 0.125
+W RegFile.wr0 0.25
+S RegFile 0.5
+# window 1 1000 2000
+R RegFile.rd0 0.0625
+W RegFile.wr0 0.125
+S RegFile 0.25
+# window 2 2500 3000
+R RegFile.rd0 0
+W RegFile.wr0 0
+S RegFile 0
+`
+
+func TestParseIntervalsSample(t *testing.T) {
+	tab, err := ParseIntervals("sample", strings.NewReader(sampleIntervals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Workload != "md5" {
+		t.Fatalf("workload = %q", tab.Workload)
+	}
+	if len(tab.Windows) != 3 {
+		t.Fatalf("windows = %d", len(tab.Windows))
+	}
+	// Window 2 opens after a gap — gaps are legal, overlaps are not.
+	w := tab.Windows[2]
+	if w.Index != 2 || w.Start != 2500 || w.End != 3000 {
+		t.Fatalf("window 2 = %+v", w)
+	}
+	if got := tab.Windows[1].Inputs.ReadPorts[core.StructPort{Struct: "RegFile", Port: "rd0"}]; got != 0.0625 {
+		t.Fatalf("window 1 rd0 = %v", got)
+	}
+	if got := tab.Cycles(); got != 3000 {
+		t.Fatalf("cycles = %d", got)
+	}
+	if got := (&IntervalTable{}).Cycles(); got != 0 {
+		t.Fatalf("empty cycles = %d", got)
+	}
+}
+
+func TestParseIntervalsDuplicateScopedPerWindow(t *testing.T) {
+	// The same record in two windows is the normal case, not a duplicate.
+	ok := "# window 0 0 10\nR A.p 0.1\n# window 1 10 20\nR A.p 0.2\n"
+	if _, err := ParseIntervals("t", strings.NewReader(ok)); err != nil {
+		t.Fatal(err)
+	}
+	bad := "# window 0 0 10\nR A.p 0.1\nR A.p 0.2\n"
+	if _, err := ParseIntervals("t", strings.NewReader(bad)); err == nil {
+		t.Fatal("duplicate within a window accepted")
+	}
+}
+
+func TestParseIntervalsRejects(t *testing.T) {
+	cases := []struct {
+		name, table, wantErr string
+	}{
+		{"recordBeforeWindow", "R A.p 0.1\n", "before first '# window'"},
+		{"noWindows", "# just a comment\n", "no '# window' directives"},
+		{"directiveArity", "# window 0 0\n", "want '# window"},
+		{"badIndex", "# window x 0 10\nR A.p 0.1\n", "bad window index"},
+		{"negIndex", "# window -1 0 10\nR A.p 0.1\n", "bad window index"},
+		{"badStart", "# window 0 x 10\nR A.p 0.1\n", "bad window start"},
+		{"badEnd", "# window 0 0 x\nR A.p 0.1\n", "bad window end"},
+		{"outOfSequence", "# window 1 0 10\nR A.p 0.1\n", "out of sequence"},
+		{"skippedIndex", "# window 0 0 10\nR A.p 0.1\n# window 2 10 20\nR A.p 0.1\n", "out of sequence"},
+		{"emptySpan", "# window 0 10 10\nR A.p 0.1\n", "is empty"},
+		{"overlap", "# window 0 0 10\nR A.p 0.1\n# window 1 5 20\nR A.p 0.1\n", "inside window"},
+		{"emptyWindow", "# window 0 0 10\n# window 1 10 20\nR A.p 0.1\n", "has no records"},
+		{"emptyLastWindow", "# window 0 0 10\nR A.p 0.1\n# window 1 10 20\n", "has no records"},
+		{"workloadArity", "# workload\n# window 0 0 10\nR A.p 0.1\n", "want '# workload"},
+		{"workloadConflict", "# workload a\n# workload b\n# window 0 0 10\nR A.p 0.1\n", "conflicts"},
+		{"badRecord", "# window 0 0 10\nR A.p 1.5\n", "out of [0,1]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseIntervals("t", strings.NewReader(tc.table))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseIntervalsRepeatedWorkloadAgrees(t *testing.T) {
+	table := "# workload md5\n# window 0 0 10\nR A.p 0.1\n# workload md5\n# window 1 10 20\nR A.p 0.2\n"
+	tab, err := ParseIntervals("t", strings.NewReader(table))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Workload != "md5" {
+		t.Fatalf("workload = %q", tab.Workload)
+	}
+}
+
+func TestParseIntervalsLineTooLong(t *testing.T) {
+	long := "# window 0 0 10\nR A.p 0.1\n# " + strings.Repeat("x", MaxLineBytes+1)
+	_, err := ParseIntervals("t", strings.NewReader(long))
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWriteIntervalsRoundTrip(t *testing.T) {
+	tab, err := ParseIntervals("sample", strings.NewReader(sampleIntervals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	n, err := WriteIntervals(&b, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 9 {
+		t.Fatalf("wrote %d record lines, want 9", n)
+	}
+	back, err := ParseIntervals("roundtrip", strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tab, back) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", tab, back)
+	}
+}
+
+func TestReadIntervalFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "md5.ipavf")
+	if err := os.WriteFile(path, []byte(sampleIntervals), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := ReadIntervalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Windows) != 3 {
+		t.Fatalf("windows = %d", len(tab.Windows))
+	}
+	if _, err := ReadIntervalFile(path + ".nope"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestReadIntervalDir(t *testing.T) {
+	dir := t.TempDir()
+	// sampleIntervals carries "# workload md5": the directive wins over
+	// the file stem. The second table has no directive and is named after
+	// its file.
+	if err := os.WriteFile(filepath.Join(dir, "a.ipavf"), []byte(sampleIntervals), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	anon := "# window 0 0 10\nR RegFile.rd0 0.5\n"
+	if err := os.WriteFile(filepath.Join(dir, "sha.ipavf"), []byte(anon), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "skip.txt"), []byte("not a table"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIntervalDir(dir, "*.ipavf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "md5" || got[1].Name != "sha" {
+		t.Fatalf("ReadIntervalDir = %+v", got)
+	}
+	if len(got[0].Table.Windows) != 3 || len(got[1].Table.Windows) != 1 {
+		t.Fatalf("window counts: %d, %d", len(got[0].Table.Windows), len(got[1].Table.Windows))
+	}
+}
+
+func TestReadIntervalDirAmbiguousNames(t *testing.T) {
+	dir := t.TempDir()
+	// Both tables resolve to workload "md5": one via directive, one via
+	// file stem.
+	if err := os.WriteFile(filepath.Join(dir, "a.ipavf"), []byte(sampleIntervals), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	anon := "# window 0 0 10\nR RegFile.rd0 0.5\n"
+	if err := os.WriteFile(filepath.Join(dir, "md5.ipavf"), []byte(anon), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadIntervalDir(dir, "*.ipavf"); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("ambiguous names accepted: %v", err)
+	}
+	if _, err := ReadIntervalDir(dir, "*.nope"); err == nil {
+		t.Fatal("empty match set accepted")
+	}
+}

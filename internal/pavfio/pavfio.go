@@ -55,39 +55,8 @@ func Parse(name string, r io.Reader) (*core.Inputs, error) {
 		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
 			continue
 		}
-		if len(fields) != 3 {
-			return nil, fmt.Errorf("%s:%d: want '<R|W|S> <name> <value>'", name, lineNo)
-		}
-		v, err := strconv.ParseFloat(fields[2], 64)
-		if err != nil {
-			return nil, fmt.Errorf("%s:%d: bad value %q", name, lineNo, fields[2])
-		}
-		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > 1 {
-			return nil, fmt.Errorf("%s:%d: %s value %v out of [0,1] (AVFs are probabilities)",
-				name, lineNo, fields[0], fields[2])
-		}
-		key := fields[0] + " " + fields[1]
-		if prev, dup := firstLine[key]; dup {
-			return nil, fmt.Errorf("%s:%d: duplicate %q record (first at line %d)",
-				name, lineNo, key, prev)
-		}
-		firstLine[key] = lineNo
-		switch fields[0] {
-		case "R", "W":
-			st, port, ok := strings.Cut(fields[1], ".")
-			if !ok {
-				return nil, fmt.Errorf("%s:%d: port %q not Struct.port", name, lineNo, fields[1])
-			}
-			sp := core.StructPort{Struct: st, Port: port}
-			if fields[0] == "R" {
-				in.ReadPorts[sp] = v
-			} else {
-				in.WritePorts[sp] = v
-			}
-		case "S":
-			in.StructAVF[fields[1]] = v
-		default:
-			return nil, fmt.Errorf("%s:%d: unknown record %q", name, lineNo, fields[0])
+		if err := applyRecord(name, lineNo, fields, in, firstLine); err != nil {
+			return nil, err
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -97,6 +66,48 @@ func Parse(name string, r io.Reader) (*core.Inputs, error) {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
 	return in, nil
+}
+
+// applyRecord validates one R/W/S record line and applies it to in. It
+// is the shared validation core of Parse and ParseIntervals: every value
+// is checked finite and in [0,1], and duplicates (tracked per table —
+// or per window, for interval tables — in firstLine) are rejected.
+func applyRecord(name string, lineNo int, fields []string, in *core.Inputs, firstLine map[string]int) error {
+	if len(fields) != 3 {
+		return fmt.Errorf("%s:%d: want '<R|W|S> <name> <value>'", name, lineNo)
+	}
+	v, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return fmt.Errorf("%s:%d: bad value %q", name, lineNo, fields[2])
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > 1 {
+		return fmt.Errorf("%s:%d: %s value %v out of [0,1] (AVFs are probabilities)",
+			name, lineNo, fields[0], fields[2])
+	}
+	key := fields[0] + " " + fields[1]
+	if prev, dup := firstLine[key]; dup {
+		return fmt.Errorf("%s:%d: duplicate %q record (first at line %d)",
+			name, lineNo, key, prev)
+	}
+	firstLine[key] = lineNo
+	switch fields[0] {
+	case "R", "W":
+		st, port, ok := strings.Cut(fields[1], ".")
+		if !ok {
+			return fmt.Errorf("%s:%d: port %q not Struct.port", name, lineNo, fields[1])
+		}
+		sp := core.StructPort{Struct: st, Port: port}
+		if fields[0] == "R" {
+			in.ReadPorts[sp] = v
+		} else {
+			in.WritePorts[sp] = v
+		}
+	case "S":
+		in.StructAVF[fields[1]] = v
+	default:
+		return fmt.Errorf("%s:%d: unknown record %q", name, lineNo, fields[0])
+	}
+	return nil
 }
 
 // ReadFile parses the pAVF table at path. See Parse for the format.

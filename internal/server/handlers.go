@@ -81,6 +81,7 @@ type EditResponse struct {
 //	POST /v1/designs     — upload a textual netlist; solve + register it
 //	POST /v1/designs/{name}/edit — ECO: incremental re-solve + atomic replace
 //	POST /v1/sweep       — evaluate workload pAVF tables through one design
+//	POST /v1/sweep/intervals — time-resolved sweep: multi-window tables → AVF time series
 //	POST /v1/harden      — selective-hardening optimizer: budget sweep → protection plans
 //	GET  /v1/artifacts/{fingerprint} — raw .sart bytes (fleet pull-through)
 func (s *Server) Handler() http.Handler {
@@ -93,6 +94,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/designs", s.handleUploadDesign)
 	mux.HandleFunc("POST /v1/designs/{name}/edit", s.handleEditDesign)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/sweep/intervals", s.handleSweepIntervals)
 	mux.HandleFunc("POST /v1/harden", s.handleHarden)
 	mux.HandleFunc("GET /v1/artifacts/{fingerprint}", s.handleGetArtifact)
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)

@@ -1,0 +1,216 @@
+package server
+
+// POST /v1/sweep/intervals — the time-resolved sweep endpoint. The
+// request carries one multi-window pAVF table per workload (the pavfio
+// interval format); the engine evaluates every window as one lane of a
+// single blocked batch and the response returns each workload's
+// per-node AVF time series plus the summary statistics (peak window,
+// peak/mean ratio) that a whole-run sweep cannot express.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"seqavf/internal/obs"
+	"seqavf/internal/pavfio"
+	"seqavf/internal/sweep"
+)
+
+// IntervalSweepRequest is the body of POST /v1/sweep/intervals: one
+// registered design plus one multi-window interval table per workload
+// (see pavfio.ParseIntervals for the text format).
+type IntervalSweepRequest struct {
+	Design    string                  `json:"design"`
+	Workloads []IntervalSweepWorkload `json:"workloads"`
+	// Nodes includes each workload's per-sequential-node AVF time
+	// series in the response.
+	Nodes bool `json:"nodes,omitempty"`
+}
+
+// IntervalSweepWorkload names one workload and carries its interval
+// table. Name may be empty when the table itself carries a
+// "# workload" directive; when both are present they must agree.
+type IntervalSweepWorkload struct {
+	Name  string `json:"name"`
+	Table string `json:"table"`
+}
+
+// IntervalSweepResponse reports the time-resolved sweep: plan
+// statistics plus per-workload AVF time series, index-aligned with the
+// request.
+type IntervalSweepResponse struct {
+	Design           string                   `json:"design"`
+	Workloads        int                      `json:"workloads"`
+	WindowsEvaluated int                      `json:"windows_evaluated"`
+	Plan             sweep.Stats              `json:"plan"`
+	ElapsedMS        float64                  `json:"eval_elapsed_ms"`
+	Results          []IntervalWorkloadResult `json:"results"`
+}
+
+// IntervalWindowInfo is one window's half-open cycle span.
+type IntervalWindowInfo struct {
+	Start uint64 `json:"start"`
+	End   uint64 `json:"end"`
+}
+
+// IntervalWorkloadResult is one workload's AVF time series: the window
+// geometry, the per-window chip AVF, its peak statistics, and (with
+// nodes: true) the per-sequential-node series, each value index-aligned
+// with Windows.
+type IntervalWorkloadResult struct {
+	Name             string               `json:"name"`
+	Windows          []IntervalWindowInfo `json:"windows"`
+	ChipAVF          []float64            `json:"chip_avf"`
+	TimeWeightedMean float64              `json:"time_weighted_mean"`
+	PeakWindow       int                  `json:"peak_window"`
+	PeakChipAVF      float64              `json:"peak_chip_avf"`
+	PeakToMean       float64              `json:"peak_to_mean"`
+	SeqAVF           map[string][]float64 `json:"seqavf,omitempty"`
+}
+
+func (s *Server) handleSweepIntervals(w http.ResponseWriter, r *http.Request) {
+	s.reg.Counter("sweep.interval_requests").Inc()
+	rsp, rctx := s.startRequest(w, r, "/v1/sweep/intervals")
+	start := time.Now()
+	rec := obs.RequestRecord{Endpoint: "/v1/sweep/intervals", Status: http.StatusOK, Outcome: "ok"}
+	defer func() { s.finishRequest(rsp, start, rec) }()
+	fail := func(status int, format string, args ...any) {
+		rec.Status, rec.Outcome = status, fmt.Sprintf(format, args...)
+		s.writeErr(w, status, "%s", rec.Outcome)
+	}
+
+	// Ingest stage: decode the envelope and run every interval table
+	// through the strict multi-window parser — malformed geometry or a
+	// single out-of-range value fails the request here, before anything
+	// reaches the engine.
+	isp := rsp.Child("ingest")
+	var req IntervalSweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		isp.End()
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			rec.Status, rec.Outcome = http.StatusRequestEntityTooLarge, err.Error()
+			s.writeBodyErr(w, err)
+			return
+		}
+		fail(http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	rec.Design = req.Design
+	rec.Workloads = len(req.Workloads)
+	d := s.Design(req.Design)
+	if d == nil {
+		isp.End()
+		fail(http.StatusNotFound, "unknown design %q (see GET /v1/designs)", req.Design)
+		return
+	}
+	rec.Fingerprint = fmt.Sprintf("%016x", d.Result.Analyzer.Fingerprint())
+	if len(req.Workloads) == 0 {
+		isp.End()
+		fail(http.StatusBadRequest, "no workloads in request")
+		return
+	}
+	ws := make([]sweep.IntervalWorkload, len(req.Workloads))
+	for i, rw := range req.Workloads {
+		name := rw.Name
+		if name == "" {
+			name = fmt.Sprintf("workload[%d]", i)
+		}
+		tab, err := pavfio.ParseIntervals(name, strings.NewReader(rw.Table))
+		if err != nil {
+			isp.End()
+			fail(http.StatusUnprocessableEntity, "workload %q: %v", name, err)
+			return
+		}
+		// Name consistency: a table directive must agree with the
+		// request's name for the same workload (and supplies the name
+		// when the request omits it).
+		if tab.Workload != "" {
+			if rw.Name != "" && rw.Name != tab.Workload {
+				isp.End()
+				fail(http.StatusUnprocessableEntity,
+					"workload %q: table's '# workload %s' directive disagrees with the request name", rw.Name, tab.Workload)
+				return
+			}
+			name = tab.Workload
+		}
+		iw := sweep.IntervalWorkload{Name: name}
+		for _, win := range tab.Windows {
+			iw.Windows = append(iw.Windows, sweep.WindowSpan{Start: win.Start, End: win.End})
+			iw.Inputs = append(iw.Inputs, win.Inputs)
+		}
+		ws[i] = iw
+	}
+	isp.SetAttr("workloads", len(ws))
+	isp.End()
+
+	if !s.acquire() {
+		rec.Status, rec.Outcome = http.StatusTooManyRequests, "busy"
+		s.rejectBusy(w)
+		return
+	}
+	defer s.release()
+
+	ctx, cancel := s.requestCtx(rctx)
+	defer cancel()
+	batch, err := s.eng.SweepIntervalsContext(ctx, d.Result, ws)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			fail(http.StatusServiceUnavailable, "interval sweep timed out after %v", s.cfg.RequestTimeout)
+		case errors.Is(err, context.Canceled):
+			fail(http.StatusServiceUnavailable, "interval sweep cancelled: %v", err)
+		default:
+			fail(http.StatusUnprocessableEntity, "%v", err)
+		}
+		return
+	}
+
+	resp := IntervalSweepResponse{
+		Design:           d.Name,
+		Workloads:        len(batch.Workloads),
+		WindowsEvaluated: batch.WindowsEvaluated,
+		Plan:             batch.Plan.Stats(),
+		ElapsedMS:        float64(batch.Elapsed.Microseconds()) / 1e3,
+		Results:          make([]IntervalWorkloadResult, len(batch.Workloads)),
+	}
+	for i, iw := range batch.Workloads {
+		wr := IntervalWorkloadResult{
+			Name:             iw.Name,
+			Windows:          make([]IntervalWindowInfo, len(iw.Windows)),
+			ChipAVF:          iw.Summary.ChipAVF,
+			TimeWeightedMean: iw.Summary.TimeWeightedMean,
+			PeakWindow:       iw.Summary.PeakWindow,
+			PeakChipAVF:      iw.Summary.PeakChipAVF,
+			PeakToMean:       iw.Summary.PeakToMean,
+		}
+		for wi, span := range iw.Windows {
+			wr.Windows[wi] = IntervalWindowInfo{Start: span.Start, End: span.End}
+		}
+		if req.Nodes {
+			// Per-node time series: node -> one AVF per window, in
+			// window order.
+			wr.SeqAVF = make(map[string][]float64)
+			for wi, res := range iw.Results {
+				for node, avf := range res.SeqAVFByNode() {
+					series, ok := wr.SeqAVF[node]
+					if !ok {
+						series = make([]float64, len(iw.Results))
+						wr.SeqAVF[node] = series
+					}
+					series[wi] = avf
+				}
+			}
+		}
+		resp.Results[i] = wr
+	}
+	s.reg.Counter("server.interval_sweep_ok").Inc()
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -96,6 +96,14 @@ func TestTinycoreGoldenBlockMatrix(t *testing.T) {
 
 func writeBlockGolden(t *testing.T, path string, m map[string]string) {
 	t.Helper()
+	writeGoldenWithHeader(t, path, m,
+		"# tinycore blocked-sweep AVF matrix: workload/node -> hexfloat seqAVF (exact bits)\n"+
+			"# __avfsum is the workload's full AVF vector summed in vertex order\n"+
+			"# regenerate: go test ./internal/sweep/ -run TestTinycoreGoldenBlockMatrix -update\n")
+}
+
+func writeGoldenWithHeader(t *testing.T, path string, m map[string]string, header string) {
+	t.Helper()
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		t.Fatal(err)
 	}
@@ -105,9 +113,7 @@ func writeBlockGolden(t *testing.T, path string, m map[string]string) {
 	}
 	sort.Strings(keys)
 	var sb strings.Builder
-	sb.WriteString("# tinycore blocked-sweep AVF matrix: workload/node -> hexfloat seqAVF (exact bits)\n")
-	sb.WriteString("# __avfsum is the workload's full AVF vector summed in vertex order\n")
-	sb.WriteString("# regenerate: go test ./internal/sweep/ -run TestTinycoreGoldenBlockMatrix -update\n")
+	sb.WriteString(header)
 	for _, k := range keys {
 		fmt.Fprintf(&sb, "%s %s\n", k, m[k])
 	}

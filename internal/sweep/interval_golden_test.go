@@ -1,0 +1,172 @@
+package sweep
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"seqavf/internal/core"
+	"seqavf/internal/graph"
+	"seqavf/internal/pavfio"
+	"seqavf/internal/tinycore"
+	"seqavf/internal/uarch"
+	"seqavf/internal/workload"
+)
+
+// TestTinycoreGoldenIntervals pins the whole time-resolved pipeline on a
+// real design: tinycore runs MD5Like(40) on the quantized performance
+// model, the windowed ACE report binds to the netlist ports, the
+// interval table round-trips through the pavfio multi-window format
+// (pinning its serialization at %.6f), and the engine sweeps the six
+// windows as lanes of one blocked batch with a ragged tail. The golden
+// fixture holds each window's per-sequential-node seqAVF plus the
+// summary statistics as hexadecimal float64 literals compared bit for
+// bit; run with -update to bless an intentional change.
+func TestTinycoreGoldenIntervals(t *testing.T) {
+	p := workload.MD5Like(40)
+	fd, err := tinycore.FlatDesign(len(p.Code))
+	if err != nil {
+		t.Fatalf("tinycore: %v", err)
+	}
+	g, err := graph.Build(fd)
+	if err != nil {
+		t.Fatalf("graph: %v", err)
+	}
+	a, err := core.NewAnalyzer(g, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("analyzer: %v", err)
+	}
+	cfg := uarch.DefaultConfig()
+	cfg.Window = 150 // 867-cycle run: five full windows and a ragged sixth
+	perf, err := uarch.Run(p, cfg)
+	if err != nil {
+		t.Fatalf("uarch: %v", err)
+	}
+	if perf.Intervals == nil {
+		t.Fatal("windowed run produced no interval report")
+	}
+	perWindow, err := tinycore.BindIntervals(perf.Intervals)
+	if err != nil {
+		t.Fatalf("BindIntervals: %v", err)
+	}
+
+	// Round-trip through the multi-window table format so the fixture
+	// also pins the serialized representation.
+	tab := &pavfio.IntervalTable{Workload: "md5_40"}
+	for i, win := range perf.Intervals.Windows {
+		tab.Windows = append(tab.Windows, pavfio.IntervalWindow{
+			Index: i, Start: win.Start, End: win.End, Inputs: perWindow[i],
+		})
+	}
+	var buf bytes.Buffer
+	if _, err := pavfio.WriteIntervals(&buf, tab); err != nil {
+		t.Fatalf("WriteIntervals: %v", err)
+	}
+	back, err := pavfio.ParseIntervals("roundtrip", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ParseIntervals: %v", err)
+	}
+	if back.Workload != "md5_40" || len(back.Windows) != len(tab.Windows) {
+		t.Fatalf("round trip lost shape: %q, %d windows", back.Workload, len(back.Windows))
+	}
+
+	base, err := tinycore.BindInputs(perf.Report)
+	if err != nil {
+		t.Fatalf("BindInputs: %v", err)
+	}
+	res, err := a.Solve(base)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	iw := IntervalWorkload{Name: back.Workload}
+	for _, win := range back.Windows {
+		iw.Windows = append(iw.Windows, WindowSpan{Start: win.Start, End: win.End})
+		iw.Inputs = append(iw.Inputs, win.Inputs)
+	}
+	// Block width 4 over 6 window lanes: one full block and one ragged.
+	eng := New(Options{Workers: 1, BlockSize: 4})
+	b, err := eng.SweepIntervals(res, []IntervalWorkload{iw})
+	if err != nil {
+		t.Fatalf("SweepIntervals: %v", err)
+	}
+	out := b.Workloads[0]
+
+	got := make(map[string]string)
+	hex := func(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+	for wi, r := range out.Results {
+		for node, avf := range r.SeqAVFByNode() {
+			got[fmt.Sprintf("w%d/%s", wi, node)] = hex(avf)
+		}
+		got[fmt.Sprintf("w%d/__chipavf", wi)] = hex(out.Summary.ChipAVF[wi])
+		// The seqAVF nodes above are tinycore's FSM registers, whose
+		// closed forms are insensitive to the measured inputs; the full
+		// AVF-vector sum is what varies window to window and pins the
+		// input-dependent combinational arithmetic.
+		sum := 0.0
+		for _, avf := range r.AVF {
+			sum += avf
+		}
+		got[fmt.Sprintf("w%d/__avfsum", wi)] = hex(sum)
+	}
+	got["__summary/time_weighted_mean"] = hex(out.Summary.TimeWeightedMean)
+	got["__summary/peak_chipavf"] = hex(out.Summary.PeakChipAVF)
+	got["__summary/peak_window"] = strconv.Itoa(out.Summary.PeakWindow)
+	got["__summary/peak_to_mean"] = hex(out.Summary.PeakToMean)
+	if len(got) < 10 {
+		t.Fatalf("suspiciously small interval matrix: %d entries", len(got))
+	}
+
+	path := filepath.Join("testdata", "tinycore_intervals.golden")
+	if *updateGolden {
+		writeIntervalGolden(t, path, got)
+		t.Logf("rewrote %s with %d entries", path, len(got))
+	}
+	want := readBlockGolden(t, path)
+	if len(got) != len(want) {
+		t.Errorf("matrix shape drifted: golden has %d entries, current run has %d", len(want), len(got))
+	}
+	for key, wv := range want {
+		gv, ok := got[key]
+		if !ok {
+			t.Errorf("entry %s present in golden but missing from current run", key)
+			continue
+		}
+		if gv != wv {
+			t.Errorf("entry %s drifted: golden %s, got %s — interval pipeline output changed; run with -update only if intentional",
+				key, wv, gv)
+		}
+	}
+	for key := range got {
+		if _, ok := want[key]; !ok {
+			t.Errorf("entry %s missing from golden (run with -update if intentional)", key)
+		}
+	}
+
+	// The packed lanes must match six independent single-window sweeps
+	// bit for bit — the windows-as-lanes contract on the real design.
+	solo := New(Options{Workers: 1, BlockSize: 1})
+	for wi := range iw.Windows {
+		sb, err := solo.Sweep(res, []Workload{{Name: "solo", Inputs: iw.Inputs[wi]}})
+		if err != nil {
+			t.Fatalf("solo sweep window %d: %v", wi, err)
+		}
+		for v := range sb.Results[0].AVF {
+			if math.Float64bits(sb.Results[0].AVF[v]) != math.Float64bits(out.Results[wi].AVF[v]) {
+				t.Fatalf("window %d vertex %d: solo %v != packed %v", wi, v,
+					sb.Results[0].AVF[v], out.Results[wi].AVF[v])
+			}
+		}
+	}
+}
+
+func writeIntervalGolden(t *testing.T, path string, m map[string]string) {
+	t.Helper()
+	writeGoldenWithHeader(t, path, m,
+		"# tinycore interval-sweep AVF matrix: w<idx>/node -> hexfloat seqAVF (exact bits)\n"+
+			"# __chipavf is the window's weighted sequential AVF; __avfsum its full AVF vector\n"+
+			"# summed in vertex order; __summary pins the time-series stats\n"+
+			"# regenerate: go test ./internal/sweep/ -run TestTinycoreGoldenIntervals -update\n")
+}

@@ -1,0 +1,119 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"seqavf/internal/core"
+	"seqavf/internal/graph/graphtest"
+	"seqavf/internal/stats"
+)
+
+// ulpClose reports whether a and b agree within k ulps at their
+// magnitude — the tolerance for values that are the same sum
+// reassociated, where each of the ~n non-negative additions contributes
+// at most one rounding.
+func ulpClose(a, b, k float64) bool {
+	diff := math.Abs(a - b)
+	if diff == 0 {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	ulp := math.Nextafter(scale, math.Inf(1)) - scale
+	return diff <= k*ulp
+}
+
+// TestPropertyIntervalDifferential is the time-resolved differential
+// property test: on 200 seeded random designs, a T-window interval
+// sweep must
+//
+//  1. produce each window's result bit-identical to an independent
+//     single-window sweep of the same inputs — at every block width,
+//     including scalar (1), ragged (2, 3), wider than the lane count
+//     (16 > T), exactly T, and T+7 — because windows are just lanes and
+//     the kernel contract is EvalBlock == Eval bit for bit; and
+//  2. satisfy the integration identity: the time-weighted mean of the
+//     per-window chip AVFs equals the chip AVF of the time-weighted
+//     mean AVF vector (WholeRunAVF), since Summarize is linear in the
+//     AVF vector. The two differ only by float reassociation over
+//     non-negative terms, so they must agree to a few thousand ulps.
+func TestPropertyIntervalDifferential(t *testing.T) {
+	const seeds = 200
+	engines := make(map[int]*Engine)
+	engine := func(width int) *Engine {
+		if e, ok := engines[width]; ok {
+			return e
+		}
+		e := New(Options{Workers: 2, BlockSize: width, CacheSize: 2})
+		engines[width] = e
+		return e
+	}
+	scalarRef := New(Options{Workers: 1, BlockSize: -1, CacheSize: 2})
+
+	for seed := uint64(0); seed < seeds; seed++ {
+		a, res, _ := solved(t, graphtest.Small(seed), seed^0x1eaf)
+		nT := 3 + int(seed%6) // 3..8 windows
+		rng := stats.New(seed ^ 0x717e)
+
+		w := IntervalWorkload{Name: fmt.Sprintf("seed%d", seed)}
+		cursor := uint64(0)
+		for wi := 0; wi < nT; wi++ {
+			if rng.Float64() < 0.3 {
+				cursor += 1 + uint64(40*rng.Float64()) // interior gap
+			}
+			span := 50 + uint64(200*rng.Float64())
+			w.Windows = append(w.Windows, WindowSpan{Start: cursor, End: cursor + span})
+			w.Inputs = append(w.Inputs, randomInputs(a, seed*1009+uint64(wi)))
+			cursor += span
+		}
+
+		// Reference: each window swept independently through the scalar
+		// kernel, one single-workload batch at a time.
+		ref := make([]*core.Result, nT)
+		for wi := 0; wi < nT; wi++ {
+			b, err := scalarRef.Sweep(res, []Workload{{Name: "solo", Inputs: w.Inputs[wi]}})
+			if err != nil {
+				t.Fatalf("seed %d: reference sweep window %d: %v", seed, wi, err)
+			}
+			ref[wi] = b.Results[0]
+		}
+
+		var summary IntervalSummary
+		for _, width := range []int{1, 2, 3, 16, nT, nT + 7} {
+			b, err := engine(width).SweepIntervals(res, []IntervalWorkload{w})
+			if err != nil {
+				t.Fatalf("seed %d width %d: SweepIntervals: %v", seed, width, err)
+			}
+			iw := b.Workloads[0]
+			if len(iw.Results) != nT || b.WindowsEvaluated != nT {
+				t.Fatalf("seed %d width %d: %d results for %d windows", seed, width, len(iw.Results), nT)
+			}
+			for wi := 0; wi < nT; wi++ {
+				got, want := iw.Results[wi].AVF, ref[wi].AVF
+				for v := range got {
+					if math.Float64bits(got[v]) != math.Float64bits(want[v]) {
+						t.Fatalf("seed %d width %d window %d vertex %d: packed lane %v != independent sweep %v (must be bit-identical)",
+							seed, width, wi, v, got[v], want[v])
+					}
+				}
+			}
+			summary = iw.Summary
+		}
+
+		// Integration identity on the (width-independent) results.
+		whole := WholeRunAVF(w.Windows, ref)
+		avg := *ref[0]
+		avg.AVF = whole
+		chipOfMean := avg.Summarize().WeightedSeqAVF
+		if !ulpClose(summary.TimeWeightedMean, chipOfMean, 4096) {
+			t.Fatalf("seed %d: time-weighted mean of window chip AVFs %v != chip AVF of whole-run vector %v (diff %v)",
+				seed, summary.TimeWeightedMean, chipOfMean, summary.TimeWeightedMean-chipOfMean)
+		}
+		for wi, avf := range summary.ChipAVF {
+			if !(avf >= 0 && avf <= 1) {
+				t.Fatalf("seed %d window %d chip AVF %v out of [0,1]", seed, wi, avf)
+			}
+		}
+	}
+}

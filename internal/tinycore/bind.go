@@ -63,3 +63,23 @@ func BindInputs(rep *ace.Report) (*core.Inputs, error) {
 	in.StructAVF[StructDMem] = rep.StructAVF[uarch.StructDCache]
 	return in, nil
 }
+
+// BindIntervals maps a windowed ACE report onto tinycore's ports, one
+// inputs table per time window (index-aligned with rep.Windows). Each
+// window binds exactly like BindInputs binds a whole run — the windowed
+// reports carry the same structures and ports, so a missing port fails
+// the same way.
+func BindIntervals(rep *ace.IntervalReport) ([]*core.Inputs, error) {
+	if rep == nil || len(rep.Windows) == 0 {
+		return nil, fmt.Errorf("tinycore: no interval windows to bind")
+	}
+	out := make([]*core.Inputs, len(rep.Windows))
+	for i, w := range rep.Windows {
+		in, err := BindInputs(w.Report)
+		if err != nil {
+			return nil, fmt.Errorf("tinycore: window %d [%d,%d): %w", w.Index, w.Start, w.End, err)
+		}
+		out[i] = in
+	}
+	return out, nil
+}

@@ -52,7 +52,12 @@ type Config struct {
 	// instruction's (the pre-§5.1 conservative treatment). Used by the
 	// ablation that quantifies how much field resolution buys.
 	WholeEntryIQ bool
-	MaxInstrs    int // trace budget (0 = isa.DefaultMaxSteps)
+	// Window, when > 0, quantizes the ACE model into fixed windows of
+	// that many cycles: Result.Intervals then carries per-window
+	// structure AVFs and port pAVFs (the time-resolved measurements the
+	// interval sweep path consumes) alongside the whole-run Report.
+	Window    uint64
+	MaxInstrs int // trace budget (0 = isa.DefaultMaxSteps)
 	// Obs receives performance-model telemetry: per-run spans
 	// (arch_exec/replay/ace_finish), cycle and instruction counters, ACE
 	// read/write tallies, and retirement-rate gauges. nil disables it.
@@ -97,6 +102,9 @@ type Result struct {
 	Out []uint32
 	// Report carries structure AVFs and port pAVFs for SART.
 	Report *ace.Report
+	// Intervals carries the windowed measurements when Config.Window was
+	// set (nil otherwise): one report per time window of the run.
+	Intervals *ace.IntervalReport
 	// ACEInstrFraction is the share of dynamic instructions that were
 	// necessary for architecturally correct execution.
 	ACEInstrFraction float64
@@ -125,6 +133,9 @@ func Run(p *isa.Program, cfg Config) (*Result, error) {
 	rsp := sp.Child("replay")
 
 	m := ace.NewModel()
+	if cfg.Window > 0 {
+		m.Quantize(cfg.Window)
+	}
 	fetchq := m.AddStructure(StructFetchQ, cfg.FetchQEntries, 32)
 	var iq *ace.Structure
 	if cfg.WholeEntryIQ {
@@ -316,15 +327,28 @@ func Run(p *isa.Program, cfg Config) (*Result, error) {
 	rsp.SetAttr("cycles", endCycle)
 	rsp.End()
 	fsp := sp.Child("ace_finish")
-	report := m.Finish(endCycle)
+	var (
+		report    *ace.Report
+		intervals *ace.IntervalReport
+	)
+	if cfg.Window > 0 {
+		report, intervals, err = m.FinishIntervals(endCycle)
+		if err != nil {
+			fsp.End()
+			return nil, fmt.Errorf("uarch: windowed finish: %w", err)
+		}
+	} else {
+		report = m.Finish(endCycle)
+	}
 	fsp.End()
 
 	res := &Result{
-		Program: p,
-		Cycles:  endCycle,
-		Instrs:  len(arch.Trace),
-		Out:     arch.Out,
-		Report:  report,
+		Program:   p,
+		Cycles:    endCycle,
+		Instrs:    len(arch.Trace),
+		Out:       arch.Out,
+		Report:    report,
+		Intervals: intervals,
 	}
 	if endCycle > 0 {
 		res.IPC = float64(len(arch.Trace)) / float64(endCycle)

@@ -1,12 +1,13 @@
 #!/bin/sh
 # Coverage gate for the numerical core: the packages whose arithmetic
 # the bit-identity harness pins (the sweep engine with its blocked
-# kernel, the pAVF closed forms, and the hardening optimizer's
+# kernel, the pAVF closed forms, the ACE lifetime model with its window
+# emission, the pAVF table parsers, and the hardening optimizer's
 # gradient + knapsack solvers) must keep statement coverage above
 # fixed floors. Floors are set below current coverage (sweep ~82%,
-# pavf ~85%, harden ~86% when gated) so routine changes pass, but a PR
-# that lands substantial untested kernel code trips the gate.
-# Exits non-zero naming every package under its floor.
+# pavf ~85%, harden ~86%, ace ~93%, pavfio ~93% when gated) so routine
+# changes pass, but a PR that lands substantial untested kernel code
+# trips the gate. Exits non-zero naming every package under its floor.
 set -eu
 
 GO=${GO:-go}
@@ -16,6 +17,8 @@ GATES="
 internal/core 75.0
 internal/sweep 75.0
 internal/pavf 78.0
+internal/pavfio 80.0
+internal/ace 75.0
 internal/harden 78.0
 "
 

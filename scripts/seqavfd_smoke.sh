@@ -68,6 +68,35 @@ run_sweep() {
 }
 run_sweep
 
+# Interval probe: synthesize a two-window interval table from the same
+# measured pAVF table and sweep it through /v1/sweep/intervals. The
+# response must carry the per-node time series and summary stats, and
+# the window counter must land on the Prometheus exposition.
+{
+    printf '{"design":"xeonlike_%s","nodes":true,"workloads":[{"name":"smoke","table":"' "$SEED"
+    printf '# workload smoke\\n# window 0 0 100\\n'
+    awk '{printf "%s\\n", $0}' "$DIR/pavf.txt"
+    printf '# window 1 100 200\\n'
+    awk '{printf "%s\\n", $0}' "$DIR/pavf.txt"
+    printf '"}]}'
+} >"$DIR/ireq.json"
+curl -sf -X POST -H 'Content-Type: application/json' \
+    --data-binary "@$DIR/ireq.json" "http://$ADDR/v1/sweep/intervals" >"$DIR/iresp.json"
+for field in '"windows_evaluated": 2' '"chip_avf"' '"peak_to_mean"' '"seqavf"'; do
+    grep -q "$field" "$DIR/iresp.json" || {
+        echo "seqavfd-smoke: interval response missing $field:" >&2
+        cat "$DIR/iresp.json" >&2
+        exit 1
+    }
+done
+curl -sf "http://$ADDR/metrics" >"$DIR/metrics_intervals.prom"
+grep -q '^sweep_windows_evaluated [1-9]' "$DIR/metrics_intervals.prom" || {
+    echo "seqavfd-smoke: /metrics missing sweep_windows_evaluated:" >&2
+    grep '^sweep' "$DIR/metrics_intervals.prom" >&2 || true
+    exit 1
+}
+echo "seqavfd-smoke: interval sweep ok ($(wc -c <"$DIR/iresp.json") bytes)"
+
 # One pass through the selective-hardening optimizer: the plan must
 # protect at least one node, and the harden counters must land on the
 # Prometheus exposition (dots render as underscores there).
